@@ -1,0 +1,117 @@
+"""Ablation bench — extensions and related-work baselines.
+
+Beyond the paper's seven methods, the repository implements Remark 3
+(LPF — population-division FAST), post-release smoothing, the THRESH
+related-work baseline and the mean-query port.  This bench quantifies
+each against the core methods so the design choices are documented with
+numbers:
+
+* LPF vs LPU/LPA on a slowly varying stream (Kalman filtering payoff);
+* THRESH vs LPA on the paper's smooth families (strategy determination
+  payoff);
+* smoothing post-processing on LBU (free error reduction);
+* MPA vs MPU for the mean query (adaptivity transfers to other queries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import mean_squared_error
+from repro.engine import run_stream
+from repro.extensions import exponential_smoothing
+from repro.queries import (
+    MeanPopulationAbsorption,
+    MeanPopulationUniform,
+    make_sine_numeric_stream,
+)
+from repro.streams import make_lns, make_sin
+
+
+def _mse(method, stream, epsilon, window, seeds=range(4)):
+    values = []
+    for seed in seeds:
+        result = run_stream(method, stream, epsilon=epsilon, window=window, seed=seed)
+        values.append(mean_squared_error(result.releases, result.true_frequencies))
+    return float(np.mean(values))
+
+
+@pytest.mark.benchmark(group="ablation-ext")
+def test_lpf_filtering_payoff(benchmark):
+    def run():
+        stream = make_sin(n_users=10_000, horizon=120, b=0.005, seed=3)
+        return {
+            "LPU": _mse("LPU", stream, 0.5, 10),
+            "LPA": _mse("LPA", stream, 0.5, 10),
+            "LPF": _mse("LPF", stream, 0.5, 10),
+        }
+
+    mses = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("LPF ablation — MSE on slow Sin:", {k: f"{v:.2e}" for k, v in mses.items()})
+    assert mses["LPF"] < mses["LPU"], "Kalman filtering should beat raw LPU"
+
+
+@pytest.mark.benchmark(group="ablation-ext")
+def test_thresh_vs_lpa(benchmark):
+    def run():
+        out = {}
+        for name, stream in (
+            ("LNS", make_lns(n_users=20_000, horizon=120, seed=21)),
+            ("Sin", make_sin(n_users=20_000, horizon=120, seed=21)),
+        ):
+            out[name] = {
+                "THRESH": _mse("THRESH", stream, 1.0, 20),
+                "LPA": _mse("LPA", stream, 1.0, 20),
+            }
+        return out
+
+    mses = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    for name, row in mses.items():
+        print(
+            f"THRESH ablation — {name}: THRESH={row['THRESH']:.2e} "
+            f"LPA={row['LPA']:.2e}"
+        )
+        assert row["LPA"] < row["THRESH"]
+
+
+@pytest.mark.benchmark(group="ablation-ext")
+def test_smoothing_payoff_on_lbu(benchmark):
+    def run():
+        stream = make_lns(n_users=10_000, horizon=120, seed=5)
+        raw_mse, smooth_mse = [], []
+        for seed in range(4):
+            result = run_stream("LBU", stream, epsilon=1.0, window=20, seed=seed)
+            raw_mse.append(
+                mean_squared_error(result.releases, result.true_frequencies)
+            )
+            smoothed = exponential_smoothing(result.releases, alpha=0.15)
+            smooth_mse.append(
+                mean_squared_error(smoothed, result.true_frequencies)
+            )
+        return float(np.mean(raw_mse)), float(np.mean(smooth_mse))
+
+    raw, smooth = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(f"Smoothing ablation — LBU raw={raw:.2e}, EWMA(0.15)={smooth:.2e}")
+    assert smooth < raw
+
+
+@pytest.mark.benchmark(group="ablation-ext")
+def test_mean_query_adaptivity(benchmark):
+    def run():
+        stream = make_sine_numeric_stream(
+            n_users=8_000, horizon=100, amplitude=0.3, period=80, seed=5
+        )
+        mpu = MeanPopulationUniform().run(stream, 1.0, 10, seed=1)
+        mpa = MeanPopulationAbsorption().run(stream, 1.0, 10, seed=1)
+        return {"MPU": mpu.mse, "MPA": mpa.mse}
+
+    mses = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Mean-query ablation — MSE:", {k: f"{v:.2e}" for k, v in mses.items()})
+    # Both must track; adaptivity should not lose by more than 2x and
+    # typically wins on streams with slow segments.
+    assert mses["MPA"] < 2.0 * mses["MPU"]

@@ -1,0 +1,147 @@
+"""Ablation bench — closed-form theory vs simulation, and design choices.
+
+Not a paper figure, but the quantitative backbone of Sections 5.4 / 6.3:
+
+* Theorem 6.1: measured MSE(LPU) < MSE(LBU), and both match their
+  closed forms V(eps, N/w) / V(eps/w, N) on a static stream;
+* Eq. (8)-(11): the per-publication variance ordering LPD < LBD and
+  LPA < LBA across publication counts;
+* design-choice ablations DESIGN.md calls out: frequency oracle choice
+  (GRR vs OUE at small/large domains) and the dissimilarity bias
+  correction of Theorem 5.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    mean_squared_error,
+    mse_lbu,
+    mse_lpu,
+    publication_variance_lba,
+    publication_variance_lbd,
+    publication_variance_lpa,
+    publication_variance_lpd,
+)
+from repro.engine import run_stream
+from repro.freq_oracles import get_oracle
+from repro.streams import make_constant
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_theorem_6_1_theory_vs_simulation(benchmark):
+    def run():
+        stream = make_constant(n_users=10_000, horizon=60, p=0.1, seed=2)
+        eps, w = 1.0, 10
+        measured = {}
+        for method in ("LBU", "LPU"):
+            mses = [
+                mean_squared_error(
+                    run_stream(method, stream, epsilon=eps, window=w, seed=s).releases,
+                    stream.frequency_matrix(),
+                )
+                for s in range(8)
+            ]
+            measured[method] = float(np.mean(mses))
+        predicted = {
+            "LBU": mse_lbu(eps, stream.n_users, w, 2),
+            "LPU": mse_lpu(eps, stream.n_users, w, 2),
+        }
+        return measured, predicted
+
+    measured, predicted = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Theorem 6.1 — MSE, measured vs closed form:")
+    for method in ("LBU", "LPU"):
+        print(
+            f"  {method}: measured={measured[method]:.3e} "
+            f"predicted={predicted[method]:.3e}"
+        )
+    assert measured["LPU"] < measured["LBU"]
+    for method in ("LBU", "LPU"):
+        assert measured[method] == pytest.approx(predicted[method], rel=0.35)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_eq_8_to_11_variance_orderings(benchmark):
+    def run():
+        rows = []
+        for m in (1, 2, 4, 8, 16):
+            rows.append(
+                {
+                    "m": m,
+                    "LBD": publication_variance_lbd(1.0, 200_000, m, 2),
+                    "LBA": publication_variance_lba(1.0, 200_000, m, 20, 2),
+                    "LPD": publication_variance_lpd(1.0, 200_000, m, 2),
+                    "LPA": publication_variance_lpa(1.0, 200_000, m, 20, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Eqs. (8)-(11) — per-window publication variance:")
+    for row in rows:
+        print(
+            f"  m={row['m']:>2}  LBD={row['LBD']:.3e} LBA={row['LBA']:.3e} "
+            f"LPD={row['LPD']:.3e} LPA={row['LPA']:.3e}"
+        )
+    for row in rows:
+        if row["m"] <= 20:
+            assert row["LPD"] < row["LBD"]
+            assert row["LPA"] < row["LBA"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_oracle_choice_ablation(benchmark):
+    """GRR wins for small domains, OUE for large domains — the standard FO
+    crossover, which justifies making the oracle pluggable."""
+
+    def run():
+        out = {}
+        for d in (2, 64):
+            out[d] = {
+                name: get_oracle(name).variance(1.0, 10_000, d)
+                for name in ("grr", "oue")
+            }
+        return out
+
+    variances = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Oracle ablation — V(eps=1, n=10k):", variances)
+    assert variances[2]["grr"] < variances[2]["oue"]
+    assert variances[64]["oue"] < variances[64]["grr"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_dissimilarity_bias_correction_ablation(benchmark):
+    """Theorem 5.2's variance subtraction matters: the uncorrected raw
+    squared distance overestimates dis* by exactly the FO variance, which
+    would push adaptive methods toward needless publications."""
+    from repro.freq_oracles import GRR
+    from repro.mechanisms import estimate_dissimilarity
+
+    def run():
+        oracle = GRR()
+        rng = np.random.default_rng(0)
+        true_counts = np.array([1_000, 9_000])
+        last = np.array([0.1, 0.9])  # equals the truth: dis* = 0
+        corrected, raw = [], []
+        for _ in range(300):
+            est = oracle.sample_aggregate(true_counts, 1.0, rng=rng)
+            corrected.append(estimate_dissimilarity(est, last))
+            raw.append(float(np.mean((est.frequencies - last) ** 2)))
+        return float(np.mean(corrected)), float(np.mean(raw)), est.variance
+
+    corrected_mean, raw_mean, variance = benchmark.pedantic(
+        run, iterations=1, rounds=1
+    )
+    print()
+    print(
+        f"Bias correction — corrected mean={corrected_mean:.2e}, "
+        f"raw mean={raw_mean:.2e}, FO variance={variance:.2e}"
+    )
+    assert abs(corrected_mean) < raw_mean / 5
+    assert raw_mean == pytest.approx(variance, rel=0.2)

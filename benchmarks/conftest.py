@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Every bench regenerates one of the paper's evaluation artifacts at reduced
+(``smoke``/``default``-tier) sizes so the whole suite finishes in minutes,
+prints the regenerated series next to the paper's values where available,
+and asserts the qualitative *shape* (who wins, by roughly what factor).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Sizes are controlled by the BENCH_SIZE environment variable
+(``smoke`` | ``default`` | ``paper``; default ``smoke`` so CI stays fast).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_size() -> str:
+    """Dataset size tier for benchmark runs (env BENCH_SIZE)."""
+    return os.environ.get("BENCH_SIZE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def size():
+    return bench_size()

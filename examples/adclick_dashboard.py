@@ -1,0 +1,52 @@
+"""Ad-click category dashboard — the paper's Taobao scenario + extensions.
+
+A million-user ad platform wants a live top-categories dashboard from
+click streams without collecting raw clicks.  This script runs LPA on the
+Taobao simulator, applies the post-processing extensions (simplex
+consistency + smoothing — free by the post-processing theorem), and prints
+a top-5 dashboard with estimated vs true shares, plus the communication
+budget the population division saves.
+
+Run:  python examples/adclick_dashboard.py
+"""
+
+import numpy as np
+
+from repro import TaobaoSimulator, run_stream
+from repro.analysis import mean_absolute_error
+from repro.extensions import exponential_smoothing
+from repro.freq_oracles.postprocess import norm_sub
+
+EPSILON = 1.0
+WINDOW = 20
+HORIZON = 288  # two simulated days at 10-minute slots
+
+stream = TaobaoSimulator(horizon=HORIZON, seed=8)  # default scale: ~32k users
+print(
+    f"{stream.n_users} users, {stream.domain_size} ad categories, "
+    f"{HORIZON} slots; {EPSILON}-LDP per {WINDOW}-slot window\n"
+)
+
+result = run_stream("LPA", stream, epsilon=EPSILON, window=WINDOW, seed=5)
+
+# Post-processing (privacy-free): simplex consistency, then light EWMA.
+consistent = np.stack([norm_sub(row) for row in result.releases])
+dashboard = exponential_smoothing(consistent, alpha=0.4)
+
+raw_mae = mean_absolute_error(result.releases, result.true_frequencies)
+final_mae = mean_absolute_error(dashboard, result.true_frequencies)
+print(f"MAE raw={raw_mae:.5f} -> post-processed={final_mae:.5f}")
+print(f"CFPU={result.cfpu:.4f} (vs 1.0+ for budget division: ~{1/result.cfpu:.0f}x fewer reports)\n")
+
+t = HORIZON - 1
+top = np.argsort(dashboard[t])[::-1][:5]
+print(f"Top-5 categories at t={t} (estimated share vs true share):")
+for rank, k in enumerate(top, 1):
+    print(
+        f"  {rank}. category {k:>3}: est {dashboard[t, k]*100:5.2f}%   "
+        f"true {result.true_frequencies[t, k]*100:5.2f}%"
+    )
+
+true_top = set(np.argsort(result.true_frequencies[t])[::-1][:5].tolist())
+overlap = len(true_top & set(top.tolist()))
+print(f"\nTop-5 overlap with ground truth: {overlap}/5")

@@ -1,0 +1,31 @@
+"""Quickstart: release a private stream with w-event LDP in ~20 lines.
+
+Collects an LNS-style binary stream from 20,000 simulated users and
+releases its frequency histogram at every timestamp under 1.0-LDP per
+sliding window of 20 timestamps, comparing the naive budget split (LBU)
+with the paper's best method (LPA).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import make_lns, run_stream
+from repro.analysis import mean_relative_error
+
+EPSILON = 1.0  # total LDP budget in any window of W consecutive timestamps
+WINDOW = 20
+
+stream = make_lns(n_users=20_000, horizon=200, seed=7)
+
+for method in ("LBU", "LPA"):
+    result = run_stream(method, stream, epsilon=EPSILON, window=WINDOW, seed=7)
+    mre = mean_relative_error(result.releases, result.true_frequencies)
+    print(
+        f"{method}: MRE={mre:.3f}  CFPU={result.cfpu:.4f}  "
+        f"publications={result.publication_count}/{result.horizon}  "
+        f"max window spend={result.max_window_spend:.3f} (<= {EPSILON})"
+    )
+
+print(
+    "\nLPA (population division) should show several-times-lower error AND "
+    "~20x less communication than LBU — the paper's headline result."
+)

@@ -1,0 +1,59 @@
+"""Smart-meter event detection — the intro's IoT motivation + Section 7.4.
+
+Thousands of smart meters report a binary "high consumption" flag every
+interval.  The utility wants to detect *extreme events* — timestamps where
+the above-threshold fraction spikes — without a trusted aggregator.
+
+This script builds a bursty consumption stream, releases it with the
+adaptive LDP methods, and prints event-detection quality (AUC plus the
+operating point at the paper's threshold delta = 0.75(max-min)+min).
+
+Run:  python examples/smart_meter_events.py
+"""
+
+import numpy as np
+
+from repro import BinaryStream, run_stream
+from repro.analysis import (
+    detection_rates,
+    event_labels,
+    event_threshold,
+    monitored_statistic,
+    monitoring_roc,
+)
+
+EPSILON = 1.0
+WINDOW = 50
+HORIZON = 400
+N_METERS = 50_000
+
+# Consumption baseline with random evening peaks (the "events").
+rng = np.random.default_rng(3)
+base = 0.08 + 0.01 * np.sin(2 * np.pi * np.arange(HORIZON) / 96)
+spikes = np.zeros(HORIZON)
+for start in rng.choice(HORIZON - 20, size=6, replace=False):
+    spikes[start : start + 12] += rng.uniform(0.1, 0.2)
+probabilities = np.clip(base + spikes, 0.0, 1.0)
+stream = BinaryStream(probabilities, n_users=N_METERS, seed=3, name="meters")
+
+true_series = monitored_statistic(stream.frequency_matrix())
+delta = event_threshold(true_series)
+labels = event_labels(true_series, delta)
+print(
+    f"{N_METERS} meters, {HORIZON} slots, {int(labels.sum())} event slots "
+    f"above delta={delta:.3f}; {EPSILON}-LDP per {WINDOW}-slot window\n"
+)
+
+print(f"{'method':<8}{'AUC':>8}{'TPR@delta':>11}{'FPR@delta':>11}{'CFPU':>9}")
+for method in ("LBA", "LSP", "LPU", "LPD", "LPA"):
+    result = run_stream(method, stream, epsilon=EPSILON, window=WINDOW, seed=9)
+    roc = monitoring_roc(result.releases, result.true_frequencies)
+    released_series = monitored_statistic(result.releases)
+    tpr, fpr = detection_rates(labels, released_series, delta)
+    print(f"{method:<8}{roc.auc:>8.3f}{tpr:>11.2f}{fpr:>11.2f}{result.cfpu:>9.4f}")
+
+print(
+    "\nExpected shape (paper Fig. 7): the population-division methods "
+    "detect events far better than LSP, whose stale fixed-interval "
+    "snapshots miss the bursts entirely."
+)

@@ -1,0 +1,49 @@
+"""Taxi density monitoring — the paper's T-Drive scenario (Section 7.1.2).
+
+A fleet of ~10,000 taxis reports its grid region every 10 minutes; the
+operator wants a live density map per region without learning any single
+taxi's trajectory.  Each taxi gets w-event LDP: at most eps = 1 of budget
+over any 5-hour window (w = 30 ten-minute slots).
+
+The script compares all seven mechanisms on release accuracy, then shows a
+small text "density map" from the best one.
+
+Run:  python examples/taxi_density_monitoring.py
+"""
+
+import numpy as np
+
+from repro import ALL_METHODS, TaxiSimulator, run_stream
+from repro.analysis import mean_absolute_error, mean_relative_error
+
+EPSILON = 1.0
+WINDOW = 30
+HORIZON = 288  # two simulated days
+
+stream = TaxiSimulator(horizon=HORIZON, seed=42)
+print(
+    f"Fleet: {stream.n_users} taxis, {stream.domain_size} regions, "
+    f"{HORIZON} ten-minute slots; {EPSILON}-LDP per {WINDOW}-slot window\n"
+)
+
+results = {}
+print(f"{'method':<8}{'MRE':>8}{'MAE':>9}{'CFPU':>9}{'pubs':>6}")
+for method in ALL_METHODS:
+    # Generative streams replay from t=0 for every mechanism.
+    stream.reset()
+    result = run_stream(method, stream, epsilon=EPSILON, window=WINDOW, seed=1)
+    results[method] = result
+    print(
+        f"{method:<8}"
+        f"{mean_relative_error(result.releases, result.true_frequencies):>8.3f}"
+        f"{mean_absolute_error(result.releases, result.true_frequencies):>9.4f}"
+        f"{result.cfpu:>9.4f}"
+        f"{result.publication_count:>6}"
+    )
+
+best = results["LPA"]
+print("\nLPA density map (private estimate vs truth), last 6 slots:")
+for t in range(HORIZON - 6, HORIZON):
+    est = ", ".join(f"{v:5.2f}" for v in np.clip(best.releases[t], 0, 1))
+    true = ", ".join(f"{v:5.2f}" for v in best.true_frequencies[t])
+    print(f"  t={t}:  est [{est}]   true [{true}]")

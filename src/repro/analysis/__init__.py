@@ -1,0 +1,89 @@
+"""Analysis utilities: utility metrics, event monitoring, communication
+cost, and the paper's closed-form utility theory (Section 7.1.4 metrics).
+"""
+
+from .changepoint import (
+    ChangePointReport,
+    cusum_detect,
+    score_change_points,
+)
+from .communication import (
+    cfpu_budget_adaptive,
+    cfpu_budget_uniform,
+    cfpu_lpa,
+    cfpu_lpd,
+    cfpu_sampling,
+    predicted_cfpu,
+)
+from .metrics import (
+    kl_divergence,
+    mean_absolute_error,
+    mean_relative_error,
+    mean_relative_error_on_tracked_cell,
+    mean_squared_error,
+    per_timestamp_mse,
+)
+from .monitoring import (
+    ROCCurve,
+    detection_rates,
+    event_labels,
+    event_threshold,
+    monitored_statistic,
+    monitoring_roc,
+    roc_curve,
+)
+from .topk import (
+    rank_displacement,
+    topk_precision,
+    topk_recall_curve,
+    topk_sets,
+)
+from .theory import (
+    lsp_drift_term,
+    mse_lbu,
+    mse_lpu,
+    mse_lsp,
+    publication_variance_lba,
+    publication_variance_lbd,
+    publication_variance_lpa,
+    publication_variance_lpd,
+    theorem_6_1_gap,
+)
+
+__all__ = [
+    "mean_relative_error",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "per_timestamp_mse",
+    "mean_relative_error_on_tracked_cell",
+    "kl_divergence",
+    "ROCCurve",
+    "roc_curve",
+    "monitoring_roc",
+    "monitored_statistic",
+    "event_threshold",
+    "event_labels",
+    "detection_rates",
+    "cfpu_budget_uniform",
+    "cfpu_sampling",
+    "cfpu_budget_adaptive",
+    "cfpu_lpd",
+    "cfpu_lpa",
+    "predicted_cfpu",
+    "mse_lbu",
+    "mse_lpu",
+    "mse_lsp",
+    "lsp_drift_term",
+    "publication_variance_lbd",
+    "publication_variance_lba",
+    "publication_variance_lpd",
+    "publication_variance_lpa",
+    "theorem_6_1_gap",
+    "ChangePointReport",
+    "cusum_detect",
+    "score_change_points",
+    "topk_sets",
+    "topk_precision",
+    "topk_recall_curve",
+    "rank_displacement",
+]

@@ -1,0 +1,80 @@
+"""Communication-cost analysis (Sections 5.4.3 and 6.3.3).
+
+The paper measures communication as **CFPU** — communication frequency per
+user: the average number of reports each user sends per timestamp.  The
+engine meters actual reports (``SessionResult.cfpu``); this module adds the
+paper's closed-form predictions so benches can print predicted-vs-measured:
+
+* budget division (LBD/LBA):  ``1 + m/w``          (Section 5.4.3)
+* LPD:                        ``1/w - 1/(w·2^{m+1})``  (Section 6.3.3)
+* LPA:                        ``1/(2w) + (w+m)/(4w²)`` (Section 6.3.3)
+* LBU: 1;  LSP / LPU: ``1/w``
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidParameterError
+from ..engine.records import SessionResult
+
+
+def _check(window: int, publications: float) -> None:
+    if window <= 0:
+        raise InvalidParameterError(f"window must be positive, got {window}")
+    if publications < 0:
+        raise InvalidParameterError(
+            f"publications must be non-negative, got {publications}"
+        )
+
+
+def cfpu_budget_uniform() -> float:
+    """LBU: every user reports once per timestamp."""
+    return 1.0
+
+
+def cfpu_sampling(window: int) -> float:
+    """LSP / LPU: each user reports once per window."""
+    _check(window, 0)
+    return 1.0 / window
+
+
+def cfpu_budget_adaptive(window: int, publications_per_window: float) -> float:
+    """LBD/LBA closed form ``1 + m/w``."""
+    _check(window, publications_per_window)
+    return 1.0 + publications_per_window / window
+
+
+def cfpu_lpd(window: int, publications_per_window: float) -> float:
+    """LPD closed form ``1/w - 1/(w·2^{m+1})``."""
+    _check(window, publications_per_window)
+    return 1.0 / window - 1.0 / (window * 2.0 ** (publications_per_window + 1))
+
+
+def cfpu_lpa(window: int, publications_per_window: float) -> float:
+    """LPA closed form ``1/(2w) + (w+m)/(4w²)``."""
+    _check(window, publications_per_window)
+    return 1.0 / (2.0 * window) + (window + publications_per_window) / (
+        4.0 * window * window
+    )
+
+
+def predicted_cfpu(result: SessionResult) -> float:
+    """Closed-form CFPU prediction for a finished session.
+
+    Uses the session's *observed* average publications per window
+    ``m = publication_rate * w`` in the matching formula.
+    """
+    m = result.publication_rate * result.window
+    mechanism = result.mechanism.upper()
+    if mechanism == "LBU":
+        return cfpu_budget_uniform()
+    if mechanism in ("LSP", "LPU"):
+        return cfpu_sampling(result.window)
+    if mechanism in ("LBD", "LBA"):
+        return cfpu_budget_adaptive(result.window, m)
+    if mechanism == "LPD":
+        return cfpu_lpd(result.window, m)
+    if mechanism == "LPA":
+        return cfpu_lpa(result.window, m)
+    raise InvalidParameterError(
+        f"no closed-form CFPU for mechanism {result.mechanism!r}"
+    )

@@ -1,0 +1,158 @@
+"""Closed-form utility theory (Sections 5.4.2, 6.3.2 and Theorem 6.1).
+
+These functions reproduce the paper's analytical MSE expressions so the
+test suite and the ablation bench can check simulation against theory:
+
+* LBU:  ``MSE = V(eps/w, N)``
+* LPU:  ``MSE = V(eps, N/w)``  — Theorem 6.1 proves LPU < LBU for GRR/OUE
+* LSP:  ``V(eps, N)`` plus the data-dependent drift term
+* LBD:  publication-budget sequence ``eps/4, eps/8, ...`` → Eq. (8)
+* LBA:  ``m · V((w+m)/(4wm) · eps, N)`` → Eq. (9)
+* LPD:  population sequence ``N/4, N/8, ...`` → Eq. (10)
+* LPA:  ``m · V(eps, (w+m)/(4wm) · N)`` → Eq. (11)
+
+``variance_fn`` defaults to the GRR mean variance; any oracle's
+``V(eps, n)`` with the same signature can be substituted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..freq_oracles.variance import grr_mean_variance
+
+VarianceFn = Callable[[float, int, int], float]
+
+
+def _publications_valid(m: int, window: int) -> None:
+    if m < 1 or m > window:
+        raise InvalidParameterError(
+            f"publication count m must be in [1, w]; got m={m}, w={window}"
+        )
+
+
+def mse_lbu(
+    epsilon: float,
+    n_users: int,
+    window: int,
+    domain_size: int,
+    variance_fn: VarianceFn = grr_mean_variance,
+) -> float:
+    """LBU window MSE ``V(eps/w, N)`` (Section 5.2.1)."""
+    return variance_fn(epsilon / window, n_users, domain_size)
+
+
+def mse_lpu(
+    epsilon: float,
+    n_users: int,
+    window: int,
+    domain_size: int,
+    variance_fn: VarianceFn = grr_mean_variance,
+) -> float:
+    """LPU window MSE ``V(eps, N/w)`` (Section 6.1)."""
+    group = max(1, n_users // window)
+    return variance_fn(epsilon, group, domain_size)
+
+
+def mse_lsp(
+    epsilon: float,
+    n_users: int,
+    window: int,
+    domain_size: int,
+    drift_term: float = 0.0,
+    variance_fn: VarianceFn = grr_mean_variance,
+) -> float:
+    """LSP window MSE ``V(eps, N) + (1/w) Σ (c_t - c_l)^2`` (Section 5.2.2).
+
+    ``drift_term`` carries the data-dependent sum, computable from a true
+    frequency matrix via :func:`lsp_drift_term`.
+    """
+    return variance_fn(epsilon, n_users, domain_size) + drift_term
+
+
+def lsp_drift_term(true_frequencies: np.ndarray, window: int) -> float:
+    """Average squared drift from window-start snapshots, the LSP penalty."""
+    freqs = np.asarray(true_frequencies, dtype=np.float64)
+    if freqs.ndim != 2:
+        raise InvalidParameterError("true_frequencies must be (T, d)")
+    total, count = 0.0, 0
+    for start in range(0, freqs.shape[0], window):
+        anchor = freqs[start]
+        block = freqs[start : start + window]
+        total += float(np.mean((block - anchor) ** 2, axis=1).sum())
+        count += block.shape[0]
+    return total / max(1, count)
+
+
+def publication_variance_lbd(
+    epsilon: float,
+    n_users: int,
+    m: int,
+    domain_size: int,
+    variance_fn: VarianceFn = grr_mean_variance,
+) -> float:
+    """Σ Var over LBD's m publications: budgets ``eps/4, ..., eps/2^{m+1}``."""
+    _publications_valid(m, m)
+    return sum(
+        variance_fn(epsilon / 2.0 ** (i + 1), n_users, domain_size)
+        for i in range(1, m + 1)
+    )
+
+
+def publication_variance_lba(
+    epsilon: float,
+    n_users: int,
+    m: int,
+    window: int,
+    domain_size: int,
+    variance_fn: VarianceFn = grr_mean_variance,
+) -> float:
+    """Eq. (9): ``m · V((w+m)/(4wm)·eps, N)``."""
+    _publications_valid(m, window)
+    per_publication = (window + m) * epsilon / (4.0 * window * m)
+    return m * variance_fn(per_publication, n_users, domain_size)
+
+
+def publication_variance_lpd(
+    epsilon: float,
+    n_users: int,
+    m: int,
+    domain_size: int,
+    variance_fn: VarianceFn = grr_mean_variance,
+) -> float:
+    """Eq. (10): populations ``N/4, ..., N/2^{m+1}`` at full budget."""
+    _publications_valid(m, m)
+    return sum(
+        variance_fn(epsilon, max(1, n_users // 2 ** (i + 1)), domain_size)
+        for i in range(1, m + 1)
+    )
+
+
+def publication_variance_lpa(
+    epsilon: float,
+    n_users: int,
+    m: int,
+    window: int,
+    domain_size: int,
+    variance_fn: VarianceFn = grr_mean_variance,
+) -> float:
+    """Eq. (11): ``m · V(eps, (w+m)/(4wm)·N)``."""
+    _publications_valid(m, window)
+    per_publication = max(1, int((window + m) * n_users / (4.0 * window * m)))
+    return m * variance_fn(epsilon, per_publication, domain_size)
+
+
+def theorem_6_1_gap(
+    epsilon: float,
+    n_users: int,
+    window: int,
+    domain_size: int,
+    variance_fn: VarianceFn = grr_mean_variance,
+) -> float:
+    """``MSE(LBU) - MSE(LPU)`` — strictly positive by Theorem 6.1."""
+    return mse_lbu(
+        epsilon, n_users, window, domain_size, variance_fn
+    ) - mse_lpu(epsilon, n_users, window, domain_size, variance_fn)

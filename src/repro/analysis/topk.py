@@ -1,0 +1,78 @@
+"""Top-k tracking quality on released histogram streams.
+
+A common downstream use of the released stream (e.g. the Taobao ad
+dashboard) is maintaining the top-k categories over time.  These helpers
+score how well a private release preserves the true top-k:
+
+* :func:`topk_sets` — the per-timestamp top-k index sets of a trace;
+* :func:`topk_precision` — mean |released-top-k ∩ true-top-k| / k;
+* :func:`topk_recall_curve` — precision as a function of k;
+* :func:`rank_displacement` — mean absolute rank error of the true top-k
+  items in the released ranking.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+
+def _validate(trace: np.ndarray, k: int) -> np.ndarray:
+    trace = np.asarray(trace, dtype=np.float64)
+    if trace.ndim != 2:
+        raise InvalidParameterError("trace must be (T, d)")
+    if not 1 <= k <= trace.shape[1]:
+        raise InvalidParameterError(
+            f"k must be in [1, {trace.shape[1]}], got {k}"
+        )
+    return trace
+
+
+def topk_sets(trace: np.ndarray, k: int) -> List[set]:
+    """Per-timestamp sets of the k largest cells."""
+    trace = _validate(trace, k)
+    order = np.argsort(-trace, axis=1, kind="stable")
+    return [set(row[:k].tolist()) for row in order]
+
+
+def topk_precision(released: np.ndarray, truth: np.ndarray, k: int) -> float:
+    """Mean over timestamps of |top-k(released) ∩ top-k(truth)| / k."""
+    released = _validate(released, k)
+    truth = _validate(truth, k)
+    if released.shape != truth.shape:
+        raise InvalidParameterError("released/truth shape mismatch")
+    hits = [
+        len(a & b) / k
+        for a, b in zip(topk_sets(released, k), topk_sets(truth, k))
+    ]
+    return float(np.mean(hits))
+
+
+def topk_recall_curve(
+    released: np.ndarray, truth: np.ndarray, max_k: int
+) -> dict[int, float]:
+    """``{k: precision}`` for k = 1..max_k."""
+    return {
+        k: topk_precision(released, truth, k) for k in range(1, max_k + 1)
+    }
+
+
+def rank_displacement(released: np.ndarray, truth: np.ndarray, k: int) -> float:
+    """Mean |rank_released(item) - rank_true(item)| over the true top-k."""
+    released = _validate(released, k)
+    truth = _validate(truth, k)
+    if released.shape != truth.shape:
+        raise InvalidParameterError("released/truth shape mismatch")
+    displacement = []
+    for t in range(truth.shape[0]):
+        true_order = np.argsort(-truth[t], kind="stable")
+        released_rank = np.empty(truth.shape[1], dtype=np.int64)
+        released_rank[np.argsort(-released[t], kind="stable")] = np.arange(
+            truth.shape[1]
+        )
+        for rank, item in enumerate(true_order[:k]):
+            displacement.append(abs(released_rank[item] - rank))
+    return float(np.mean(displacement))

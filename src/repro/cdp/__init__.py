@@ -1,0 +1,38 @@
+"""Centralized-DP substrate (Section 3.2 and Remark 3).
+
+* :class:`CDPUniform` / :class:`CDPSample` — the naive baselines;
+* :class:`BD` / :class:`BA` — Kellaris et al.'s ``w``-event methods that
+  LBD/LBA (and LPD/LPA) are derived from;
+* :class:`FAST` — adaptive sampling + Kalman filtering (Fan & Xiong);
+* :class:`PeGaSus` — perturb-group-smooth (Chen et al.).
+"""
+
+from .ba import BA
+from .base import (
+    CDPResult,
+    CDPStreamMechanism,
+    FREQUENCY_SENSITIVITY,
+    frequency_noise_scale,
+)
+from .baselines import CDPSample, CDPUniform
+from .bd import BD
+from .fast import FAST, PIDController, ScalarKalmanFilter
+from .pegasus import PeGaSus
+from .rescuedp import RescueDP, group_dimensions
+
+__all__ = [
+    "CDPResult",
+    "CDPStreamMechanism",
+    "FREQUENCY_SENSITIVITY",
+    "frequency_noise_scale",
+    "CDPUniform",
+    "CDPSample",
+    "BD",
+    "BA",
+    "FAST",
+    "PIDController",
+    "ScalarKalmanFilter",
+    "PeGaSus",
+    "RescueDP",
+    "group_dimensions",
+]

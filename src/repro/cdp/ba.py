@@ -1,0 +1,71 @@
+"""BA — Budget Absorption with ``w``-event CDP (Kellaris et al. 2014).
+
+The centralized ancestor of LBA: publication budget is pre-allocated
+uniformly (``eps/(2w)`` per timestamp); a publication absorbs the unused
+budget of preceding skipped timestamps (capped at ``w``) and nullifies an
+equal number of following timestamps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import ensure_rng
+from .base import (
+    CDPResult,
+    CDPStreamMechanism,
+    frequency_noise_scale,
+    laplace_noise,
+)
+
+
+class BA(CDPStreamMechanism):
+    """Kellaris et al.'s Budget Absorption (centralized ``w``-event DP)."""
+
+    name = "BA"
+
+    def release(self, true_frequencies, n_users, epsilon, window, seed=None):
+        freqs = self._validate(true_frequencies, n_users, epsilon, window)
+        rng = ensure_rng(seed)
+        horizon, d = freqs.shape
+        unit = epsilon / (2.0 * window)
+        dissim_scale = 2.0 / (unit * n_users * d)
+        releases = np.empty_like(freqs)
+        strategies = []
+        last = np.zeros(d)
+        last_pub_t = -1
+        last_pub_epsilon = 0.0
+        for t in range(horizon):
+            dis = float(np.mean(np.abs(freqs[t] - last))) + float(
+                rng.laplace(0.0, dissim_scale)
+            )
+            to_nullify = last_pub_epsilon / unit - 1.0
+            if t - last_pub_t <= to_nullify:
+                strategies.append("nullified")
+                releases[t] = last
+                continue
+            absorbable = t - (last_pub_t + to_nullify)
+            pub_epsilon = unit * min(absorbable, float(window))
+            err = (
+                frequency_noise_scale(pub_epsilon, n_users)
+                if pub_epsilon > 0
+                else np.inf
+            )
+            if dis > err:
+                last = freqs[t] + laplace_noise(
+                    rng, frequency_noise_scale(pub_epsilon, n_users), d
+                )
+                last_pub_t = t
+                last_pub_epsilon = pub_epsilon
+                strategies.append("publish")
+            else:
+                strategies.append("approximate")
+            releases[t] = last
+        return CDPResult(
+            mechanism=self.name,
+            epsilon=float(epsilon),
+            window=int(window),
+            releases=releases,
+            true_frequencies=freqs,
+            strategies=strategies,
+        )

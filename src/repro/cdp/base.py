@@ -1,0 +1,92 @@
+"""Centralized-DP (CDP) stream mechanisms — the paper's ancestry.
+
+The budget-division methods of Section 5 are LDP ports of Kellaris et al.'s
+BD/BA (Section 3.2), which assume a *trusted* aggregator that sees the true
+histogram ``c_t`` and perturbs it with Laplace noise before release.  This
+subpackage implements that substrate so the repository contains the full
+lineage: naive uniform/sampling baselines, BD, BA, and the Remark-3
+mechanisms FAST and PeGaSus.
+
+CDP mechanisms consume the *true frequency matrix* directly (the trusted
+aggregator sees raw data) plus the population size ``n`` that fixes the
+noise scale: a frequency histogram over ``n`` users has L1 sensitivity
+``2/n`` when one user changes value (one cell down, one up).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..rng import SeedLike, ensure_rng
+
+#: L1 sensitivity of a frequency histogram to one user's value change.
+FREQUENCY_SENSITIVITY = 2.0
+
+
+def laplace_noise(
+    rng: np.random.Generator, scale: float, size: int
+) -> np.ndarray:
+    """Draw d-dimensional Laplace noise with the given scale."""
+    return rng.laplace(0.0, scale, size=size)
+
+
+def frequency_noise_scale(epsilon: float, n_users: int) -> float:
+    """Laplace scale for an ``epsilon``-DP frequency-histogram release."""
+    if epsilon <= 0:
+        raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+    if n_users <= 0:
+        raise InvalidParameterError(f"n_users must be positive, got {n_users}")
+    return FREQUENCY_SENSITIVITY / (epsilon * n_users)
+
+
+@dataclass
+class CDPResult:
+    """Output of a CDP stream mechanism."""
+
+    mechanism: str
+    epsilon: float
+    window: int
+    releases: np.ndarray
+    true_frequencies: np.ndarray
+    strategies: List[str] = field(default_factory=list)
+
+    @property
+    def publication_count(self) -> int:
+        return sum(1 for s in self.strategies if s == "publish")
+
+
+class CDPStreamMechanism(abc.ABC):
+    """Base class: release a private stream from a true frequency matrix."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def release(
+        self,
+        true_frequencies: np.ndarray,
+        n_users: int,
+        epsilon: float,
+        window: int,
+        seed: SeedLike = None,
+    ) -> CDPResult:
+        """Run the mechanism over the full (T, d) true frequency matrix."""
+
+    @staticmethod
+    def _validate(
+        true_frequencies: np.ndarray, n_users: int, epsilon: float, window: int
+    ) -> np.ndarray:
+        freqs = np.asarray(true_frequencies, dtype=np.float64)
+        if freqs.ndim != 2 or freqs.shape[0] == 0:
+            raise InvalidParameterError("true_frequencies must be (T, d), T >= 1")
+        if n_users <= 0:
+            raise InvalidParameterError(f"n_users must be positive, got {n_users}")
+        if epsilon <= 0:
+            raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+        if window <= 0:
+            raise InvalidParameterError(f"window must be positive, got {window}")
+        return freqs

@@ -1,0 +1,68 @@
+"""Naive CDP baselines of Section 3.2: uniform budget and fixed sampling.
+
+* :class:`CDPUniform` — the "naive method": an ``eps/w``-DP Laplace release
+  at every timestamp.
+* :class:`CDPSample` — the "another simple method": one fresh ``eps``-DP
+  release per window, approximated at the remaining timestamps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import SeedLike, ensure_rng
+from .base import (
+    CDPResult,
+    CDPStreamMechanism,
+    frequency_noise_scale,
+    laplace_noise,
+)
+
+
+class CDPUniform(CDPStreamMechanism):
+    """Even budget split: Laplace(``2/(n·eps/w)``) on every timestamp."""
+
+    name = "CDP-Uniform"
+
+    def release(self, true_frequencies, n_users, epsilon, window, seed=None):
+        freqs = self._validate(true_frequencies, n_users, epsilon, window)
+        rng = ensure_rng(seed)
+        scale = frequency_noise_scale(epsilon / window, n_users)
+        noise = rng.laplace(0.0, scale, size=freqs.shape)
+        return CDPResult(
+            mechanism=self.name,
+            epsilon=float(epsilon),
+            window=int(window),
+            releases=freqs + noise,
+            true_frequencies=freqs,
+            strategies=["publish"] * freqs.shape[0],
+        )
+
+
+class CDPSample(CDPStreamMechanism):
+    """Fixed sampling: full-budget release once per window, then reuse."""
+
+    name = "CDP-Sample"
+
+    def release(self, true_frequencies, n_users, epsilon, window, seed=None):
+        freqs = self._validate(true_frequencies, n_users, epsilon, window)
+        rng = ensure_rng(seed)
+        scale = frequency_noise_scale(epsilon, n_users)
+        releases = np.empty_like(freqs)
+        strategies = []
+        current = np.zeros(freqs.shape[1])
+        for t in range(freqs.shape[0]):
+            if t % window == 0:
+                current = freqs[t] + laplace_noise(rng, scale, freqs.shape[1])
+                strategies.append("publish")
+            else:
+                strategies.append("approximate")
+            releases[t] = current
+        return CDPResult(
+            mechanism=self.name,
+            epsilon=float(epsilon),
+            window=int(window),
+            releases=releases,
+            true_frequencies=freqs,
+            strategies=strategies,
+        )

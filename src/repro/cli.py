@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       one streaming session; prints metrics, optionally saves JSON/CSV
+``figure``    regenerate a paper figure's series and print it as a table
+``table2``    regenerate Table 2 (CFPU) with the paper's values side by side
+``datasets``  list the registered datasets and their size tiers
+``methods``   list the registered mechanisms
+
+Examples
+--------
+::
+
+    python -m repro run --method LPA --dataset LNS --epsilon 1 --window 20
+    python -m repro figure fig4 --size smoke
+    python -m repro table2 --size smoke
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import (
+    mean_absolute_error,
+    mean_relative_error,
+    mean_squared_error,
+    monitoring_roc,
+)
+from .engine import run_stream
+from .exceptions import InvalidParameterError, ReproError
+from .mechanisms import available_mechanisms
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LDP-IDS reproduction: w-event LDP for infinite streams",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one streaming session")
+    run.add_argument("--method", required=True, help="LBU/LSP/LBD/LBA/LPU/LPD/LPA/LPF")
+    run.add_argument("--dataset", default="LNS", help="dataset name (see `datasets`)")
+    run.add_argument("--size", default="default", choices=["smoke", "default", "paper"])
+    run.add_argument("--epsilon", type=float, default=1.0)
+    run.add_argument("--window", type=int, default=20)
+    run.add_argument("--oracle", default="grr")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--save-json", metavar="PATH", default=None)
+    run.add_argument("--save-csv", metavar="PATH", default=None)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure series")
+    figure.add_argument(
+        "name", choices=["fig4", "fig5", "fig6", "fig7", "fig8"]
+    )
+    figure.add_argument("--size", default="smoke", choices=["smoke", "default", "paper"])
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--repeats", type=int, default=1)
+
+    table2 = sub.add_parser("table2", help="regenerate Table 2 (CFPU)")
+    table2.add_argument("--size", default="smoke", choices=["smoke", "default", "paper"])
+    table2.add_argument("--seed", type=int, default=0)
+
+    campaign = sub.add_parser(
+        "campaign", help="regenerate every figure & table; write artifacts"
+    )
+    campaign.add_argument("--out", metavar="DIR", default=None)
+    campaign.add_argument(
+        "--size", default="smoke", choices=["smoke", "default", "paper"]
+    )
+    campaign.add_argument("--repeats", type=int, default=1)
+    campaign.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("datasets", help="list datasets")
+    sub.add_parser("methods", help="list mechanisms")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from .experiments import make_dataset
+
+    dataset = make_dataset(args.dataset, size=args.size, seed=args.seed)
+    result = run_stream(
+        args.method,
+        dataset,
+        epsilon=args.epsilon,
+        window=args.window,
+        oracle=args.oracle,
+        seed=args.seed,
+    )
+    print(
+        f"{result.mechanism} on {args.dataset} "
+        f"(N={result.n_users}, T={result.horizon}, d={result.domain_size}, "
+        f"eps={result.epsilon:g}, w={result.window}, oracle={result.oracle})"
+    )
+    print(f"  MRE  = {mean_relative_error(result.releases, result.true_frequencies):.4f}")
+    print(f"  MAE  = {mean_absolute_error(result.releases, result.true_frequencies):.5f}")
+    print(f"  MSE  = {mean_squared_error(result.releases, result.true_frequencies):.3e}")
+    print(f"  CFPU = {result.cfpu:.4f}")
+    print(f"  publications = {result.publication_count}/{result.horizon}")
+    print(f"  max window spend = {result.max_window_spend:.4f} (<= {result.epsilon:g})")
+    try:
+        auc = monitoring_roc(result.releases, result.true_frequencies).auc
+        print(f"  event-monitoring AUC = {auc:.4f}")
+    except InvalidParameterError:
+        pass
+    if args.save_json:
+        from .io import save_session
+
+        save_session(result, args.save_json)
+        print(f"  saved JSON -> {args.save_json}")
+    if args.save_csv:
+        from .io import session_to_csv
+
+        session_to_csv(result, args.save_csv)
+        print(f"  saved CSV  -> {args.save_csv}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .experiments import (
+        fig4_utility_vs_epsilon,
+        fig5_utility_vs_window,
+        fig6_fluctuation,
+        fig6_population,
+        fig7_event_monitoring,
+        fig8_communication,
+        format_figure,
+        format_roc_summary,
+    )
+
+    if args.name == "fig4":
+        series = fig4_utility_vs_epsilon(
+            size=args.size, seed=args.seed, repeats=args.repeats
+        )
+        print(format_figure(series, x_label="epsilon"))
+    elif args.name == "fig5":
+        series = fig5_utility_vs_window(
+            size=args.size, seed=args.seed, repeats=args.repeats
+        )
+        print(format_figure(series, x_label="w"))
+    elif args.name == "fig6":
+        print(format_figure(fig6_population(seed=args.seed, repeats=args.repeats), x_label="N"))
+        print()
+        print(
+            format_figure(
+                fig6_fluctuation(seed=args.seed, repeats=args.repeats),
+                x_label="fluctuation",
+            )
+        )
+    elif args.name == "fig7":
+        print(format_roc_summary(fig7_event_monitoring(size=args.size, seed=args.seed)))
+    elif args.name == "fig8":
+        print(format_figure(fig8_communication(seed=args.seed), x_label="x"))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .experiments import PAPER_TABLE2, format_table2, table2_cfpu
+
+    table = table2_cfpu(size=args.size, seed=args.seed)
+    print(format_table2(table, PAPER_TABLE2))
+    print("\n(values shown as measured/paper)")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .experiments import run_campaign
+
+    run_campaign(
+        output_dir=args.out,
+        size=args.size,
+        repeats=args.repeats,
+        seed=args.seed,
+        verbose=True,
+    )
+    if args.out:
+        print(f"artifacts written to {args.out}")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    from .experiments import ALL_DATASETS, dataset_size
+
+    print(f"{'name':<12}{'tier':<10}{'n_users':>10}{'horizon':>9}")
+    for name in ALL_DATASETS:
+        for tier in ("smoke", "default", "paper"):
+            n, t = dataset_size(name, tier)
+            print(f"{name:<12}{tier:<10}{n:>10}{t:>9}")
+    return 0
+
+
+def _cmd_methods(_args) -> int:
+    for name in available_mechanisms():
+        print(name.upper())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "table2": _cmd_table2,
+        "campaign": _cmd_campaign,
+        "datasets": _cmd_datasets,
+        "methods": _cmd_methods,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a consumer (e.g. `head`) that closed early.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Collection engine: the simulated client/server system.
+
+* :class:`Collector` / :class:`TimestepContext` — execute FO rounds,
+  meter communication.
+* :class:`WEventAccountant` — runtime ``w``-event LDP budget ledger.
+* :class:`UserPool` — disjoint-group sampling with recycling.
+* :func:`run_stream` — session driver returning :class:`SessionResult`.
+"""
+
+from .accountant import WEventAccountant
+from .collector import Collector, TimestepContext
+from .population import UserPool
+from .records import (
+    STRATEGY_APPROXIMATE,
+    STRATEGY_NULLIFIED,
+    STRATEGY_PUBLISH,
+    SessionResult,
+    StepRecord,
+)
+from .session import run_stream
+
+__all__ = [
+    "WEventAccountant",
+    "Collector",
+    "TimestepContext",
+    "UserPool",
+    "SessionResult",
+    "StepRecord",
+    "STRATEGY_PUBLISH",
+    "STRATEGY_APPROXIMATE",
+    "STRATEGY_NULLIFIED",
+    "run_stream",
+]

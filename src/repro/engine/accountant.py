@@ -1,0 +1,121 @@
+"""Runtime ``w``-event LDP accountant.
+
+The accountant is the library's privacy safety net.  Every collection round
+the engine executes is charged here, per user, and the invariant of
+Definition 4.2 / Theorem 5.1 — *no user's privacy spend over any window of
+``w`` consecutive timestamps exceeds epsilon* — is re-checked **at
+runtime**.  A mechanism bug that would overspend raises
+:class:`~repro.exceptions.PrivacyViolationError` immediately instead of
+silently producing a non-private trace, and the test suite leans on this:
+integration tests simply run every mechanism with the accountant armed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError, PrivacyViolationError
+
+#: Numerical slack for floating-point budget sums.
+_TOLERANCE = 1e-9
+
+
+class WEventAccountant:
+    """Per-user sliding-window privacy ledger.
+
+    Parameters
+    ----------
+    n_users:
+        Population size.
+    epsilon:
+        Total ``w``-event budget each user may spend in any window.
+    window:
+        Window size ``w``.
+    enforce:
+        If True (default) raise on violation; if False only record the
+        maximal observed window spend (useful to *demonstrate* that a
+        deliberately broken mechanism overspends).
+    """
+
+    def __init__(
+        self, n_users: int, epsilon: float, window: int, enforce: bool = True
+    ):
+        if n_users <= 0:
+            raise InvalidParameterError(f"n_users must be positive, got {n_users}")
+        if epsilon <= 0:
+            raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+        if window <= 0:
+            raise InvalidParameterError(f"window must be positive, got {window}")
+        self.n_users = int(n_users)
+        self.epsilon = float(epsilon)
+        self.window = int(window)
+        self.enforce = bool(enforce)
+        # Current spend per user over the active window.
+        self._window_spend = np.zeros(self.n_users, dtype=np.float64)
+        # (t, user_ids_or_None, eps) for every charge inside the window.
+        self._charges: Deque[Tuple[int, Optional[np.ndarray], float]] = deque()
+        self._current_t = -1
+        self.max_window_spend = 0.0
+        self.total_charges = 0
+
+    # ------------------------------------------------------------------
+    def charge(self, t: int, user_ids: Optional[np.ndarray], epsilon: float) -> None:
+        """Charge ``epsilon`` to ``user_ids`` (or everyone) at timestamp ``t``.
+
+        Raises :class:`PrivacyViolationError` if any charged user's spend
+        over ``[t - w + 1, t]`` would exceed the total budget.
+        """
+        if epsilon < 0:
+            raise InvalidParameterError(f"cannot charge negative budget {epsilon}")
+        if t < self._current_t:
+            raise InvalidParameterError(
+                f"accountant charges must be time-ordered; got t={t} after "
+                f"t={self._current_t}"
+            )
+        self._advance(t)
+        if epsilon == 0:
+            return
+        if user_ids is None:
+            self._window_spend += epsilon
+            touched_max = float(self._window_spend.max())
+        else:
+            user_ids = np.asarray(user_ids, dtype=np.int64)
+            if user_ids.size == 0:
+                return
+            if user_ids.min() < 0 or user_ids.max() >= self.n_users:
+                raise InvalidParameterError("user ids outside population")
+            self._window_spend[user_ids] += epsilon
+            touched_max = float(self._window_spend[user_ids].max())
+        self._charges.append((t, user_ids, float(epsilon)))
+        self.total_charges += 1
+        self.max_window_spend = max(self.max_window_spend, touched_max)
+        if self.enforce and touched_max > self.epsilon + _TOLERANCE:
+            raise PrivacyViolationError(
+                f"w-event LDP violated at t={t}: a user's window spend reached "
+                f"{touched_max:.6f} > epsilon={self.epsilon:.6f} (w={self.window})"
+            )
+
+    def window_spend(self, user_id: int) -> float:
+        """Current window spend of a single user."""
+        return float(self._window_spend[user_id])
+
+    def spend_snapshot(self) -> np.ndarray:
+        """Copy of every user's current window spend."""
+        return self._window_spend.copy()
+
+    # ------------------------------------------------------------------
+    def _advance(self, t: int) -> None:
+        """Evict charges that fell out of the window ending at ``t``."""
+        self._current_t = max(self._current_t, t)
+        cutoff = t - self.window + 1
+        while self._charges and self._charges[0][0] < cutoff:
+            _, ids, eps = self._charges.popleft()
+            if ids is None:
+                self._window_spend -= eps
+            else:
+                self._window_spend[ids] -= eps
+        # Guard against floating point drift.
+        np.clip(self._window_spend, 0.0, None, out=self._window_spend)

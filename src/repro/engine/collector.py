@@ -1,0 +1,109 @@
+"""The collection engine: the only place raw user values are touched.
+
+Mechanisms are *server-side strategies*.  They decide who reports and with
+which budget, but the perturbation itself — the client side of Figures 2
+and 3 — happens here, so that privacy accounting and communication metering
+cannot be bypassed:
+
+* every collection round charges the :class:`WEventAccountant`;
+* every report increments the communication counter that backs the CFPU
+  metric of Sections 5.4.3 / 6.3.3.
+
+``fast=True`` uses the oracles' exact count-level samplers
+(:meth:`~repro.freq_oracles.base.FrequencyOracle.sample_aggregate`);
+``fast=False`` runs the literal per-user protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..freq_oracles import FOEstimate, FrequencyOracle, get_oracle
+from ..rng import SeedLike, ensure_rng
+from ..streams.base import StreamDataset
+from .accountant import WEventAccountant
+
+
+class Collector:
+    """Executes LDP collection rounds against a stream dataset."""
+
+    def __init__(
+        self,
+        dataset: StreamDataset,
+        oracle: FrequencyOracle,
+        accountant: Optional[WEventAccountant],
+        rng: SeedLike = None,
+        fast: bool = True,
+    ):
+        self.dataset = dataset
+        self.oracle = get_oracle(oracle)
+        self.accountant = accountant
+        self.rng = ensure_rng(rng)
+        self.fast = bool(fast)
+        self.total_reports = 0
+
+    def collect(
+        self,
+        t: int,
+        epsilon: float,
+        user_ids: Optional[np.ndarray] = None,
+    ) -> FOEstimate:
+        """Run one FO round at timestamp ``t``.
+
+        ``user_ids=None`` means *all* users report (budget division);
+        otherwise only the given group reports (population division), each
+        with budget ``epsilon``.
+        """
+        values = self.dataset.values(t)
+        if user_ids is not None:
+            user_ids = np.asarray(user_ids, dtype=np.int64)
+            if user_ids.size == 0:
+                raise InvalidParameterError("cannot collect from an empty group")
+            values = values[user_ids]
+        n = int(values.shape[0])
+        if self.accountant is not None:
+            self.accountant.charge(t, user_ids, epsilon)
+        self.total_reports += n
+        d = self.dataset.domain_size
+        if self.fast:
+            counts = np.bincount(values, minlength=d)
+            return self.oracle.sample_aggregate(counts, epsilon, rng=self.rng)
+        reports = self.oracle.perturb(values, d, epsilon, rng=self.rng)
+        return self.oracle.aggregate(reports, d, epsilon)
+
+
+class TimestepContext:
+    """Per-timestamp facade handed to mechanisms.
+
+    Binds the current timestamp so a mechanism cannot accidentally collect
+    against the wrong ``t``, and exposes only what a server-side strategy
+    legitimately needs: collection rounds plus static session facts.
+    """
+
+    def __init__(self, collector: Collector, t: int):
+        self._collector = collector
+        self.t = int(t)
+
+    @property
+    def n_users(self) -> int:
+        """Total population size ``N``."""
+        return self._collector.dataset.n_users
+
+    @property
+    def domain_size(self) -> int:
+        """Domain size ``d``."""
+        return self._collector.dataset.domain_size
+
+    @property
+    def oracle(self) -> FrequencyOracle:
+        """The frequency oracle in use (for closed-form error prediction)."""
+        return self._collector.oracle
+
+    def collect(
+        self, epsilon: float, user_ids: Optional[np.ndarray] = None
+    ) -> FOEstimate:
+        """Collect LDP reports at the bound timestamp."""
+        return self._collector.collect(self.t, epsilon, user_ids)

@@ -1,0 +1,105 @@
+"""Result records produced by streaming sessions.
+
+These dataclasses are the library's observable output: one
+:class:`StepRecord` per timestamp and a :class:`SessionResult` per run.
+Benchmarks and the experiment harness consume them; they deliberately carry
+everything needed to compute every metric in Section 7 (MRE, ROC series,
+CFPU) without re-running the mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+#: Strategy labels used by all mechanisms.
+STRATEGY_PUBLISH = "publish"
+STRATEGY_APPROXIMATE = "approximate"
+STRATEGY_NULLIFIED = "nullified"
+
+
+@dataclass
+class StepRecord:
+    """Everything a mechanism did at one timestamp.
+
+    Attributes
+    ----------
+    t:
+        Timestamp (0-based).
+    release:
+        The released histogram ``r_t``.
+    strategy:
+        One of ``publish`` / ``approximate`` / ``nullified``.
+    publication_epsilon:
+        Budget used by the publication sub-mechanism M2 (0 when
+        approximating; the *full* epsilon under population division).
+    publication_users:
+        Number of users who reported in M2 (0 when approximating).
+    dissimilarity_users:
+        Number of users who reported in M1 (0 for non-adaptive methods).
+    reports:
+        Total reports sent at this timestamp (drives CFPU).
+    dis / err:
+        Estimated dissimilarity and potential publication error compared by
+        the private strategy determination (NaN for non-adaptive methods).
+    """
+
+    t: int
+    release: np.ndarray
+    strategy: str
+    publication_epsilon: float = 0.0
+    publication_users: int = 0
+    dissimilarity_users: int = 0
+    reports: int = 0
+    dis: float = float("nan")
+    err: float = float("nan")
+
+
+@dataclass
+class SessionResult:
+    """Output of one full streaming session.
+
+    ``releases`` and ``true_frequencies`` are (T, d) matrices aligned by
+    timestamp; ``records`` preserves per-step metadata.
+    """
+
+    mechanism: str
+    oracle: str
+    epsilon: float
+    window: int
+    n_users: int
+    domain_size: int
+    releases: np.ndarray
+    true_frequencies: np.ndarray
+    records: List[StepRecord] = field(default_factory=list)
+    total_reports: int = 0
+    max_window_spend: float = 0.0
+
+    @property
+    def horizon(self) -> int:
+        """Number of timestamps in the session."""
+        return int(self.releases.shape[0])
+
+    @property
+    def cfpu(self) -> float:
+        """Communication frequency per user (Sections 5.4.3 / 6.3.3):
+        average reports per user per timestamp."""
+        if self.horizon == 0 or self.n_users == 0:
+            return 0.0
+        return self.total_reports / (self.n_users * self.horizon)
+
+    @property
+    def publication_count(self) -> int:
+        """Number of timestamps where a fresh publication occurred."""
+        return sum(1 for r in self.records if r.strategy == STRATEGY_PUBLISH)
+
+    @property
+    def publication_rate(self) -> float:
+        """Fraction of timestamps with fresh publications."""
+        return self.publication_count / max(1, self.horizon)
+
+    def errors(self) -> np.ndarray:
+        """Per-timestamp, per-cell release errors ``r_t - c_t``."""
+        return self.releases - self.true_frequencies

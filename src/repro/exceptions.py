@@ -1,0 +1,33 @@
+"""Exception hierarchy for the LDP-IDS reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its legal range (e.g. a non-positive budget)."""
+
+
+class PrivacyViolationError(ReproError):
+    """A mechanism attempted to exceed its ``w``-event LDP budget.
+
+    Raised by :class:`repro.engine.accountant.WEventAccountant` the moment a
+    collection round would push some user's sliding-window privacy spend
+    above the total budget epsilon.  This error firing in a test means the
+    mechanism under test is *not* ``w``-event LDP.
+    """
+
+
+class PopulationExhaustedError(ReproError):
+    """A population-division mechanism asked for more users than available."""
+
+
+class StreamAccessError(ReproError):
+    """A stream was accessed out of order or outside its valid horizon."""

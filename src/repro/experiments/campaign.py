@@ -1,0 +1,124 @@
+"""Full evaluation campaign: regenerate every figure and table in one call.
+
+:func:`run_campaign` executes the complete Section-7 evaluation at a chosen
+size tier, writes one text artifact per figure/table (plus CSV series for
+external plotting) into an output directory, and returns the in-memory
+results.  The CLI exposes it as ``python -m repro campaign``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..io import series_to_csv
+from ..rng import SeedLike
+from .figures import (
+    fig4_utility_vs_epsilon,
+    fig5_utility_vs_window,
+    fig6_fluctuation,
+    fig6_population,
+    fig7_event_monitoring,
+    fig8_communication,
+)
+from .reporting import (
+    format_figure,
+    format_roc_summary,
+    format_table2,
+)
+from .tables import PAPER_TABLE2, table2_cfpu
+
+PathLike = Union[str, Path]
+
+#: Campaign artifact names, in run order.
+ARTIFACTS = (
+    "fig4",
+    "fig5",
+    "fig6_population",
+    "fig6_fluctuation",
+    "fig7",
+    "fig8",
+    "table2",
+)
+
+
+def run_campaign(
+    output_dir: Optional[PathLike] = None,
+    size: str = "smoke",
+    repeats: int = 1,
+    seed: SeedLike = 0,
+    verbose: bool = True,
+) -> Dict[str, object]:
+    """Run the full evaluation; optionally write artifacts to ``output_dir``.
+
+    Returns a dict with one entry per artifact name in :data:`ARTIFACTS`
+    holding the raw series, plus ``"elapsed_seconds"``.
+    """
+    out = Path(output_dir) if output_dir is not None else None
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+
+    def emit(name: str, text: str, series=None) -> None:
+        if verbose:
+            print(f"== {name} ==")
+            print(text)
+            print()
+        if out is not None:
+            (out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+            if series is not None:
+                series_to_csv(series, out / f"{name}.csv")
+
+    started = time.time()
+    results: Dict[str, object] = {}
+
+    results["fig4"] = fig4_utility_vs_epsilon(size=size, repeats=repeats, seed=seed)
+    emit("fig4", format_figure(results["fig4"], x_label="epsilon"), results["fig4"])
+
+    results["fig5"] = fig5_utility_vs_window(size=size, repeats=repeats, seed=seed)
+    emit("fig5", format_figure(results["fig5"], x_label="w"), results["fig5"])
+
+    # fig6/fig8 take explicit workload parameters rather than a size tier;
+    # shrink them for smoke campaigns so CI stays fast.
+    small = size == "smoke"
+    fig6_kwargs = (
+        {"populations": (2_000, 4_000, 8_000), "horizon": 60} if small else {}
+    )
+    fig6_fluct_kwargs = {"n_users": 6_000, "horizon": 60} if small else {}
+    fig8_kwargs = (
+        {"populations": (2_000, 4_000), "n_users": 6_000, "horizon": 60}
+        if small
+        else {}
+    )
+
+    results["fig6_population"] = fig6_population(
+        repeats=repeats, seed=seed, **fig6_kwargs
+    )
+    emit(
+        "fig6_population",
+        format_figure(results["fig6_population"], x_label="N"),
+        results["fig6_population"],
+    )
+
+    results["fig6_fluctuation"] = fig6_fluctuation(
+        repeats=repeats, seed=seed, **fig6_fluct_kwargs
+    )
+    emit(
+        "fig6_fluctuation",
+        format_figure(results["fig6_fluctuation"], x_label="fluctuation"),
+        results["fig6_fluctuation"],
+    )
+
+    results["fig7"] = fig7_event_monitoring(size=size, seed=seed)
+    emit("fig7", format_roc_summary(results["fig7"]))
+
+    results["fig8"] = fig8_communication(seed=seed, **fig8_kwargs)
+    emit("fig8", format_figure(results["fig8"], x_label="x"), results["fig8"])
+
+    results["table2"] = table2_cfpu(size=size, seed=seed)
+    emit("table2", format_table2(results["table2"], PAPER_TABLE2))
+
+    results["elapsed_seconds"] = time.time() - started
+    if verbose:
+        print(f"campaign finished in {results['elapsed_seconds']:.1f}s")
+    return results

@@ -1,0 +1,254 @@
+"""Series generators for every figure in Section 7.
+
+Each ``figN_*`` function regenerates the data series behind the paper's
+figure — the same methods, the same x-axes, the same metric — and returns a
+plain nested dict that :mod:`repro.experiments.reporting` can print.  The
+paper's exact parameter values are the defaults; sizes default to the
+``default`` tier of :mod:`repro.experiments.datasets` (scaled, shape
+preserving) and can be raised to ``paper``.
+
+Figure index (see DESIGN.md for the full mapping):
+
+* Fig. 4 — MRE vs epsilon, w = 20, 6 datasets, 7 methods;
+* Fig. 5 — MRE vs window, eps = 1, 6 datasets, 7 methods;
+* Fig. 6 — MRE vs population N and fluctuation (Q, b), eps = 1, w = 30;
+* Fig. 7 — event-monitoring ROC curves, eps = 1, w = 50;
+* Fig. 8 — CFPU vs N, Q, eps, w on LNS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..analysis import ROCCurve, monitoring_roc
+from ..mechanisms import ALL_METHODS
+from ..rng import SeedLike, ensure_rng
+from .datasets import ALL_DATASETS, make_dataset
+from .runner import evaluate, run_single
+
+#: Methods on the paper's Fig. 7 ROC plots.
+FIG7_METHODS = ("LBA", "LSP", "LPU", "LPD", "LPA")
+
+SeriesDict = Dict[str, Dict[str, Dict[float, float]]]
+
+
+def _seed_stream(seed: SeedLike):
+    rng = ensure_rng(seed)
+
+    def next_seed() -> int:
+        return int(rng.integers(0, 2**31 - 1))
+
+    return next_seed
+
+
+def fig4_utility_vs_epsilon(
+    datasets: Sequence[str] = ALL_DATASETS,
+    methods: Sequence[str] = ALL_METHODS,
+    epsilons: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 2.5),
+    window: int = 20,
+    size: str = "default",
+    repeats: int = 1,
+    seed: SeedLike = 0,
+) -> SeriesDict:
+    """Fig. 4: ``series[dataset][method][epsilon] = MRE``."""
+    next_seed = _seed_stream(seed)
+    series: SeriesDict = {}
+    for name in datasets:
+        dataset = make_dataset(name, size=size, seed=next_seed())
+        series[name] = {}
+        for method in methods:
+            series[name][method] = {}
+            for epsilon in epsilons:
+                cell = evaluate(
+                    method,
+                    dataset,
+                    epsilon,
+                    window,
+                    seed=next_seed(),
+                    repeats=repeats,
+                )
+                series[name][method][epsilon] = cell.mre
+    return series
+
+
+def fig5_utility_vs_window(
+    datasets: Sequence[str] = ALL_DATASETS,
+    methods: Sequence[str] = ALL_METHODS,
+    windows: Sequence[int] = (10, 20, 30, 40, 50),
+    epsilon: float = 1.0,
+    size: str = "default",
+    repeats: int = 1,
+    seed: SeedLike = 0,
+) -> SeriesDict:
+    """Fig. 5: ``series[dataset][method][window] = MRE``."""
+    next_seed = _seed_stream(seed)
+    series: SeriesDict = {}
+    for name in datasets:
+        dataset = make_dataset(name, size=size, seed=next_seed())
+        series[name] = {}
+        for method in methods:
+            series[name][method] = {}
+            for window in windows:
+                cell = evaluate(
+                    method,
+                    dataset,
+                    epsilon,
+                    window,
+                    seed=next_seed(),
+                    repeats=repeats,
+                )
+                series[name][method][window] = cell.mre
+    return series
+
+
+def fig6_population(
+    populations: Sequence[int] = (10_000, 20_000, 40_000, 80_000),
+    datasets: Sequence[str] = ("LNS", "Sin"),
+    methods: Sequence[str] = ALL_METHODS,
+    epsilon: float = 1.0,
+    window: int = 30,
+    horizon: int = 200,
+    repeats: int = 1,
+    seed: SeedLike = 0,
+) -> SeriesDict:
+    """Fig. 6(a,b): MRE vs population N (frequency process held fixed).
+
+    The paper's x-axis is {1e5, 2e5, 4e5, 8e5}; the default here is the
+    same geometric ladder scaled by 10 for bench speed.
+    """
+    next_seed = _seed_stream(seed)
+    series: SeriesDict = {}
+    for name in datasets:
+        process_seed = next_seed()
+        series[name] = {method: {} for method in methods}
+        for n_users in populations:
+            dataset = make_dataset(
+                name, n_users=n_users, horizon=horizon, seed=process_seed
+            )
+            for method in methods:
+                cell = evaluate(
+                    method,
+                    dataset,
+                    epsilon,
+                    window,
+                    seed=next_seed(),
+                    repeats=repeats,
+                )
+                series[name][method][float(n_users)] = cell.mre
+    return series
+
+
+def fig6_fluctuation(
+    q_values: Sequence[float] = (0.001, 0.002, 0.004, 0.008),
+    b_values: Sequence[float] = (1 / 200, 1 / 100, 1 / 50, 1 / 25),
+    methods: Sequence[str] = ALL_METHODS,
+    epsilon: float = 1.0,
+    window: int = 30,
+    n_users: int = 20_000,
+    horizon: int = 200,
+    repeats: int = 1,
+    seed: SeedLike = 0,
+) -> SeriesDict:
+    """Fig. 6(c,d): MRE vs fluctuation — sqrt(Q) for LNS and b for Sin."""
+    next_seed = _seed_stream(seed)
+    series: SeriesDict = {"LNS": {m: {} for m in methods}, "Sin": {m: {} for m in methods}}
+    for q_std in q_values:
+        dataset = make_dataset(
+            "LNS", n_users=n_users, horizon=horizon, q_std=q_std, seed=next_seed()
+        )
+        for method in methods:
+            cell = evaluate(
+                method, dataset, epsilon, window, seed=next_seed(), repeats=repeats
+            )
+            series["LNS"][method][q_std] = cell.mre
+    for b in b_values:
+        dataset = make_dataset(
+            "Sin", n_users=n_users, horizon=horizon, b=b, seed=next_seed()
+        )
+        for method in methods:
+            cell = evaluate(
+                method, dataset, epsilon, window, seed=next_seed(), repeats=repeats
+            )
+            series["Sin"][method][b] = cell.mre
+    return series
+
+
+def fig7_event_monitoring(
+    datasets: Sequence[str] = ALL_DATASETS,
+    methods: Sequence[str] = FIG7_METHODS,
+    epsilon: float = 1.0,
+    window: int = 50,
+    size: str = "default",
+    seed: SeedLike = 0,
+) -> Dict[str, Dict[str, ROCCurve]]:
+    """Fig. 7: ``curves[dataset][method]`` = ROC curve (with ``.auc``)."""
+    next_seed = _seed_stream(seed)
+    curves: Dict[str, Dict[str, ROCCurve]] = {}
+    for name in datasets:
+        dataset = make_dataset(name, size=size, seed=next_seed())
+        curves[name] = {}
+        for method in methods:
+            result = run_single(
+                method, dataset, epsilon, window, seed=next_seed()
+            )
+            curves[name][method] = monitoring_roc(
+                result.releases, result.true_frequencies
+            )
+    return curves
+
+
+def fig8_communication(
+    methods: Sequence[str] = ALL_METHODS,
+    populations: Sequence[int] = (5_000, 10_000, 15_000, 20_000),
+    q_values: Sequence[float] = (0.01, 0.02, 0.04, 0.08),
+    epsilons: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+    windows: Sequence[int] = (10, 20, 30, 40),
+    n_users: int = 20_000,
+    horizon: int = 200,
+    epsilon: float = 1.0,
+    window: int = 20,
+    repeats: int = 1,
+    seed: SeedLike = 0,
+) -> Dict[str, SeriesDict]:
+    """Fig. 8(a-d): CFPU on LNS vs N, Q, epsilon and window.
+
+    Returns ``panels[panel][method][x] = CFPU`` with panels
+    ``"N"``, ``"Q"``, ``"epsilon"``, ``"window"``.
+    """
+    next_seed = _seed_stream(seed)
+    panels: Dict[str, Dict[str, Dict[float, float]]] = {
+        "N": {m: {} for m in methods},
+        "Q": {m: {} for m in methods},
+        "epsilon": {m: {} for m in methods},
+        "window": {m: {} for m in methods},
+    }
+    for n in populations:
+        dataset = make_dataset("LNS", n_users=n, horizon=horizon, seed=next_seed())
+        for method in methods:
+            cell = evaluate(
+                method, dataset, epsilon, window, seed=next_seed(), repeats=repeats
+            )
+            panels["N"][method][float(n)] = cell.cfpu
+    for q_std in q_values:
+        dataset = make_dataset(
+            "LNS", n_users=n_users, horizon=horizon, q_std=q_std, seed=next_seed()
+        )
+        for method in methods:
+            cell = evaluate(
+                method, dataset, epsilon, window, seed=next_seed(), repeats=repeats
+            )
+            panels["Q"][method][q_std] = cell.cfpu
+    base = make_dataset("LNS", n_users=n_users, horizon=horizon, seed=next_seed())
+    for eps in epsilons:
+        for method in methods:
+            cell = evaluate(
+                method, base, eps, window, seed=next_seed(), repeats=repeats
+            )
+            panels["epsilon"][method][eps] = cell.cfpu
+    for w in windows:
+        for method in methods:
+            cell = evaluate(
+                method, base, epsilon, w, seed=next_seed(), repeats=repeats
+            )
+            panels["window"][method][float(w)] = cell.cfpu
+    return panels

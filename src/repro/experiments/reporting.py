@@ -1,0 +1,92 @@
+"""Plain-text rendering of experiment series — the "figures" of this repo.
+
+Every generator in :mod:`repro.experiments.figures` / ``tables`` returns
+nested dicts; these helpers format them as aligned text tables so bench
+output reads like the paper's figures (one row per method, one column per
+x-value).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..analysis.monitoring import ROCCurve
+
+
+def format_series_table(
+    series: Mapping[str, Mapping[float, float]],
+    x_label: str = "x",
+    value_format: str = "{:.4f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``{method: {x: value}}`` as an aligned text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    xs = sorted({x for per_method in series.values() for x in per_method})
+    header = [x_label.ljust(12)] + [f"{x:g}".rjust(10) for x in xs]
+    lines.append(" ".join(header))
+    for method, per_x in series.items():
+        row = [str(method).ljust(12)]
+        for x in xs:
+            value = per_x.get(x)
+            row.append(
+                (value_format.format(value) if value is not None else "-").rjust(10)
+            )
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def format_figure(
+    figure: Mapping[str, Mapping[str, Mapping[float, float]]],
+    x_label: str = "x",
+    value_format: str = "{:.4f}",
+) -> str:
+    """Render ``{panel: {method: {x: value}}}`` (one table per panel)."""
+    blocks = [
+        format_series_table(
+            methods, x_label=x_label, value_format=value_format, title=f"== {panel} =="
+        )
+        for panel, methods in figure.items()
+    ]
+    return "\n\n".join(blocks)
+
+
+def format_roc_summary(
+    curves: Mapping[str, Mapping[str, ROCCurve]]
+) -> str:
+    """Render Fig. 7 output as an AUC table (dataset × method)."""
+    datasets = list(curves)
+    methods: Sequence[str] = list(next(iter(curves.values())).keys()) if curves else []
+    lines = ["AUC".ljust(12) + " " + " ".join(m.rjust(8) for m in methods)]
+    for name in datasets:
+        row = [name.ljust(12)]
+        for method in methods:
+            curve = curves[name].get(method)
+            row.append((f"{curve.auc:.4f}" if curve is not None else "-").rjust(8))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def format_table2(
+    table: Mapping[tuple, Mapping[str, Mapping[str, float]]],
+    paper: Optional[Mapping[tuple, Mapping[str, Mapping[str, float]]]] = None,
+) -> str:
+    """Render Table 2 blocks, optionally side by side with paper values."""
+    blocks = []
+    for (epsilon, window), methods in table.items():
+        datasets = list(next(iter(methods.values())).keys())
+        lines = [f"== eps={epsilon:g}, w={window} =="]
+        lines.append("method".ljust(8) + " " + " ".join(d.rjust(12) for d in datasets))
+        for method, per_dataset in methods.items():
+            row = [method.ljust(8)]
+            for name in datasets:
+                measured = per_dataset[name]
+                if paper is not None:
+                    reference = paper[(epsilon, window)][method][name]
+                    row.append(f"{measured:.4f}/{reference:.4f}".rjust(12))
+                else:
+                    row.append(f"{measured:.4f}".rjust(12))
+            lines.append(" ".join(row))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

@@ -1,0 +1,169 @@
+"""Experiment runner: evaluate mechanisms over parameter grids.
+
+The figure/table generators in :mod:`repro.experiments.figures` and
+:mod:`repro.experiments.tables` are thin loops over :func:`evaluate`,
+which runs one (mechanism, dataset, epsilon, window) cell — optionally
+averaged over repeats with distinct seeds — and returns every metric of
+Section 7.1.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..analysis import (
+    mean_absolute_error,
+    mean_relative_error,
+    mean_squared_error,
+    monitoring_roc,
+)
+from ..engine import SessionResult, run_stream
+from ..exceptions import InvalidParameterError
+from ..rng import SeedLike, ensure_rng
+from ..streams.base import GenerativeStream, StreamDataset
+
+
+@dataclass
+class CellResult:
+    """Averaged metrics for one experiment grid cell."""
+
+    mechanism: str
+    epsilon: float
+    window: int
+    mre: float
+    mae: float
+    mse: float
+    cfpu: float
+    publication_rate: float
+    auc: float = float("nan")
+    repeats: int = 1
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mre": self.mre,
+            "mae": self.mae,
+            "mse": self.mse,
+            "cfpu": self.cfpu,
+            "publication_rate": self.publication_rate,
+            "auc": self.auc,
+        }
+
+
+def _fresh_dataset(dataset: StreamDataset) -> StreamDataset:
+    """Rewind generative streams so each repeat replays from t = 0."""
+    if isinstance(dataset, GenerativeStream):
+        dataset.reset()
+    return dataset
+
+
+def run_single(
+    mechanism,
+    dataset: StreamDataset,
+    epsilon: float,
+    window: int,
+    oracle="grr",
+    seed: SeedLike = None,
+    horizon: Optional[int] = None,
+) -> SessionResult:
+    """Run one session (rewinding generative streams first)."""
+    return run_stream(
+        mechanism,
+        _fresh_dataset(dataset),
+        epsilon=epsilon,
+        window=window,
+        horizon=horizon,
+        oracle=oracle,
+        seed=seed,
+    )
+
+
+def evaluate(
+    mechanism,
+    dataset: StreamDataset,
+    epsilon: float,
+    window: int,
+    oracle="grr",
+    seed: SeedLike = None,
+    repeats: int = 1,
+    with_roc: bool = False,
+    horizon: Optional[int] = None,
+) -> CellResult:
+    """Run ``repeats`` sessions and average all metrics."""
+    if repeats < 1:
+        raise InvalidParameterError(f"repeats must be >= 1, got {repeats}")
+    rng = ensure_rng(seed)
+    mres, maes, mses, cfpus, pub_rates, aucs = [], [], [], [], [], []
+    for _ in range(repeats):
+        run_seed = int(rng.integers(0, 2**31 - 1))
+        result = run_single(
+            mechanism,
+            dataset,
+            epsilon,
+            window,
+            oracle=oracle,
+            seed=run_seed,
+            horizon=horizon,
+        )
+        mres.append(mean_relative_error(result.releases, result.true_frequencies))
+        maes.append(mean_absolute_error(result.releases, result.true_frequencies))
+        mses.append(mean_squared_error(result.releases, result.true_frequencies))
+        cfpus.append(result.cfpu)
+        pub_rates.append(result.publication_rate)
+        if with_roc:
+            try:
+                aucs.append(
+                    monitoring_roc(result.releases, result.true_frequencies).auc
+                )
+            except InvalidParameterError:
+                pass  # degenerate truth (no events); AUC stays NaN
+    name = result.mechanism
+    return CellResult(
+        mechanism=name,
+        epsilon=float(epsilon),
+        window=int(window),
+        mre=float(np.mean(mres)),
+        mae=float(np.mean(maes)),
+        mse=float(np.mean(mses)),
+        cfpu=float(np.mean(cfpus)),
+        publication_rate=float(np.mean(pub_rates)),
+        auc=float(np.mean(aucs)) if aucs else float("nan"),
+        repeats=repeats,
+    )
+
+
+def sweep(
+    mechanisms: Iterable[str],
+    dataset: StreamDataset,
+    *,
+    epsilons: Iterable[float] = (1.0,),
+    windows: Iterable[int] = (20,),
+    oracle="grr",
+    seed: SeedLike = None,
+    repeats: int = 1,
+    with_roc: bool = False,
+) -> Dict[str, Dict[tuple, CellResult]]:
+    """Full grid: mechanism × epsilon × window → :class:`CellResult`.
+
+    Result keys are ``results[mechanism][(epsilon, window)]``.
+    """
+    rng = ensure_rng(seed)
+    results: Dict[str, Dict[tuple, CellResult]] = {}
+    for mechanism in mechanisms:
+        per_cell: Dict[tuple, CellResult] = {}
+        for epsilon in epsilons:
+            for window in windows:
+                per_cell[(epsilon, window)] = evaluate(
+                    mechanism,
+                    dataset,
+                    epsilon,
+                    window,
+                    oracle=oracle,
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                    repeats=repeats,
+                    with_roc=with_roc,
+                )
+        results[str(mechanism)] = per_cell
+    return results

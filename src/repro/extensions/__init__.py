@@ -1,0 +1,16 @@
+"""Extensions beyond the paper's seven methods (Remark 3 realized):
+population-division FAST (:class:`LPF`) and post-release smoothing."""
+
+from .ldp_fast import LPF
+from .smoothing import (
+    adaptive_group_smoothing,
+    exponential_smoothing,
+    moving_average,
+)
+
+__all__ = [
+    "LPF",
+    "moving_average",
+    "exponential_smoothing",
+    "adaptive_group_smoothing",
+]

@@ -1,0 +1,79 @@
+"""Post-release smoothing for LDP streams (PeGaSus-style, Remark 3).
+
+Smoothing a released stream is pure post-processing, so it never costs
+privacy.  These helpers shrink the per-timestamp LDP noise on stable
+segments, trading a little lag around change points — useful on top of the
+high-noise budget-division methods in particular.
+
+* :func:`moving_average` — fixed-width trailing mean;
+* :func:`exponential_smoothing` — EWMA with configurable decay;
+* :func:`adaptive_group_smoothing` — PeGaSus' Smoother applied to an LDP
+  trace: grow a group while the released values stay within a noise-scaled
+  deviation, average within groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+
+def moving_average(releases: np.ndarray, width: int) -> np.ndarray:
+    """Trailing moving average over the time axis of a (T, d) trace."""
+    if width < 1:
+        raise InvalidParameterError(f"width must be >= 1, got {width}")
+    trace = np.asarray(releases, dtype=np.float64)
+    if trace.ndim != 2:
+        raise InvalidParameterError("releases must be (T, d)")
+    out = np.empty_like(trace)
+    cumulative = np.cumsum(trace, axis=0)
+    for t in range(trace.shape[0]):
+        start = max(0, t - width + 1)
+        total = cumulative[t] - (cumulative[start - 1] if start > 0 else 0.0)
+        out[t] = total / (t - start + 1)
+    return out
+
+
+def exponential_smoothing(releases: np.ndarray, alpha: float) -> np.ndarray:
+    """EWMA: ``s_t = alpha * r_t + (1 - alpha) * s_{t-1}``."""
+    if not 0.0 < alpha <= 1.0:
+        raise InvalidParameterError(f"alpha must be in (0, 1], got {alpha}")
+    trace = np.asarray(releases, dtype=np.float64)
+    if trace.ndim != 2:
+        raise InvalidParameterError("releases must be (T, d)")
+    out = np.empty_like(trace)
+    out[0] = trace[0]
+    for t in range(1, trace.shape[0]):
+        out[t] = alpha * trace[t] + (1.0 - alpha) * out[t - 1]
+    return out
+
+
+def adaptive_group_smoothing(
+    releases: np.ndarray, noise_std: float, z: float = 2.0
+) -> np.ndarray:
+    """PeGaSus-style grouping on a released LDP trace.
+
+    Grows a group while every released value in it stays within
+    ``z * noise_std`` of the group's running mean (i.e. the variation is
+    explained by noise alone), then replaces the group by its mean.  This
+    is deterministic post-processing of the private trace: no privacy cost.
+    """
+    if noise_std <= 0:
+        raise InvalidParameterError(f"noise_std must be positive, got {noise_std}")
+    trace = np.asarray(releases, dtype=np.float64)
+    if trace.ndim != 2:
+        raise InvalidParameterError("releases must be (T, d)")
+    horizon, d = trace.shape
+    out = np.empty_like(trace)
+    tolerance = z * noise_std
+    for k in range(d):
+        start = 0
+        for t in range(horizon):
+            group = trace[start : t + 1, k]
+            if np.abs(group - group.mean()).max() > tolerance or t == horizon - 1:
+                out[start : t + 1, k] = group.mean()
+                start = t + 1
+        if start < horizon:
+            out[start:, k] = trace[start:, k].mean()
+    return out

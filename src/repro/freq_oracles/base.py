@@ -1,0 +1,208 @@
+"""Frequency-oracle (FO) abstraction.
+
+A frequency oracle is the LDP building block used throughout the paper
+(Section 3.4): each user holds a private value ``v`` in a categorical domain
+of size ``d`` and sends a randomized report; the aggregator turns the set of
+reports into an unbiased estimate of the value-frequency histogram.
+
+Two execution paths are provided by every oracle:
+
+``perturb``
+    Per-user simulation: maps an array of true values to an array of
+    reports.  This is the literal protocol and is used in unit and property
+    tests, and anywhere per-user artefacts matter.
+
+``sample_aggregate``
+    Count-level simulation: directly samples the aggregator's *perturbed
+    count vector* from its exact sampling distribution (sums of independent
+    Bernoullis become binomials/multinomials).  Statistically identical to
+    running ``perturb`` + counting, but orders of magnitude faster for the
+    large populations in the paper's experiments.  Property tests in
+    ``tests/property/test_fo_equivalence.py`` check the two paths agree.
+
+Both paths end in :meth:`FrequencyOracle.estimate`, the standard unbiased
+debiasing ``(c'/n - q) / (p - q)`` (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Type
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class FOEstimate:
+    """Result of one frequency-oracle aggregation round.
+
+    Attributes
+    ----------
+    frequencies:
+        Unbiased estimate of the *reporting group's* value frequencies, one
+        entry per domain element.  Not clipped and not normalised; see
+        :mod:`repro.freq_oracles.postprocess` for consistency steps.
+    n_reports:
+        Number of users that contributed a report.
+    epsilon:
+        Per-report LDP budget used for this round.
+    variance:
+        Closed-form per-cell estimation variance, averaged over the domain,
+        using the frequency-independent approximation of Eq. (2).
+    """
+
+    frequencies: np.ndarray
+    n_reports: int
+    epsilon: float
+    variance: float
+
+    @property
+    def domain_size(self) -> int:
+        return int(self.frequencies.shape[0])
+
+
+class FrequencyOracle(abc.ABC):
+    """Abstract base class for LDP frequency oracles over ``{0, ..., d-1}``.
+
+    Subclasses implement a specific randomized-response encoding.  Oracles
+    are stateless with respect to data: domain size and budget are passed per
+    call, so a single oracle instance can serve every round of a streaming
+    session (where the budget varies between rounds under budget division).
+    """
+
+    #: Registry name, e.g. ``"grr"``; set by subclasses.
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def perturb(
+        self,
+        values: np.ndarray,
+        domain_size: int,
+        epsilon: float,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """Perturb an integer array of true values; return per-user reports.
+
+        The report representation is oracle specific (a value for GRR, a bit
+        vector row for unary encodings) but is always consumable by
+        :meth:`aggregate`.
+        """
+
+    @abc.abstractmethod
+    def aggregate(
+        self,
+        reports: np.ndarray,
+        domain_size: int,
+        epsilon: float,
+    ) -> FOEstimate:
+        """Debias per-user reports into an unbiased frequency estimate."""
+
+    @abc.abstractmethod
+    def sample_aggregate(
+        self,
+        true_counts: np.ndarray,
+        epsilon: float,
+        rng: SeedLike = None,
+    ) -> FOEstimate:
+        """Sample an aggregation outcome directly from true per-value counts.
+
+        ``true_counts`` is the exact histogram of the reporting group's
+        values (length ``d``, sums to the group size).  The returned
+        estimate is distributed exactly as ``aggregate(perturb(...))``.
+        """
+
+    # ------------------------------------------------------------------
+    # Closed-form error model
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def variance(self, epsilon: float, n: int, domain_size: int) -> float:
+        """Mean per-cell estimation variance ``V(eps, n)``.
+
+        This is the frequency-independent form of Eq. (2) (the ``f_k`` term
+        enters with weight ``(1/d)·Σf_k = 1/d``), used to predict the
+        *potential publication error* before any data is collected
+        (Section 5.3.2).
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_epsilon(epsilon: float) -> float:
+        if not (isinstance(epsilon, (int, float)) and math.isfinite(epsilon)):
+            raise InvalidParameterError(f"epsilon must be finite, got {epsilon!r}")
+        if epsilon <= 0:
+            raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+        return float(epsilon)
+
+    @staticmethod
+    def _check_domain(domain_size: int) -> int:
+        if domain_size < 2:
+            raise InvalidParameterError(
+                f"domain_size must be at least 2, got {domain_size}"
+            )
+        return int(domain_size)
+
+    @staticmethod
+    def _check_values(values: np.ndarray, domain_size: int) -> np.ndarray:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise InvalidParameterError("values must be a 1-D integer array")
+        if values.size and (values.min() < 0 or values.max() >= domain_size):
+            raise InvalidParameterError(
+                "values contain entries outside [0, domain_size)"
+            )
+        return values.astype(np.int64, copy=False)
+
+    @staticmethod
+    def _debias(
+        perturbed_counts: np.ndarray, n: int, p: float, q: float
+    ) -> np.ndarray:
+        """Standard unbiased FO estimator ``(c'/n - q) / (p - q)``."""
+        if n <= 0:
+            raise InvalidParameterError("cannot aggregate zero reports")
+        return (perturbed_counts / n - q) / (p - q)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[FrequencyOracle]] = {}
+
+
+def register_oracle(cls: Type[FrequencyOracle]) -> Type[FrequencyOracle]:
+    """Class decorator adding an oracle to the by-name registry."""
+    if not cls.name:
+        raise InvalidParameterError(f"{cls.__name__} must define a name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_oracle(name_or_instance) -> FrequencyOracle:
+    """Resolve an oracle by registry name, class, or pass an instance through."""
+    if isinstance(name_or_instance, FrequencyOracle):
+        return name_or_instance
+    if isinstance(name_or_instance, type) and issubclass(
+        name_or_instance, FrequencyOracle
+    ):
+        return name_or_instance()
+    try:
+        return _REGISTRY[str(name_or_instance).lower()]()
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown frequency oracle {name_or_instance!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_oracles() -> list[str]:
+    """Names of all registered frequency oracles."""
+    return sorted(_REGISTRY)

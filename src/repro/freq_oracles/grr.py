@@ -1,0 +1,90 @@
+"""Generalized Randomized Response (GRR) frequency oracle.
+
+The paper's primary FO (Section 3.4, Eq. 1): a user with value ``v`` reports
+``v`` with probability ``p = e^eps / (e^eps + d - 1)`` and each other value
+with probability ``q = 1 / (e^eps + d - 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..rng import SeedLike, ensure_rng
+from .base import FOEstimate, FrequencyOracle, register_oracle
+from .variance import grr_mean_variance
+
+
+def grr_probabilities(epsilon: float, domain_size: int) -> tuple[float, float]:
+    """Return GRR's ``(p, q)`` keep/flip probabilities (Eq. 1)."""
+    e = math.exp(epsilon)
+    p = e / (e + domain_size - 1)
+    q = 1.0 / (e + domain_size - 1)
+    return p, q
+
+
+@register_oracle
+class GRR(FrequencyOracle):
+    """Generalized Randomized Response (a.k.a. k-RR / direct encoding)."""
+
+    name = "grr"
+
+    def perturb(self, values, domain_size, epsilon, rng: SeedLike = None):
+        epsilon = self._check_epsilon(epsilon)
+        domain_size = self._check_domain(domain_size)
+        values = self._check_values(values, domain_size)
+        rng = ensure_rng(rng)
+        p, _ = grr_probabilities(epsilon, domain_size)
+        n = values.shape[0]
+        keep = rng.random(n) < p
+        # A lying user reports uniformly among the d-1 *other* values: draw
+        # from d-1 slots and shift slots >= v up by one to skip v itself.
+        alternatives = rng.integers(0, domain_size - 1, size=n)
+        alternatives += (alternatives >= values).astype(np.int64)
+        return np.where(keep, values, alternatives)
+
+    def aggregate(self, reports, domain_size, epsilon) -> FOEstimate:
+        epsilon = self._check_epsilon(epsilon)
+        domain_size = self._check_domain(domain_size)
+        reports = self._check_values(reports, domain_size)
+        n = reports.shape[0]
+        p, q = grr_probabilities(epsilon, domain_size)
+        counts = np.bincount(reports, minlength=domain_size).astype(np.float64)
+        freqs = self._debias(counts, n, p, q)
+        return FOEstimate(
+            frequencies=freqs,
+            n_reports=n,
+            epsilon=epsilon,
+            variance=self.variance(epsilon, n, domain_size),
+        )
+
+    def sample_aggregate(self, true_counts, epsilon, rng: SeedLike = None):
+        epsilon = self._check_epsilon(epsilon)
+        true_counts = np.asarray(true_counts, dtype=np.int64)
+        domain_size = self._check_domain(true_counts.shape[0])
+        rng = ensure_rng(rng)
+        n = int(true_counts.sum())
+        p, q = grr_probabilities(epsilon, domain_size)
+
+        # Users with true value k keep it with prob p; the liars spread
+        # uniformly over the other d-1 values.  Summing the liar multinomials
+        # gives the exact distribution of the perturbed count vector.
+        keepers = rng.binomial(true_counts, p)
+        liars = true_counts - keepers
+        perturbed = keepers.astype(np.float64)
+        uniform_over_others = np.full(domain_size - 1, 1.0 / (domain_size - 1))
+        for k in np.nonzero(liars)[0]:
+            spread = rng.multinomial(liars[k], uniform_over_others)
+            perturbed[:k] += spread[:k]
+            perturbed[k + 1 :] += spread[k:]
+        freqs = self._debias(perturbed, n, p, q)
+        return FOEstimate(
+            frequencies=freqs,
+            n_reports=n,
+            epsilon=epsilon,
+            variance=self.variance(epsilon, n, domain_size),
+        )
+
+    def variance(self, epsilon: float, n: int, domain_size: int) -> float:
+        return grr_mean_variance(epsilon, n, domain_size)

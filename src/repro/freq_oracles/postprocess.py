@@ -1,0 +1,95 @@
+"""Post-processing for LDP frequency estimates.
+
+Raw FO estimates are unbiased but unconstrained: cells can be negative and
+the vector need not sum to one.  Post-processing never costs privacy
+(post-processing theorem, Section 3.3), and the paper releases histograms,
+so the harness offers the standard consistency steps from the LDP
+literature (Wang et al., "Consistent frequency estimates"):
+
+``clip``            clamp to [0, 1] (biased but simple)
+``normalize``       clip then rescale to sum one
+``norm_sub``        additive shift + clamp so the result sums to one — the
+                    least-squares projection onto the simplex restricted to
+                    the support it keeps; the recommended default
+``project_simplex`` exact Euclidean projection onto the probability simplex
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clip(frequencies: np.ndarray) -> np.ndarray:
+    """Clamp estimated frequencies into [0, 1]."""
+    return np.clip(np.asarray(frequencies, dtype=np.float64), 0.0, 1.0)
+
+
+def normalize(frequencies: np.ndarray) -> np.ndarray:
+    """Clip to non-negative and rescale so the cells sum to one.
+
+    Falls back to the uniform distribution if everything clips to zero.
+    """
+    clipped = np.clip(np.asarray(frequencies, dtype=np.float64), 0.0, None)
+    total = clipped.sum()
+    if total <= 0:
+        return np.full_like(clipped, 1.0 / clipped.shape[0])
+    return clipped / total
+
+
+def norm_sub(frequencies: np.ndarray, max_iterations: int = 100) -> np.ndarray:
+    """Norm-sub consistency: shift all cells by a constant, clamp negatives
+    to zero, and repeat until the positive cells sum to one.
+
+    Converges in at most ``d`` iterations because each round only ever
+    removes cells from the positive support.
+    """
+    est = np.asarray(frequencies, dtype=np.float64).copy()
+    for _ in range(max_iterations):
+        positive = est > 0
+        n_pos = int(np.count_nonzero(positive))
+        if n_pos == 0:
+            return np.full_like(est, 1.0 / est.shape[0])
+        shift = (1.0 - est[positive].sum()) / n_pos
+        est = np.where(positive, est + shift, 0.0)
+        if (est >= 0).all():
+            break
+        est = np.clip(est, 0.0, None)
+    # Final tidy-up for floating point residue.
+    est = np.clip(est, 0.0, None)
+    total = est.sum()
+    return est / total if total > 0 else np.full_like(est, 1.0 / est.shape[0])
+
+
+def project_simplex(frequencies: np.ndarray) -> np.ndarray:
+    """Exact Euclidean projection onto the probability simplex.
+
+    Standard sort-based algorithm (Duchi et al. 2008); O(d log d).
+    """
+    v = np.asarray(frequencies, dtype=np.float64)
+    d = v.shape[0]
+    u = np.sort(v)[::-1]
+    css = np.cumsum(u) - 1.0
+    rho_candidates = u - css / np.arange(1, d + 1)
+    rho = int(np.nonzero(rho_candidates > 0)[0][-1])
+    theta = css[rho] / (rho + 1)
+    return np.clip(v - theta, 0.0, None)
+
+
+_POSTPROCESSORS = {
+    "none": lambda f: np.asarray(f, dtype=np.float64),
+    "clip": clip,
+    "normalize": normalize,
+    "norm_sub": norm_sub,
+    "project_simplex": project_simplex,
+}
+
+
+def get_postprocessor(name: str):
+    """Look up a post-processor by name (``none``, ``clip``, ``normalize``,
+    ``norm_sub``, ``project_simplex``)."""
+    try:
+        return _POSTPROCESSORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown postprocessor {name!r}; available: {sorted(_POSTPROCESSORS)}"
+        ) from None

@@ -1,0 +1,97 @@
+"""Closed-form estimation variances for LDP frequency oracles.
+
+These are the ``V(eps, n)`` functions that drive every utility analysis in
+the paper: the potential publication error of Section 5.3.2, the MSE
+expressions of Sections 5.4.2 / 6.3.2, and the LPU-vs-LBU ordering of
+Theorem 6.1.
+
+All functions return the variance of a *single cell* of the estimated
+histogram, averaged over the domain.  Eq. (2) of the paper gives, for GRR,
+
+    Var[c[k]] = (d - 2 + e^eps) / (n (e^eps - 1)^2)
+              + f_k (d - 2) / (n (e^eps - 1)),
+
+and since the true frequencies sum to one, the mean over the ``d`` cells is
+the frequency-independent quantity implemented here (the second term enters
+with weight ``1/d``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import InvalidParameterError
+
+
+def _check(epsilon: float, n: int, domain_size: int) -> None:
+    if epsilon <= 0 or not math.isfinite(epsilon):
+        raise InvalidParameterError(f"epsilon must be positive/finite, got {epsilon}")
+    if n <= 0:
+        raise InvalidParameterError(f"population n must be positive, got {n}")
+    if domain_size < 2:
+        raise InvalidParameterError(f"domain_size must be >= 2, got {domain_size}")
+
+
+def grr_cell_variance(
+    epsilon: float, n: int, domain_size: int, frequency: float = 0.0
+) -> float:
+    """Exact Eq. (2) variance of one GRR-estimated cell with true ``frequency``."""
+    _check(epsilon, n, domain_size)
+    e = math.exp(epsilon)
+    lead = (domain_size - 2 + e) / (n * (e - 1) ** 2)
+    data = frequency * (domain_size - 2) / (n * (e - 1))
+    return lead + data
+
+
+def grr_mean_variance(epsilon: float, n: int, domain_size: int) -> float:
+    """Mean GRR cell variance over the domain (frequencies sum to one)."""
+    _check(epsilon, n, domain_size)
+    e = math.exp(epsilon)
+    lead = (domain_size - 2 + e) / (n * (e - 1) ** 2)
+    data = (domain_size - 2) / (domain_size * n * (e - 1))
+    return lead + data
+
+
+def oue_mean_variance(epsilon: float, n: int, domain_size: int) -> float:
+    """OUE variance ``4 e^eps / (n (e^eps - 1)^2)`` (Wang et al. 2017).
+
+    Frequency independent up to the (dropped) small ``f_k`` term; note it
+    does not grow with ``d``, which is why OUE wins for large domains.
+    """
+    _check(epsilon, n, domain_size)
+    e = math.exp(epsilon)
+    return 4.0 * e / (n * (e - 1) ** 2)
+
+
+def sue_mean_variance(epsilon: float, n: int, domain_size: int) -> float:
+    """Symmetric unary encoding (basic RAPPOR) variance.
+
+    With ``p = e^{eps/2} / (e^{eps/2} + 1)`` and ``q = 1 - p`` the
+    per-cell variance is ``q(1-q) / (n (p-q)^2)`` at ``f_k = 0``; we use the
+    frequency-independent leading term.
+    """
+    _check(epsilon, n, domain_size)
+    s = math.exp(epsilon / 2.0)
+    p = s / (s + 1.0)
+    q = 1.0 / (s + 1.0)
+    return q * (1.0 - q) / (n * (p - q) ** 2)
+
+
+def olh_mean_variance(epsilon: float, n: int, domain_size: int) -> float:
+    """Optimal Local Hashing variance, identical leading term to OUE."""
+    return oue_mean_variance(epsilon, n, domain_size)
+
+
+def laplace_mean_variance(epsilon: float, n: int, sensitivity: float = 2.0) -> float:
+    """CDP Laplace-mechanism variance of a released *frequency* cell.
+
+    A count histogram with neighbouring databases differing in one user's
+    value has L1 sensitivity 2 (one count down, another up); adding
+    ``Lap(sensitivity/eps)`` to counts and dividing by ``n`` gives a
+    frequency variance of ``2 (sensitivity/eps)^2 / n^2``.  Used by the CDP
+    substrate (Section 3.2) for the BD/BA baselines.
+    """
+    if epsilon <= 0 or n <= 0:
+        raise InvalidParameterError("epsilon and n must be positive")
+    scale = sensitivity / epsilon
+    return 2.0 * scale * scale / (n * n)

@@ -1,0 +1,149 @@
+"""Serialization of session results and experiment series.
+
+Long experiment campaigns want artifacts on disk: :func:`save_session` /
+:func:`load_session` round-trip a :class:`~repro.engine.records.SessionResult`
+through JSON (arrays as nested lists — portable and diff-able), and
+:func:`session_to_csv` / :func:`series_to_csv` export flat tables for
+external plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Union
+
+import numpy as np
+
+from .engine.records import SessionResult, StepRecord
+from .exceptions import InvalidParameterError
+
+PathLike = Union[str, Path]
+
+#: Schema version written into every artifact.
+FORMAT_VERSION = 1
+
+
+def session_to_dict(result: SessionResult) -> dict:
+    """Convert a session result to a JSON-serialisable dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "mechanism": result.mechanism,
+        "oracle": result.oracle,
+        "epsilon": result.epsilon,
+        "window": result.window,
+        "n_users": result.n_users,
+        "domain_size": result.domain_size,
+        "total_reports": result.total_reports,
+        "max_window_spend": result.max_window_spend,
+        "releases": result.releases.tolist(),
+        "true_frequencies": result.true_frequencies.tolist(),
+        "records": [
+            {
+                "t": r.t,
+                "strategy": r.strategy,
+                "publication_epsilon": r.publication_epsilon,
+                "publication_users": r.publication_users,
+                "dissimilarity_users": r.dissimilarity_users,
+                "reports": r.reports,
+                "dis": None if np.isnan(r.dis) else r.dis,
+                "err": None if np.isnan(r.err) else r.err,
+            }
+            for r in result.records
+        ],
+    }
+
+
+def session_from_dict(payload: Mapping) -> SessionResult:
+    """Inverse of :func:`session_to_dict`."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"unsupported session format version {version!r}"
+        )
+    releases = np.asarray(payload["releases"], dtype=np.float64)
+    records = [
+        StepRecord(
+            t=int(r["t"]),
+            release=releases[int(r["t"])],
+            strategy=str(r["strategy"]),
+            publication_epsilon=float(r["publication_epsilon"]),
+            publication_users=int(r["publication_users"]),
+            dissimilarity_users=int(r["dissimilarity_users"]),
+            reports=int(r["reports"]),
+            dis=float("nan") if r["dis"] is None else float(r["dis"]),
+            err=float("nan") if r["err"] is None else float(r["err"]),
+        )
+        for r in payload["records"]
+    ]
+    return SessionResult(
+        mechanism=str(payload["mechanism"]),
+        oracle=str(payload["oracle"]),
+        epsilon=float(payload["epsilon"]),
+        window=int(payload["window"]),
+        n_users=int(payload["n_users"]),
+        domain_size=int(payload["domain_size"]),
+        releases=releases,
+        true_frequencies=np.asarray(payload["true_frequencies"], dtype=np.float64),
+        records=records,
+        total_reports=int(payload["total_reports"]),
+        max_window_spend=float(payload["max_window_spend"]),
+    )
+
+
+def save_session(result: SessionResult, path: PathLike) -> None:
+    """Write a session result to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(session_to_dict(result), handle)
+
+
+def load_session(path: PathLike) -> SessionResult:
+    """Read a session result saved by :func:`save_session`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return session_from_dict(json.load(handle))
+
+
+def session_to_csv(result: SessionResult, path: PathLike) -> None:
+    """Export a per-timestamp flat table (releases + truth + metadata)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    d = result.domain_size
+    header = (
+        ["t", "strategy", "publication_epsilon", "publication_users", "reports"]
+        + [f"release_{k}" for k in range(d)]
+        + [f"true_{k}" for k in range(d)]
+    )
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for record in result.records:
+            t = record.t
+            writer.writerow(
+                [
+                    t,
+                    record.strategy,
+                    record.publication_epsilon,
+                    record.publication_users,
+                    record.reports,
+                ]
+                + [f"{v:.8g}" for v in result.releases[t]]
+                + [f"{v:.8g}" for v in result.true_frequencies[t]]
+            )
+
+
+def series_to_csv(
+    series: Mapping[str, Mapping[str, Mapping[float, float]]], path: PathLike
+) -> None:
+    """Export a figure-series dict (``panel -> method -> x -> value``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["panel", "method", "x", "value"])
+        for panel, methods in series.items():
+            for method, values in methods.items():
+                for x, value in sorted(values.items()):
+                    writer.writerow([panel, method, x, f"{value:.8g}"])

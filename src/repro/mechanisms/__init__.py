@@ -1,0 +1,52 @@
+"""``w``-event LDP stream-release mechanisms.
+
+The seven methods evaluated in the paper (Section 7.1.3):
+
+========  ============  ===========  =============
+Name      Framework     Allocation   Reference
+========  ============  ===========  =============
+LBU       budget        uniform      Section 5.2.1
+LSP       budget/pop.   sampling     Section 5.2.2
+LBD       budget        distribution Algorithm 1
+LBA       budget        absorption   Algorithm 2
+LPU       population    uniform      Section 6.1
+LPD       population    distribution Algorithm 3
+LPA       population    absorption   Algorithm 4
+========  ============  ===========  =============
+"""
+
+from .base import (
+    StreamMechanism,
+    available_mechanisms,
+    get_mechanism,
+    register_mechanism,
+)
+from .budget import LBA, LBD, LBU, LSP
+from .common import estimate_dissimilarity, true_dissimilarity
+from .population import LPA, LPD, LPU
+
+#: Paper ordering of all seven methods.
+ALL_METHODS = ("LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA")
+#: Budget-division family (Section 5).
+BUDGET_METHODS = ("LBU", "LSP", "LBD", "LBA")
+#: Population-division family as plotted in the paper (Figures 4-5).
+POPULATION_METHODS = ("LSP", "LPU", "LPD", "LPA")
+
+__all__ = [
+    "StreamMechanism",
+    "get_mechanism",
+    "register_mechanism",
+    "available_mechanisms",
+    "estimate_dissimilarity",
+    "true_dissimilarity",
+    "LBU",
+    "LSP",
+    "LBD",
+    "LBA",
+    "LPU",
+    "LPD",
+    "LPA",
+    "ALL_METHODS",
+    "BUDGET_METHODS",
+    "POPULATION_METHODS",
+]

@@ -1,0 +1,128 @@
+"""Mechanism interface for ``w``-event LDP stream release.
+
+A mechanism is a server-side strategy: at every timestamp it receives a
+:class:`~repro.engine.collector.TimestepContext` and must return a
+:class:`~repro.engine.records.StepRecord` containing the released histogram
+``r_t`` and metadata about how it was produced.  All data access goes
+through ``ctx.collect`` so the engine's accountant and communication meter
+see everything.
+
+Mechanisms are stateful across timestamps (last release, remaining budget
+or users, publication history) but are re-initialised per session via
+:meth:`StreamMechanism.setup`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from ..engine.collector import TimestepContext
+from ..engine.records import StepRecord
+from ..exceptions import InvalidParameterError
+from ..freq_oracles import FrequencyOracle, get_oracle
+from ..rng import SeedLike, ensure_rng
+
+
+class StreamMechanism(abc.ABC):
+    """Base class for all LDP stream-release mechanisms."""
+
+    #: Registry/display name, e.g. ``"LBD"``.
+    name: str = ""
+    #: Whether the method adapts to stream dissimilarity (LBD/LBA/LPD/LPA).
+    adaptive: bool = False
+    #: Which framework the method belongs to: ``"budget"`` or ``"population"``.
+    framework: str = ""
+
+    def __init__(self) -> None:
+        self.n_users = 0
+        self.domain_size = 0
+        self.epsilon = 0.0
+        self.window = 0
+        self.oracle: Optional[FrequencyOracle] = None
+        self.rng = ensure_rng(None)
+        self.last_release: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def setup(
+        self,
+        *,
+        n_users: int,
+        domain_size: int,
+        epsilon: float,
+        window: int,
+        oracle: FrequencyOracle,
+        rng: SeedLike = None,
+    ) -> None:
+        """Initialise per-session state.  Subclasses extend via ``_setup``."""
+        if n_users <= 0:
+            raise InvalidParameterError(f"n_users must be positive, got {n_users}")
+        if domain_size < 2:
+            raise InvalidParameterError(f"domain_size must be >= 2, got {domain_size}")
+        if epsilon <= 0:
+            raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+        if window <= 0:
+            raise InvalidParameterError(f"window must be positive, got {window}")
+        self.n_users = int(n_users)
+        self.domain_size = int(domain_size)
+        self.epsilon = float(epsilon)
+        self.window = int(window)
+        self.oracle = get_oracle(oracle)
+        self.rng = ensure_rng(rng)
+        # r_0 = <0, ..., 0> (Algorithms 1-4, line 1).
+        self.last_release = np.zeros(self.domain_size, dtype=np.float64)
+        self._setup()
+
+    def _setup(self) -> None:
+        """Hook for subclass state; called at the end of :meth:`setup`."""
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def step(self, ctx: TimestepContext) -> StepRecord:
+        """Process one timestamp and return the release record."""
+
+    # ------------------------------------------------------------------
+    def predicted_error(self, epsilon: float, n: int) -> float:
+        """Closed-form potential publication error ``V(eps, n)`` for the
+        session's oracle and domain (Section 5.3.2, Eq. 6)."""
+        assert self.oracle is not None, "setup() must run before predicted_error"
+        return self.oracle.variance(epsilon, n, self.domain_size)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[StreamMechanism]] = {}
+
+
+def register_mechanism(cls: Type[StreamMechanism]) -> Type[StreamMechanism]:
+    """Class decorator adding a mechanism to the by-name registry."""
+    if not cls.name:
+        raise InvalidParameterError(f"{cls.__name__} must define a name")
+    _REGISTRY[cls.name.lower()] = cls
+    return cls
+
+
+def get_mechanism(name_or_instance, **kwargs) -> StreamMechanism:
+    """Resolve a mechanism by name/class/instance (names as in the paper:
+    LBU, LSP, LBD, LBA, LPU, LPD, LPA)."""
+    if isinstance(name_or_instance, StreamMechanism):
+        return name_or_instance
+    if isinstance(name_or_instance, type) and issubclass(
+        name_or_instance, StreamMechanism
+    ):
+        return name_or_instance(**kwargs)
+    try:
+        return _REGISTRY[str(name_or_instance).lower()](**kwargs)
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown mechanism {name_or_instance!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_mechanisms() -> list[str]:
+    """Registered mechanism names (lower-case)."""
+    return sorted(_REGISTRY)

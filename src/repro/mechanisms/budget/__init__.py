@@ -1,0 +1,8 @@
+"""Budget-division mechanisms (Section 5): LBU, LSP, LBD, LBA."""
+
+from .lba import LBA
+from .lbd import LBD
+from .lbu import LBU
+from .lsp import LSP
+
+__all__ = ["LBU", "LSP", "LBD", "LBA"]

@@ -1,0 +1,89 @@
+"""LBD — LDP Budget Distribution (Algorithm 1).
+
+Adaptive budget division.  Each timestamp runs two sub-mechanisms:
+
+* **M1** (lines 3-6): every user reports with the fixed dissimilarity
+  budget ``eps/(2w)``; the server computes the unbiased dissimilarity
+  ``dis`` of Theorem 5.2 against the last release.
+* **M2** (lines 7-16): half of the *remaining* publication budget in the
+  sliding window is pre-assigned (exponential decay across publications,
+  like BD in the centralized setting); its closed-form error ``err`` is
+  compared with ``dis``; publication happens only if the fresh estimate
+  would beat the approximation.
+
+The total spend per window is eps/2 (M1) + at most eps/2 (M2, geometric
+series), so the mechanism is ``w``-event eps-LDP (Theorem 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...engine.collector import TimestepContext
+from ...engine.records import (
+    STRATEGY_APPROXIMATE,
+    STRATEGY_PUBLISH,
+    StepRecord,
+)
+from ...streams.windows import SlidingWindowSum
+from ..base import StreamMechanism, register_mechanism
+from ..common import estimate_dissimilarity
+
+#: Budgets below this are treated as unusable (publication error ~ infinite).
+_MIN_USABLE_EPSILON = 1e-4
+
+
+@register_mechanism
+class LBD(StreamMechanism):
+    """LDP Budget Distribution (Algorithm 1)."""
+
+    name = "LBD"
+    adaptive = True
+    framework = "budget"
+
+    def _setup(self) -> None:
+        self._spent_publication = SlidingWindowSum(self.window)
+
+    def step(self, ctx: TimestepContext) -> StepRecord:
+        # --- Sub-mechanism M1: private dissimilarity estimation ---------
+        dissim_epsilon = self.epsilon / (2.0 * self.window)
+        estimate_m1 = ctx.collect(dissim_epsilon)
+        dis = estimate_dissimilarity(estimate_m1, self.last_release)
+        reports = estimate_m1.n_reports
+
+        # --- Sub-mechanism M2: strategy determination (lines 7-16) ------
+        remaining = self.epsilon / 2.0 - self._spent_publication.window_sum(ctx.t)
+        remaining = max(0.0, remaining)
+        publication_epsilon = remaining / 2.0
+        if publication_epsilon >= _MIN_USABLE_EPSILON:
+            err = self.predicted_error(publication_epsilon, ctx.n_users)
+        else:
+            err = math.inf
+
+        if dis > err:
+            estimate_m2 = ctx.collect(publication_epsilon)
+            self.last_release = estimate_m2.frequencies
+            self._spent_publication.record(ctx.t, publication_epsilon)
+            reports += estimate_m2.n_reports
+            return StepRecord(
+                t=ctx.t,
+                release=estimate_m2.frequencies,
+                strategy=STRATEGY_PUBLISH,
+                publication_epsilon=publication_epsilon,
+                publication_users=estimate_m2.n_reports,
+                dissimilarity_users=estimate_m1.n_reports,
+                reports=reports,
+                dis=dis,
+                err=err,
+            )
+
+        self._spent_publication.record(ctx.t, 0.0)
+        return StepRecord(
+            t=ctx.t,
+            release=self.last_release,
+            strategy=STRATEGY_APPROXIMATE,
+            dissimilarity_users=estimate_m1.n_reports,
+            reports=reports,
+            dis=dis,
+            err=err,
+        )

@@ -1,0 +1,35 @@
+"""LBU — LDP Budget Uniform method (Section 5.2.1).
+
+The straightforward baseline: the window budget ``eps`` is split evenly
+over the ``w`` timestamps, and *every* user reports through the FO with
+``eps / w`` at *every* timestamp.  MSE is ``V(eps/w, N)`` which blows up
+quickly with ``w`` because LDP noise is exponential in the inverse budget.
+"""
+
+from __future__ import annotations
+
+from ...engine.collector import TimestepContext
+from ...engine.records import STRATEGY_PUBLISH, StepRecord
+from ..base import StreamMechanism, register_mechanism
+
+
+@register_mechanism
+class LBU(StreamMechanism):
+    """LDP Budget Uniform: ``eps/w`` per timestamp, all users report."""
+
+    name = "LBU"
+    adaptive = False
+    framework = "budget"
+
+    def step(self, ctx: TimestepContext) -> StepRecord:
+        per_step_epsilon = self.epsilon / self.window
+        estimate = ctx.collect(per_step_epsilon)
+        self.last_release = estimate.frequencies
+        return StepRecord(
+            t=ctx.t,
+            release=estimate.frequencies,
+            strategy=STRATEGY_PUBLISH,
+            publication_epsilon=per_step_epsilon,
+            publication_users=estimate.n_reports,
+            reports=estimate.n_reports,
+        )

@@ -1,0 +1,60 @@
+"""LSP — LDP Sampling method (Section 5.2.2).
+
+Invest the whole window budget ``eps`` at a single *sampling* timestamp
+per window and approximate the following ``w - 1`` timestamps with that
+release.  Excellent on static streams (fresh estimates use the full
+budget), terrible at tracking changes — the approximation error
+``(c_t - c_l)^2`` is unbounded by design.
+
+Section 6.1 points out LSP is equally a degenerate population-division
+method (one group holds everyone, the rest are empty), which is why the
+paper plots it with the population family; its CFPU is ``1/w`` either way.
+"""
+
+from __future__ import annotations
+
+from ...engine.collector import TimestepContext
+from ...engine.records import (
+    STRATEGY_APPROXIMATE,
+    STRATEGY_PUBLISH,
+    StepRecord,
+)
+from ..base import StreamMechanism, register_mechanism
+
+
+@register_mechanism
+class LSP(StreamMechanism):
+    """LDP Sampling: full ``eps`` every ``w`` timestamps, approximate between.
+
+    Parameters
+    ----------
+    offset:
+        Position of the sampling timestamp inside each window (default 0,
+        i.e. publish at t = 0, w, 2w, ...).
+    """
+
+    name = "LSP"
+    adaptive = False
+    framework = "budget"
+
+    def __init__(self, offset: int = 0):
+        super().__init__()
+        self.offset = int(offset)
+
+    def step(self, ctx: TimestepContext) -> StepRecord:
+        if ctx.t % self.window == self.offset % self.window:
+            estimate = ctx.collect(self.epsilon)
+            self.last_release = estimate.frequencies
+            return StepRecord(
+                t=ctx.t,
+                release=estimate.frequencies,
+                strategy=STRATEGY_PUBLISH,
+                publication_epsilon=self.epsilon,
+                publication_users=estimate.n_reports,
+                reports=estimate.n_reports,
+            )
+        return StepRecord(
+            t=ctx.t,
+            release=self.last_release,
+            strategy=STRATEGY_APPROXIMATE,
+        )

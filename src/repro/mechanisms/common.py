@@ -1,0 +1,38 @@
+"""Shared pieces of the adaptive mechanisms (Sections 5.3 / 6.2).
+
+All four adaptive methods (LBD, LBA, LPD, LPA) share the same M1 logic:
+estimate the dissimilarity between the current true histogram and the last
+release from LDP reports, using the bias-corrected estimator of
+Theorem 5.2:
+
+    dis = (1/d) * sum_k (c_t1[k] - r_l[k])^2  -  (1/d) * sum_k Var(c_t1[k])
+
+The second term removes the inflation the LDP noise adds to the squared
+distance, making ``dis`` an unbiased estimate of the true square error
+``dis* = (1/d) Σ (c_t[k] - r_l[k])^2`` — at the price of occasionally
+going negative, which is harmless because it is only *compared* against a
+positive potential publication error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..freq_oracles import FOEstimate
+
+
+def estimate_dissimilarity(estimate: FOEstimate, last_release: np.ndarray) -> float:
+    """Unbiased dissimilarity estimate of Theorem 5.2 / Eq. (4)."""
+    diff = estimate.frequencies - np.asarray(last_release, dtype=np.float64)
+    raw = float(np.mean(diff * diff))
+    return raw - estimate.variance
+
+
+def true_dissimilarity(
+    true_frequencies: np.ndarray, last_release: np.ndarray
+) -> float:
+    """The estimand ``dis*`` of Eq. (3) — used only by tests/analysis."""
+    diff = np.asarray(true_frequencies, dtype=np.float64) - np.asarray(
+        last_release, dtype=np.float64
+    )
+    return float(np.mean(diff * diff))

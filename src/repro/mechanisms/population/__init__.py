@@ -1,0 +1,7 @@
+"""Population-division mechanisms (Section 6): LPU, LPD, LPA."""
+
+from .lpa import LPA
+from .lpd import LPD
+from .lpu import LPU
+
+__all__ = ["LPU", "LPD", "LPA"]

@@ -1,0 +1,37 @@
+"""Other query types over LDP streams (paper footnote 2).
+
+* :mod:`~repro.queries.numeric` — bounded-value mean-estimation
+  mechanisms (Duchi, Piecewise, Hybrid);
+* :mod:`~repro.queries.stream_mean` — ``w``-event LDP mean release over
+  infinite streams via population division (MPU / MPA).
+"""
+
+from .numeric import (
+    DuchiMechanism,
+    HybridMechanism,
+    NumericMechanism,
+    PiecewiseMechanism,
+    get_numeric_mechanism,
+)
+from .stream_mean import (
+    MeanPopulationAbsorption,
+    MeanPopulationUniform,
+    MeanSessionResult,
+    MeanStepRecord,
+    NumericStream,
+    make_sine_numeric_stream,
+)
+
+__all__ = [
+    "NumericMechanism",
+    "DuchiMechanism",
+    "PiecewiseMechanism",
+    "HybridMechanism",
+    "get_numeric_mechanism",
+    "NumericStream",
+    "make_sine_numeric_stream",
+    "MeanPopulationUniform",
+    "MeanPopulationAbsorption",
+    "MeanSessionResult",
+    "MeanStepRecord",
+]

@@ -1,0 +1,5 @@
+"""Related-work baselines from the paper's Table 1 (LDP row)."""
+
+from .thresh import THRESH
+
+__all__ = ["THRESH"]

@@ -1,0 +1,174 @@
+"""Synthetic stream datasets from Section 7.1.1.
+
+The paper generates *binary* streams: a probability process ``p_t = f(t)``
+is sampled first, then at each timestamp a fraction ``p_t`` of the ``N``
+users hold value 1 and the rest hold value 0.  Three processes are used:
+
+* **LNS** — a Gaussian random walk ``p_t = p_{t-1} + N(0, Q)``
+  (p0 = 0.05, sqrt(Q) = 0.0025);
+* **Sin** — ``p_t = A sin(b t) + h`` (A = 0.05, b = 0.01, h = 0.075);
+* **Log** — logistic growth ``p_t = A / (1 + e^{-b t})`` (A = 0.25,
+  b = 0.01).
+
+Defaults are exactly the paper's; the probability sequence is clipped into
+[0, 1] so the random walk stays a valid Bernoulli parameter.  Extra
+processes (constant, step/spike) are provided for tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..rng import SeedLike, ensure_rng
+from .base import MaterializedStream
+
+#: Paper defaults (Section 7.1.1).
+DEFAULT_T = 800
+DEFAULT_N = 200_000
+
+
+def lns_probability_sequence(
+    horizon: int = DEFAULT_T,
+    p0: float = 0.05,
+    q_std: float = 0.0025,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """LNS linear process ``p_t = p_{t-1} + N(0, Q)`` with ``sqrt(Q)=q_std``."""
+    rng = ensure_rng(seed)
+    steps = rng.normal(0.0, q_std, size=horizon)
+    steps[0] = 0.0
+    return np.clip(p0 + np.cumsum(steps), 0.0, 1.0)
+
+
+def sin_probability_sequence(
+    horizon: int = DEFAULT_T,
+    amplitude: float = 0.05,
+    b: float = 0.01,
+    offset: float = 0.075,
+) -> np.ndarray:
+    """Sin process ``p_t = A sin(b t) + h``."""
+    t = np.arange(horizon, dtype=np.float64)
+    return np.clip(amplitude * np.sin(b * t) + offset, 0.0, 1.0)
+
+
+def log_probability_sequence(
+    horizon: int = DEFAULT_T,
+    amplitude: float = 0.25,
+    b: float = 0.01,
+) -> np.ndarray:
+    """Log process ``p_t = A / (1 + e^{-b t})`` (logistic growth)."""
+    t = np.arange(horizon, dtype=np.float64)
+    return np.clip(amplitude / (1.0 + np.exp(-b * t)), 0.0, 1.0)
+
+
+def step_probability_sequence(
+    horizon: int,
+    low: float = 0.05,
+    high: float = 0.2,
+    period: int = 100,
+) -> np.ndarray:
+    """Square wave alternating between ``low`` and ``high`` every ``period``.
+
+    Not in the paper; used by ablation benches to stress the adaptive
+    methods with abrupt changes.
+    """
+    t = np.arange(horizon)
+    return np.where((t // period) % 2 == 0, low, high).astype(np.float64)
+
+
+class BinaryStream(MaterializedStream):
+    """Binary stream materialised from a probability sequence.
+
+    At each timestamp exactly ``round(p_t * N)`` randomly chosen users hold
+    value 1 (matching the paper's "randomly chose a portion of p_t users"),
+    so the true frequency tracks ``p_t`` up to rounding.
+    """
+
+    def __init__(
+        self,
+        probability_sequence: np.ndarray,
+        n_users: int = DEFAULT_N,
+        seed: SeedLike = None,
+        name: str = "binary",
+    ):
+        probs = np.asarray(probability_sequence, dtype=np.float64)
+        if probs.ndim != 1 or probs.size == 0:
+            raise InvalidParameterError("probability_sequence must be 1-D, non-empty")
+        if probs.min() < 0.0 or probs.max() > 1.0:
+            raise InvalidParameterError("probabilities must lie in [0, 1]")
+        rng = ensure_rng(seed)
+        horizon = probs.shape[0]
+        values = np.zeros((horizon, n_users), dtype=np.int64)
+        for t, p in enumerate(probs):
+            k = int(round(p * n_users))
+            if k > 0:
+                ones = rng.choice(n_users, size=min(k, n_users), replace=False)
+                values[t, ones] = 1
+        super().__init__(values, domain_size=2)
+        self.name = name
+        self.probability_sequence = probs
+
+
+def make_lns(
+    n_users: int = DEFAULT_N,
+    horizon: int = DEFAULT_T,
+    p0: float = 0.05,
+    q_std: float = 0.0025,
+    seed: SeedLike = None,
+) -> BinaryStream:
+    """Paper's LNS dataset (linear Gaussian random walk)."""
+    rng = ensure_rng(seed)
+    probs = lns_probability_sequence(horizon, p0=p0, q_std=q_std, seed=rng)
+    return BinaryStream(probs, n_users=n_users, seed=rng, name="LNS")
+
+
+def make_sin(
+    n_users: int = DEFAULT_N,
+    horizon: int = DEFAULT_T,
+    amplitude: float = 0.05,
+    b: float = 0.01,
+    offset: float = 0.075,
+    seed: SeedLike = None,
+) -> BinaryStream:
+    """Paper's Sin dataset (sine curve)."""
+    probs = sin_probability_sequence(horizon, amplitude=amplitude, b=b, offset=offset)
+    return BinaryStream(probs, n_users=n_users, seed=seed, name="Sin")
+
+
+def make_log(
+    n_users: int = DEFAULT_N,
+    horizon: int = DEFAULT_T,
+    amplitude: float = 0.25,
+    b: float = 0.01,
+    seed: SeedLike = None,
+) -> BinaryStream:
+    """Paper's Log dataset (logistic growth)."""
+    probs = log_probability_sequence(horizon, amplitude=amplitude, b=b)
+    return BinaryStream(probs, n_users=n_users, seed=seed, name="Log")
+
+
+def make_step(
+    n_users: int = DEFAULT_N,
+    horizon: int = DEFAULT_T,
+    low: float = 0.05,
+    high: float = 0.2,
+    period: int = 100,
+    seed: SeedLike = None,
+) -> BinaryStream:
+    """Square-wave binary stream for abrupt-change ablations (not in paper)."""
+    probs = step_probability_sequence(horizon, low=low, high=high, period=period)
+    return BinaryStream(probs, n_users=n_users, seed=seed, name="Step")
+
+
+def make_constant(
+    n_users: int = DEFAULT_N,
+    horizon: int = DEFAULT_T,
+    p: float = 0.1,
+    seed: SeedLike = None,
+) -> BinaryStream:
+    """Perfectly static binary stream (approximation should always win)."""
+    probs = np.full(horizon, p, dtype=np.float64)
+    return BinaryStream(probs, n_users=n_users, seed=seed, name="Constant")

@@ -1,0 +1,69 @@
+"""Unit tests for CFPU closed forms and predicted-vs-measured agreement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cfpu_budget_adaptive,
+    cfpu_budget_uniform,
+    cfpu_lpa,
+    cfpu_lpd,
+    cfpu_sampling,
+    predicted_cfpu,
+)
+from repro.engine import run_stream
+from repro.exceptions import InvalidParameterError
+
+
+class TestClosedForms:
+    def test_uniform(self):
+        assert cfpu_budget_uniform() == 1.0
+
+    def test_sampling(self):
+        assert cfpu_sampling(20) == pytest.approx(0.05)
+
+    def test_budget_adaptive(self):
+        assert cfpu_budget_adaptive(20, 5) == pytest.approx(1.25)
+
+    def test_lpd_below_sampling(self):
+        """LPD's CFPU is strictly below LPU's 1/w (Section 6.3.3)."""
+        for m in (1, 3, 10):
+            assert cfpu_lpd(20, m) < cfpu_sampling(20)
+
+    def test_lpd_approaches_1_over_w_with_many_publications(self):
+        assert cfpu_lpd(20, 30) == pytest.approx(1 / 20, abs=1e-7)
+
+    def test_lpa_formula(self):
+        w, m = 20, 4
+        assert cfpu_lpa(w, m) == pytest.approx(1 / (2 * w) + (w + m) / (4 * w * w))
+
+    def test_lpa_below_sampling_for_small_m(self):
+        assert cfpu_lpa(20, 4) < cfpu_sampling(20)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            cfpu_sampling(0)
+        with pytest.raises(InvalidParameterError):
+            cfpu_budget_adaptive(20, -1)
+
+
+class TestPredictedVsMeasured:
+    @pytest.mark.parametrize("method", ["LBU", "LSP", "LPU", "LBD", "LBA"])
+    def test_prediction_close_to_measurement(self, method, small_binary_stream):
+        result = run_stream(method, small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert predicted_cfpu(result) == pytest.approx(result.cfpu, rel=0.15)
+
+    @pytest.mark.parametrize("method", ["LPD", "LPA"])
+    def test_population_adaptive_prediction_order(self, method, small_binary_stream):
+        """For the adaptive population methods the closed forms assume the
+        idealised publication schedule; measured CFPU stays within the
+        [1/(2w), 1/w] band the analysis derives."""
+        w = 5
+        result = run_stream(method, small_binary_stream, epsilon=1.0, window=w, seed=0)
+        assert 1 / (2 * w) <= result.cfpu <= 1 / w + 1e-9
+
+    def test_unknown_mechanism_raises(self, small_binary_stream):
+        result = run_stream("LBU", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        result.mechanism = "XXX"
+        with pytest.raises(InvalidParameterError):
+            predicted_cfpu(result)

@@ -1,0 +1,84 @@
+"""Unit tests for utility metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    kl_divergence,
+    mean_absolute_error,
+    mean_relative_error,
+    mean_relative_error_on_tracked_cell,
+    mean_squared_error,
+    per_timestamp_mse,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def truth():
+    return np.array([[0.5, 0.5], [0.2, 0.8]])
+
+
+class TestMRE:
+    def test_zero_for_exact(self, truth):
+        assert mean_relative_error(truth, truth) == 0.0
+
+    def test_simple_value(self, truth):
+        released = truth + 0.1
+        expected = np.mean(0.1 / truth)
+        assert mean_relative_error(released, truth) == pytest.approx(expected)
+
+    def test_floor_protects_small_denominators(self):
+        truth = np.array([[1e-9, 1.0]])
+        released = np.array([[0.01, 1.0]])
+        value = mean_relative_error(released, truth, floor=1e-3)
+        assert np.isfinite(value)
+        assert value == pytest.approx(np.mean([0.01 / 1e-3, 0.0]))
+
+    def test_shape_mismatch_rejected(self, truth):
+        with pytest.raises(InvalidParameterError):
+            mean_relative_error(truth, truth[:1])
+
+    def test_invalid_floor(self, truth):
+        with pytest.raises(InvalidParameterError):
+            mean_relative_error(truth, truth, floor=0.0)
+
+    def test_tracked_cell_variant(self, truth):
+        released = truth.copy()
+        released[:, 1] += 0.08
+        tracked = mean_relative_error_on_tracked_cell(released, truth, cell=1)
+        assert tracked == pytest.approx(np.mean(0.08 / truth[:, 1]))
+
+
+class TestAbsoluteMetrics:
+    def test_mae(self, truth):
+        assert mean_absolute_error(truth + 0.1, truth) == pytest.approx(0.1)
+
+    def test_mse(self, truth):
+        assert mean_squared_error(truth + 0.1, truth) == pytest.approx(0.01)
+
+    def test_per_timestamp_mse_shape(self, truth):
+        out = per_timestamp_mse(truth + 0.1, truth)
+        assert out.shape == (2,)
+        assert np.allclose(out, 0.01)
+
+    def test_mse_equals_mean_of_per_timestamp(self, rng):
+        truth = rng.random((10, 4))
+        released = truth + rng.normal(0, 0.05, size=truth.shape)
+        assert mean_squared_error(released, truth) == pytest.approx(
+            per_timestamp_mse(released, truth).mean()
+        )
+
+
+class TestKL:
+    def test_zero_for_identical(self, truth):
+        assert kl_divergence(truth, truth) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different(self, truth):
+        other = truth[:, ::-1].copy()
+        assert kl_divergence(other, truth) > 0
+
+    def test_handles_negative_released_cells(self, truth):
+        released = truth.copy()
+        released[0, 0] = -0.2
+        assert np.isfinite(kl_divergence(released, truth))

@@ -1,0 +1,120 @@
+"""Unit tests for event monitoring (ROC analysis, Section 7.4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    detection_rates,
+    event_labels,
+    event_threshold,
+    monitored_statistic,
+    monitoring_roc,
+    roc_curve,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestMonitoredStatistic:
+    def test_binary_tracks_cell_one(self):
+        freqs = np.array([[0.7, 0.3], [0.4, 0.6]])
+        assert np.allclose(monitored_statistic(freqs), [0.3, 0.6])
+
+    def test_non_binary_tracks_peak(self):
+        freqs = np.array([[0.2, 0.5, 0.3], [0.1, 0.1, 0.8]])
+        assert np.allclose(monitored_statistic(freqs), [0.5, 0.8])
+
+    def test_binary_override(self):
+        freqs = np.array([[0.7, 0.3]])
+        assert monitored_statistic(freqs, binary=False)[0] == pytest.approx(0.7)
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidParameterError):
+            monitored_statistic(np.array([0.5, 0.5]))
+
+
+class TestThresholdAndLabels:
+    def test_paper_threshold_formula(self):
+        series = np.array([0.0, 1.0, 0.5])
+        assert event_threshold(series) == pytest.approx(0.75)
+
+    def test_quantile_parameter(self):
+        series = np.array([0.0, 1.0])
+        assert event_threshold(series, quantile=0.5) == pytest.approx(0.5)
+
+    def test_labels(self):
+        series = np.array([0.1, 0.9, 0.5, 0.95])
+        labels = event_labels(series)
+        assert labels.tolist() == [False, True, False, True]
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            event_threshold(np.empty(0))
+
+
+class TestROCCurve:
+    def test_perfect_scores_auc_one(self):
+        labels = np.array([False, False, True, True])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_curve(labels, scores).auc == pytest.approx(1.0)
+
+    def test_inverted_scores_auc_zero(self):
+        labels = np.array([False, False, True, True])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_curve(labels, scores).auc == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self, rng):
+        labels = rng.random(5_000) < 0.3
+        scores = rng.random(5_000)
+        assert roc_curve(labels, scores).auc == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_is_monotone(self, rng):
+        labels = rng.random(200) < 0.4
+        scores = rng.random(200)
+        curve = roc_curve(labels, scores)
+        assert (np.diff(curve.false_positive_rate) >= 0).all()
+        assert (np.diff(curve.true_positive_rate) >= 0).all()
+
+    def test_endpoints(self, rng):
+        labels = rng.random(100) < 0.5
+        scores = rng.random(100)
+        curve = roc_curve(labels, scores)
+        assert curve.false_positive_rate[0] == 0.0
+        assert curve.true_positive_rate[0] == 0.0
+        assert curve.false_positive_rate[-1] == pytest.approx(1.0)
+        assert curve.true_positive_rate[-1] == pytest.approx(1.0)
+
+    def test_degenerate_labels_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            roc_curve(np.array([True, True]), np.array([0.1, 0.2]))
+        with pytest.raises(InvalidParameterError):
+            roc_curve(np.array([False, False]), np.array([0.1, 0.2]))
+
+    def test_tie_handling(self):
+        labels = np.array([True, False, True, False])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        curve = roc_curve(labels, scores)
+        assert curve.auc == pytest.approx(0.5)
+
+
+class TestDetectionRates:
+    def test_rates(self):
+        labels = np.array([True, True, False, False])
+        scores = np.array([0.9, 0.1, 0.8, 0.2])
+        tpr, fpr = detection_rates(labels, scores, threshold=0.5)
+        assert tpr == pytest.approx(0.5)
+        assert fpr == pytest.approx(0.5)
+
+
+class TestEndToEnd:
+    def test_accurate_release_has_high_auc(self, rng):
+        truth_series = np.concatenate([np.full(50, 0.1), np.full(10, 0.5)])
+        truth = np.column_stack([1 - truth_series, truth_series])
+        released = truth + rng.normal(0, 0.01, size=truth.shape)
+        assert monitoring_roc(released, truth).auc > 0.95
+
+    def test_noisy_release_has_lower_auc(self, rng):
+        truth_series = np.concatenate([np.full(50, 0.1), np.full(10, 0.5)])
+        truth = np.column_stack([1 - truth_series, truth_series])
+        good = truth + rng.normal(0, 0.01, size=truth.shape)
+        bad = truth + rng.normal(0, 0.5, size=truth.shape)
+        assert monitoring_roc(good, truth).auc > monitoring_roc(bad, truth).auc

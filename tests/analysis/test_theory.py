@@ -1,0 +1,130 @@
+"""Unit tests for the closed-form utility theory (Sections 5.4 / 6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    lsp_drift_term,
+    mse_lbu,
+    mse_lpu,
+    mse_lsp,
+    publication_variance_lba,
+    publication_variance_lbd,
+    publication_variance_lpa,
+    publication_variance_lpd,
+    theorem_6_1_gap,
+)
+from repro.engine import run_stream
+from repro.exceptions import InvalidParameterError
+from repro.freq_oracles.variance import grr_mean_variance
+
+
+class TestBaselineMSE:
+    def test_lbu_formula(self):
+        assert mse_lbu(1.0, 10_000, 20, 2) == pytest.approx(
+            grr_mean_variance(0.05, 10_000, 2)
+        )
+
+    def test_lpu_formula(self):
+        assert mse_lpu(1.0, 10_000, 20, 2) == pytest.approx(
+            grr_mean_variance(1.0, 500, 2)
+        )
+
+    def test_lsp_adds_drift(self):
+        base = mse_lsp(1.0, 10_000, 20, 2, drift_term=0.0)
+        with_drift = mse_lsp(1.0, 10_000, 20, 2, drift_term=0.01)
+        assert with_drift == pytest.approx(base + 0.01)
+
+    def test_lsp_drift_term_zero_for_constant(self):
+        freqs = np.tile([0.3, 0.7], (40, 1))
+        assert lsp_drift_term(freqs, 10) == 0.0
+
+    def test_lsp_drift_term_positive_for_moving(self):
+        t = np.linspace(0, 0.3, 40)
+        freqs = np.column_stack([0.5 + t, 0.5 - t])
+        assert lsp_drift_term(freqs, 10) > 0
+
+
+class TestTheorem61:
+    def test_gap_positive_everywhere(self):
+        for eps in (0.5, 1.0, 2.5):
+            for w in (5, 20, 50):
+                for d in (2, 77):
+                    assert theorem_6_1_gap(eps, 200_000, w, d) > 0
+
+    def test_empirical_agreement_lbu(self, constant_stream):
+        """Measured LBU MSE matches V(eps/w, N) on a static stream."""
+        eps, w = 1.0, 5
+        mses = []
+        for seed in range(10):
+            result = run_stream(
+                "LBU", constant_stream, epsilon=eps, window=w, seed=seed
+            )
+            mses.append(np.mean(result.errors() ** 2))
+        predicted = mse_lbu(eps, constant_stream.n_users, w, 2)
+        assert np.mean(mses) == pytest.approx(predicted, rel=0.3)
+
+    def test_empirical_agreement_lpu(self, constant_stream):
+        eps, w = 1.0, 5
+        mses = []
+        for seed in range(10):
+            result = run_stream(
+                "LPU", constant_stream, epsilon=eps, window=w, seed=seed
+            )
+            mses.append(np.mean(result.errors() ** 2))
+        predicted = mse_lpu(eps, constant_stream.n_users, w, 2)
+        assert np.mean(mses) == pytest.approx(predicted, rel=0.3)
+
+    def test_empirical_ordering(self, constant_stream):
+        """LPU empirically beats LBU, as Theorem 6.1 demands."""
+        lbu, lpu = [], []
+        for seed in range(5):
+            lbu.append(
+                np.mean(
+                    run_stream(
+                        "LBU", constant_stream, epsilon=1.0, window=5, seed=seed
+                    ).errors()
+                    ** 2
+                )
+            )
+            lpu.append(
+                np.mean(
+                    run_stream(
+                        "LPU", constant_stream, epsilon=1.0, window=5, seed=seed
+                    ).errors()
+                    ** 2
+                )
+            )
+        assert np.mean(lpu) < np.mean(lbu)
+
+
+class TestAdaptiveVariances:
+    def test_lpd_beats_lbd_per_eq_10(self):
+        """Σ Var of LPD's publications < LBD's for the same m (Sec. 6.3.2)."""
+        for m in (1, 2, 4, 8):
+            assert publication_variance_lpd(1.0, 200_000, m, 2) < (
+                publication_variance_lbd(1.0, 200_000, m, 2)
+            )
+
+    def test_lpa_beats_lba_per_eq_11(self):
+        for m in (1, 2, 4, 8):
+            assert publication_variance_lpa(1.0, 200_000, m, 20, 2) < (
+                publication_variance_lba(1.0, 200_000, m, 20, 2)
+            )
+
+    def test_lbd_error_explodes_with_m(self):
+        """Exponential budget decay: error grows dramatically with m."""
+        v2 = publication_variance_lbd(1.0, 200_000, 2, 2)
+        v8 = publication_variance_lbd(1.0, 200_000, 8, 2)
+        assert v8 > 10 * v2
+
+    def test_lba_error_grows_mildly_with_m(self):
+        v2 = publication_variance_lba(1.0, 200_000, 2, 20, 2)
+        v8 = publication_variance_lba(1.0, 200_000, 8, 20, 2)
+        assert v8 < 50 * v2
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            publication_variance_lbd(1.0, 1_000, 0, 2)
+        with pytest.raises(InvalidParameterError):
+            publication_variance_lba(1.0, 1_000, 30, 20, 2)

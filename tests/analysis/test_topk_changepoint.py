@@ -1,0 +1,130 @@
+"""Tests for top-k tracking and change-point detection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cusum_detect,
+    rank_displacement,
+    score_change_points,
+    topk_precision,
+    topk_recall_curve,
+    topk_sets,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestTopK:
+    @pytest.fixture
+    def trace(self):
+        return np.array([[0.5, 0.3, 0.15, 0.05], [0.1, 0.2, 0.3, 0.4]])
+
+    def test_topk_sets(self, trace):
+        sets = topk_sets(trace, 2)
+        assert sets[0] == {0, 1}
+        assert sets[1] == {2, 3}
+
+    def test_perfect_precision(self, trace):
+        assert topk_precision(trace, trace, 2) == 1.0
+
+    def test_partial_precision(self, trace):
+        shuffled = trace[:, [1, 0, 3, 2]]
+        precision = topk_precision(shuffled, trace, 1)
+        assert 0.0 <= precision < 1.0
+
+    def test_noise_degrades_precision(self, rng):
+        truth = np.tile(np.linspace(1.0, 0.1, 10) / 5.5, (20, 1))
+        slight = truth + rng.normal(0, 0.001, size=truth.shape)
+        heavy = truth + rng.normal(0, 0.2, size=truth.shape)
+        assert topk_precision(slight, truth, 3) > topk_precision(heavy, truth, 3)
+
+    def test_recall_curve_keys(self, trace):
+        curve = topk_recall_curve(trace, trace, 3)
+        assert set(curve) == {1, 2, 3}
+        assert all(v == 1.0 for v in curve.values())
+
+    def test_rank_displacement_zero_for_exact(self, trace):
+        assert rank_displacement(trace, trace, 2) == 0.0
+
+    def test_rank_displacement_positive_when_swapped(self, trace):
+        swapped = trace[:, [3, 2, 1, 0]]
+        assert rank_displacement(swapped, trace, 2) > 0
+
+    def test_invalid_k(self, trace):
+        with pytest.raises(InvalidParameterError):
+            topk_precision(trace, trace, 0)
+        with pytest.raises(InvalidParameterError):
+            topk_precision(trace, trace, 5)
+
+    def test_shape_mismatch(self, trace):
+        with pytest.raises(InvalidParameterError):
+            topk_precision(trace, trace[:1], 2)
+
+
+class TestCUSUM:
+    def test_detects_a_level_shift(self):
+        series = np.concatenate([np.full(50, 0.1), np.full(50, 0.3)])
+        alarms = cusum_detect(series, drift=0.05, threshold=0.2)
+        assert any(50 <= t <= 55 for t in alarms)
+
+    def test_quiet_on_constant_series(self):
+        alarms = cusum_detect(np.full(100, 0.2), drift=0.01, threshold=0.1)
+        assert alarms == []
+
+    def test_detects_downward_shift(self):
+        series = np.concatenate([np.full(40, 0.5), np.full(40, 0.2)])
+        alarms = cusum_detect(series, drift=0.05, threshold=0.2)
+        assert any(40 <= t <= 45 for t in alarms)
+
+    def test_noise_robustness_via_drift(self, rng):
+        series = 0.2 + rng.normal(0, 0.01, size=200)
+        alarms = cusum_detect(series, drift=0.05, threshold=0.3)
+        assert len(alarms) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            cusum_detect(np.array([1.0]), drift=-0.1, threshold=1.0)
+        with pytest.raises(InvalidParameterError):
+            cusum_detect(np.array([1.0]), drift=0.1, threshold=0.0)
+        with pytest.raises(InvalidParameterError):
+            cusum_detect(np.empty(0), drift=0.1, threshold=1.0)
+
+
+class TestScoring:
+    def test_perfect_match(self):
+        report = score_change_points([52, 101], [50, 100], tolerance=5)
+        assert report.matched == 2
+        assert report.recall == 1.0
+        assert report.mean_delay == pytest.approx(1.5)
+        assert report.false_alarms == 0
+
+    def test_false_alarms_counted(self):
+        report = score_change_points([10, 52], [50], tolerance=5)
+        assert report.matched == 1
+        assert report.false_alarms == 1
+
+    def test_missed_points(self):
+        report = score_change_points([], [50, 100], tolerance=5)
+        assert report.matched == 0
+        assert report.recall == 0.0
+        assert np.isnan(report.mean_delay)
+
+    def test_detection_cannot_precede_change(self):
+        report = score_change_points([48], [50], tolerance=5)
+        assert report.matched == 0
+        assert report.false_alarms == 1
+
+    def test_end_to_end_on_private_release(self):
+        """LPA's release supports CUSUM change detection on a step stream."""
+        from repro.analysis import monitored_statistic
+        from repro.engine import run_stream
+        from repro.streams import make_step
+
+        stream = make_step(
+            n_users=20_000, horizon=90, low=0.05, high=0.3, period=30, seed=6
+        )
+        result = run_stream("LPA", stream, epsilon=2.0, window=10, seed=2)
+        series = monitored_statistic(result.releases)
+        alarms = cusum_detect(series, drift=0.05, threshold=0.1)
+        report = score_change_points(alarms, [30, 60], tolerance=8)
+        assert report.recall >= 0.5

@@ -1,0 +1,101 @@
+"""Unit tests for the CDP substrate: Laplace baselines, BD and BA."""
+
+import numpy as np
+import pytest
+
+from repro.cdp import BA, BD, CDPSample, CDPUniform, frequency_noise_scale
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def flat_stream():
+    """A static (T=40, d=3) frequency matrix."""
+    return np.tile(np.array([0.5, 0.3, 0.2]), (40, 1))
+
+
+@pytest.fixture
+def drifting_stream(rng):
+    base = np.array([0.5, 0.3, 0.2])
+    drift = np.cumsum(rng.normal(0, 0.01, size=(40, 3)), axis=0)
+    freqs = np.clip(base + drift, 0.01, None)
+    return freqs / freqs.sum(axis=1, keepdims=True)
+
+
+class TestNoiseScale:
+    def test_formula(self):
+        assert frequency_noise_scale(1.0, 100) == pytest.approx(2.0 / 100)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(InvalidParameterError):
+            frequency_noise_scale(0.0, 100)
+        with pytest.raises(InvalidParameterError):
+            frequency_noise_scale(1.0, 0)
+
+
+class TestCDPUniform:
+    def test_unbiased(self, flat_stream):
+        result = CDPUniform().release(flat_stream, 10_000, 5.0, 5, seed=0)
+        assert np.allclose(result.releases.mean(axis=0), [0.5, 0.3, 0.2], atol=0.01)
+
+    def test_noise_scale_matches_budget_split(self, flat_stream):
+        runs = [
+            CDPUniform().release(flat_stream, 1_000, 1.0, 10, seed=s).releases
+            for s in range(30)
+        ]
+        noise = np.concatenate([r - flat_stream for r in runs]).ravel()
+        expected_std = np.sqrt(2) * frequency_noise_scale(0.1, 1_000)
+        assert noise.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_all_publish(self, flat_stream):
+        result = CDPUniform().release(flat_stream, 1_000, 1.0, 5, seed=0)
+        assert result.publication_count == flat_stream.shape[0]
+
+
+class TestCDPSample:
+    def test_publishes_once_per_window(self, flat_stream):
+        result = CDPSample().release(flat_stream, 1_000, 1.0, 8, seed=0)
+        publish_idx = [i for i, s in enumerate(result.strategies) if s == "publish"]
+        assert publish_idx == [0, 8, 16, 24, 32]
+
+    def test_approximations_repeat(self, flat_stream):
+        result = CDPSample().release(flat_stream, 1_000, 1.0, 8, seed=0)
+        for t in range(1, 8):
+            assert np.array_equal(result.releases[t], result.releases[0])
+
+
+@pytest.mark.parametrize("mechanism_cls", [BD, BA])
+class TestAdaptiveCDP:
+    def test_releases_shape(self, mechanism_cls, drifting_stream):
+        result = mechanism_cls().release(drifting_stream, 10_000, 1.0, 5, seed=0)
+        assert result.releases.shape == drifting_stream.shape
+
+    def test_tracks_stream(self, mechanism_cls, drifting_stream):
+        result = mechanism_cls().release(drifting_stream, 100_000, 2.0, 5, seed=0)
+        mae = np.mean(np.abs(result.releases - drifting_stream))
+        assert mae < 0.05
+
+    def test_flat_stream_mostly_approximates(self, mechanism_cls, flat_stream):
+        result = mechanism_cls().release(flat_stream, 100_000, 1.0, 5, seed=0)
+        assert result.publication_count < flat_stream.shape[0] / 2
+
+    def test_validation(self, mechanism_cls, flat_stream):
+        with pytest.raises(InvalidParameterError):
+            mechanism_cls().release(flat_stream, 0, 1.0, 5)
+        with pytest.raises(InvalidParameterError):
+            mechanism_cls().release(flat_stream, 100, -1.0, 5)
+        with pytest.raises(InvalidParameterError):
+            mechanism_cls().release(np.zeros(5), 100, 1.0, 5)
+
+
+class TestBABudgetInvariant:
+    def test_ba_beats_uniform_on_flat_stream(self, flat_stream):
+        """Absorption concentrates budget: smaller error than uniform."""
+        n, eps, w = 5_000, 1.0, 10
+        uniform_err = []
+        ba_err = []
+        for seed in range(10):
+            u = CDPUniform().release(flat_stream, n, eps, w, seed=seed)
+            b = BA().release(flat_stream, n, eps, w, seed=seed)
+            uniform_err.append(np.mean((u.releases - flat_stream) ** 2))
+            ba_err.append(np.mean((b.releases - flat_stream) ** 2))
+        assert np.mean(ba_err) < np.mean(uniform_err)

@@ -1,0 +1,113 @@
+"""Unit tests for the FAST and PeGaSus CDP substrates."""
+
+import numpy as np
+import pytest
+
+from repro.cdp import FAST, PeGaSus, PIDController, ScalarKalmanFilter
+from repro.exceptions import InvalidParameterError
+
+
+class TestKalmanFilter:
+    def test_converges_to_constant_signal(self):
+        kf = ScalarKalmanFilter(process_variance=1e-6, measurement_variance=0.01)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            kf.predict()
+            kf.correct(0.5 + rng.normal(0, 0.1))
+        assert kf.x == pytest.approx(0.5, abs=0.05)
+
+    def test_uncertainty_shrinks_with_observations(self):
+        kf = ScalarKalmanFilter(process_variance=1e-6, measurement_variance=0.01)
+        kf.predict()
+        p0 = kf.p
+        for _ in range(20):
+            kf.predict()
+            kf.correct(0.0)
+        assert kf.p < p0
+
+    def test_gain_in_unit_interval(self):
+        kf = ScalarKalmanFilter(1e-4, 1e-2)
+        kf.predict()
+        assert 0.0 < kf.innovation_gain < 1.0
+
+    def test_invalid_variances(self):
+        with pytest.raises(InvalidParameterError):
+            ScalarKalmanFilter(0.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            ScalarKalmanFilter(1.0, -1.0)
+
+
+class TestPIDController:
+    def test_zero_error_at_setpoint(self):
+        pid = PIDController(kp=1.0, ki=0.0, kd=0.0, setpoint=0.1)
+        assert pid.update(0.1) == pytest.approx(0.0)
+
+    def test_proportional_response(self):
+        pid = PIDController(kp=2.0, ki=0.0, kd=0.0, setpoint=0.0)
+        assert pid.update(0.5) == pytest.approx(1.0)
+
+    def test_integral_accumulates(self):
+        pid = PIDController(kp=0.0, ki=1.0, kd=0.0, setpoint=0.0)
+        pid.update(0.1)
+        assert pid.update(0.1) == pytest.approx(0.2)
+
+
+class TestFAST:
+    @pytest.fixture
+    def slow_stream(self, rng):
+        t = np.arange(120)
+        series = 0.3 + 0.05 * np.sin(0.05 * t)
+        return np.column_stack([series, 1.0 - series])
+
+    def test_release_shape(self, slow_stream):
+        result = FAST(max_samples=20).release(slow_stream, 10_000, 1.0, 10, seed=0)
+        assert result.releases.shape == slow_stream.shape
+
+    def test_sample_budget_respected(self, slow_stream):
+        fast = FAST(max_samples=15)
+        result = fast.release(slow_stream, 10_000, 1.0, 10, seed=0)
+        assert result.publication_count <= 15
+
+    def test_tracks_slow_stream(self, slow_stream):
+        result = FAST(max_samples=30).release(slow_stream, 100_000, 2.0, 10, seed=0)
+        mae = np.mean(np.abs(result.releases - slow_stream))
+        assert mae < 0.03
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(InvalidParameterError):
+            FAST(max_samples=0)
+
+
+class TestPeGaSus:
+    @pytest.fixture
+    def piecewise_stream(self):
+        level1 = np.tile([0.2, 0.8], (30, 1))
+        level2 = np.tile([0.6, 0.4], (30, 1))
+        return np.vstack([level1, level2])
+
+    def test_release_shape(self, piecewise_stream):
+        result = PeGaSus().release(piecewise_stream, 10_000, 1.0, 10, seed=0)
+        assert result.releases.shape == piecewise_stream.shape
+
+    def test_smoothing_beats_raw_perturbation(self, piecewise_stream):
+        """Grouped smoothing reduces MSE vs pure Laplace noise in the
+        noise-dominated regime PeGaSus targets (small population/budget)."""
+        n, eps = 100, 0.3
+        mse_pegasus, mse_raw = [], []
+        for seed in range(20):
+            result = PeGaSus(
+                perturber_fraction=0.8, deviation_threshold=0.2
+            ).release(piecewise_stream, n, eps, 10, seed=seed)
+            rng = np.random.default_rng(seed + 100)
+            raw = piecewise_stream + rng.laplace(
+                0, 2.0 / (eps * n), size=piecewise_stream.shape
+            )
+            mse_pegasus.append(np.mean((result.releases - piecewise_stream) ** 2))
+            mse_raw.append(np.mean((raw - piecewise_stream) ** 2))
+        assert np.mean(mse_pegasus) < np.mean(mse_raw)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            PeGaSus(perturber_fraction=1.5)
+        with pytest.raises(InvalidParameterError):
+            PeGaSus(deviation_threshold=-0.1)

@@ -1,0 +1,81 @@
+"""Tests for the RescueDP substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cdp import RescueDP, group_dimensions
+from repro.exceptions import InvalidParameterError
+
+
+class TestGrouping:
+    def test_similar_values_grouped(self):
+        groups = group_dimensions(np.array([0.10, 0.11, 0.50, 0.51]), 0.05)
+        as_sets = {frozenset(g.tolist()) for g in groups}
+        assert frozenset({0, 1}) in as_sets
+        assert frozenset({2, 3}) in as_sets
+
+    def test_zero_tolerance_splits_distinct(self):
+        groups = group_dimensions(np.array([0.1, 0.2, 0.3]), 0.0)
+        assert len(groups) == 3
+
+    def test_huge_tolerance_single_group(self):
+        groups = group_dimensions(np.array([0.1, 0.2, 0.9]), 10.0)
+        assert len(groups) == 1
+        assert set(groups[0].tolist()) == {0, 1, 2}
+
+    def test_partition_is_complete_and_disjoint(self, rng):
+        values = rng.random(20)
+        groups = group_dimensions(values, 0.1)
+        seen = np.concatenate(groups)
+        assert sorted(seen.tolist()) == list(range(20))
+
+
+class TestRescueDP:
+    @pytest.fixture
+    def multi_stream(self, rng):
+        base = np.array([0.3, 0.25, 0.2, 0.15, 0.1])
+        drift = np.cumsum(rng.normal(0, 0.005, size=(80, 5)), axis=0)
+        freqs = np.clip(base + drift, 0.01, None)
+        return freqs / freqs.sum(axis=1, keepdims=True)
+
+    def test_release_shape(self, multi_stream):
+        result = RescueDP().release(multi_stream, 10_000, 1.0, 10, seed=0)
+        assert result.releases.shape == multi_stream.shape
+
+    def test_tracks_stream(self, multi_stream):
+        result = RescueDP().release(multi_stream, 100_000, 2.0, 10, seed=0)
+        assert np.mean(np.abs(result.releases - multi_stream)) < 0.05
+
+    def test_budget_window_bounded(self, multi_stream):
+        """Internal ledger keeps any w consecutive sampling budgets <= eps.
+        Verified indirectly: with tiny budget the mechanism still runs and
+        samples sparsely instead of crashing."""
+        result = RescueDP().release(multi_stream, 10_000, 0.1, 5, seed=0)
+        assert result.publication_count < multi_stream.shape[0]
+
+    def test_samples_not_every_timestamp(self, multi_stream):
+        result = RescueDP().release(multi_stream, 10_000, 1.0, 10, seed=0)
+        assert 0 < result.publication_count < multi_stream.shape[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            RescueDP(budget_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            RescueDP(grouping_tolerance=-1.0)
+
+    def test_grouping_helps_on_many_small_cells(self, rng):
+        """With many similar small cells, grouping shares noise and should
+        beat FAST's independent per-cell observations at the same budget."""
+        from repro.cdp import FAST
+
+        d = 40
+        base = np.full(d, 1.0 / d)
+        freqs = np.tile(base, (60, 1))
+        n, eps, w = 2_000, 0.5, 10
+        rescue, fast = [], []
+        for seed in range(6):
+            r = RescueDP(grouping_tolerance=0.05).release(freqs, n, eps, w, seed=seed)
+            f = FAST(max_samples=10).release(freqs, n, eps, w, seed=seed)
+            rescue.append(np.mean((r.releases - freqs) ** 2))
+            fast.append(np.mean((f.releases - freqs) ** 2))
+        assert np.mean(rescue) < np.mean(fast)

@@ -1,0 +1,90 @@
+"""Unit tests for the collection engine."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Collector, TimestepContext, WEventAccountant
+from repro.exceptions import InvalidParameterError, PrivacyViolationError
+from repro.freq_oracles import GRR
+
+
+def make_collector(stream, fast=True, epsilon=1.0, window=5, enforce=True):
+    accountant = WEventAccountant(
+        n_users=stream.n_users, epsilon=epsilon, window=window, enforce=enforce
+    )
+    return Collector(
+        dataset=stream,
+        oracle=GRR(),
+        accountant=accountant,
+        rng=np.random.default_rng(0),
+        fast=fast,
+    )
+
+
+class TestCollect:
+    def test_collect_all_users(self, small_binary_stream):
+        collector = make_collector(small_binary_stream)
+        estimate = collector.collect(0, 0.2)
+        assert estimate.n_reports == small_binary_stream.n_users
+        assert collector.total_reports == small_binary_stream.n_users
+
+    def test_collect_subset(self, small_binary_stream):
+        collector = make_collector(small_binary_stream)
+        ids = np.arange(100)
+        estimate = collector.collect(0, 1.0, user_ids=ids)
+        assert estimate.n_reports == 100
+        assert collector.total_reports == 100
+
+    def test_estimate_tracks_subset_truth(self, small_binary_stream):
+        collector = make_collector(small_binary_stream)
+        estimate = collector.collect(0, 1.0, user_ids=np.arange(1_000))
+        truth = small_binary_stream.true_frequencies(0)
+        assert np.allclose(estimate.frequencies, truth, atol=0.1)
+
+    def test_empty_group_rejected(self, small_binary_stream):
+        collector = make_collector(small_binary_stream)
+        with pytest.raises(InvalidParameterError):
+            collector.collect(0, 1.0, user_ids=np.empty(0, dtype=np.int64))
+
+    def test_slow_path_equivalent_interface(self, small_binary_stream):
+        collector = make_collector(small_binary_stream, fast=False)
+        estimate = collector.collect(0, 0.5)
+        assert estimate.n_reports == small_binary_stream.n_users
+
+    def test_accountant_is_charged(self, small_binary_stream):
+        collector = make_collector(small_binary_stream, epsilon=1.0, window=5)
+        collector.collect(0, 0.6)
+        with pytest.raises(PrivacyViolationError):
+            collector.collect(1, 0.6)
+
+    def test_no_accountant_allowed(self, small_binary_stream):
+        collector = Collector(
+            dataset=small_binary_stream,
+            oracle=GRR(),
+            accountant=None,
+            rng=np.random.default_rng(0),
+        )
+        collector.collect(0, 10.0)  # unmetered, must not raise
+
+
+class TestTimestepContext:
+    def test_binds_timestamp(self, small_binary_stream):
+        collector = make_collector(small_binary_stream)
+        ctx = TimestepContext(collector, 0)
+        assert ctx.t == 0
+        assert ctx.n_users == small_binary_stream.n_users
+        assert ctx.domain_size == 2
+
+    def test_collect_uses_bound_t(self, small_binary_stream):
+        collector = make_collector(small_binary_stream, epsilon=5.0)
+        ctx0 = TimestepContext(collector, 0)
+        ctx0.collect(1.0)
+        ctx1 = TimestepContext(collector, 1)
+        estimate = ctx1.collect(1.0)
+        truth = small_binary_stream.true_frequencies(1)
+        assert np.allclose(estimate.frequencies, truth, atol=0.05)
+
+    def test_oracle_exposed_for_error_prediction(self, small_binary_stream):
+        collector = make_collector(small_binary_stream)
+        ctx = TimestepContext(collector, 0)
+        assert ctx.oracle.variance(1.0, 100, 2) > 0

@@ -1,0 +1,102 @@
+"""Unit tests for the user pool (population-division substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import UserPool
+from repro.exceptions import InvalidParameterError, PopulationExhaustedError
+
+
+class TestSampling:
+    def test_samples_are_distinct(self):
+        pool = UserPool(100, seed=1)
+        ids = pool.sample(50)
+        assert len(np.unique(ids)) == 50
+
+    def test_samples_are_disjoint_across_calls(self):
+        pool = UserPool(100, seed=1)
+        a = pool.sample(40)
+        b = pool.sample(40)
+        assert len(np.intersect1d(a, b)) == 0
+
+    def test_availability_decreases(self):
+        pool = UserPool(100, seed=1)
+        pool.sample(30)
+        assert pool.n_available == 70
+
+    def test_zero_sample_is_empty(self):
+        pool = UserPool(10, seed=1)
+        out = pool.sample(0)
+        assert out.size == 0
+        assert pool.n_available == 10
+
+    def test_exhaustion_raises(self):
+        pool = UserPool(10, seed=1)
+        pool.sample(8)
+        with pytest.raises(PopulationExhaustedError):
+            pool.sample(3)
+
+    def test_negative_sample_rejected(self):
+        pool = UserPool(10, seed=1)
+        with pytest.raises(InvalidParameterError):
+            pool.sample(-1)
+
+    def test_sampling_is_uniform(self):
+        """Each user is roughly equally likely to be drawn first."""
+        hits = np.zeros(20)
+        for seed in range(2_000):
+            pool = UserPool(20, seed=seed)
+            hits[pool.sample(1)[0]] += 1
+        assert hits.std() / hits.mean() < 0.15
+
+
+class TestRecycling:
+    def test_recycle_restores_availability(self):
+        pool = UserPool(50, seed=2)
+        ids = pool.sample(20)
+        pool.recycle(ids)
+        assert pool.n_available == 50
+
+    def test_recycled_users_can_be_resampled(self):
+        pool = UserPool(10, seed=2)
+        ids = pool.sample(10)
+        pool.recycle(ids)
+        again = pool.sample(10)
+        assert len(np.unique(again)) == 10
+
+    def test_double_recycle_rejected(self):
+        pool = UserPool(10, seed=2)
+        ids = pool.sample(5)
+        pool.recycle(ids)
+        with pytest.raises(InvalidParameterError):
+            pool.recycle(ids)
+
+    def test_recycle_never_sampled_rejected(self):
+        pool = UserPool(10, seed=2)
+        with pytest.raises(InvalidParameterError):
+            pool.recycle(np.array([3]))
+
+    def test_recycle_empty_is_noop(self):
+        pool = UserPool(10, seed=2)
+        pool.recycle(np.empty(0, dtype=np.int64))
+        assert pool.n_available == 10
+
+    def test_out_of_range_rejected(self):
+        pool = UserPool(10, seed=2)
+        with pytest.raises(InvalidParameterError):
+            pool.recycle(np.array([99]))
+
+
+class TestAvailability:
+    def test_is_available_tracks_state(self):
+        pool = UserPool(5, seed=3)
+        ids = pool.sample(5)
+        for uid in ids:
+            assert not pool.is_available(int(uid))
+        pool.recycle(ids[:2])
+        assert pool.is_available(int(ids[0]))
+        assert pool.is_available(int(ids[1]))
+
+    def test_invalid_constructor(self):
+        with pytest.raises(InvalidParameterError):
+            UserPool(0)

@@ -1,0 +1,59 @@
+"""Unit tests for step/session result records."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    STRATEGY_APPROXIMATE,
+    STRATEGY_PUBLISH,
+    SessionResult,
+    StepRecord,
+)
+
+
+def make_result(horizon=10, n_users=100, total_reports=500, strategies=None):
+    strategies = strategies or [STRATEGY_PUBLISH] * horizon
+    records = [
+        StepRecord(t=t, release=np.zeros(2), strategy=strategies[t])
+        for t in range(horizon)
+    ]
+    return SessionResult(
+        mechanism="X",
+        oracle="grr",
+        epsilon=1.0,
+        window=5,
+        n_users=n_users,
+        domain_size=2,
+        releases=np.zeros((horizon, 2)),
+        true_frequencies=np.full((horizon, 2), 0.5),
+        records=records,
+        total_reports=total_reports,
+    )
+
+
+class TestSessionResult:
+    def test_cfpu(self):
+        result = make_result(horizon=10, n_users=100, total_reports=500)
+        assert result.cfpu == pytest.approx(0.5)
+
+    def test_publication_count(self):
+        strategies = [STRATEGY_PUBLISH] * 3 + [STRATEGY_APPROXIMATE] * 7
+        result = make_result(strategies=strategies)
+        assert result.publication_count == 3
+        assert result.publication_rate == pytest.approx(0.3)
+
+    def test_horizon(self):
+        assert make_result(horizon=7).horizon == 7
+
+    def test_errors_shape_and_value(self):
+        result = make_result()
+        errors = result.errors()
+        assert errors.shape == (10, 2)
+        assert np.allclose(errors, -0.5)
+
+    def test_steprecord_defaults(self):
+        record = StepRecord(t=0, release=np.zeros(3), strategy=STRATEGY_APPROXIMATE)
+        assert record.publication_epsilon == 0.0
+        assert record.reports == 0
+        assert np.isnan(record.dis)
+        assert np.isnan(record.err)

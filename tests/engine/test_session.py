@@ -1,0 +1,92 @@
+"""Unit tests for the session driver."""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_stream
+from repro.exceptions import InvalidParameterError
+from repro.streams import TaxiSimulator, make_constant
+
+
+class TestRunStream:
+    def test_result_shapes(self, small_binary_stream):
+        result = run_stream("LBU", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        horizon = small_binary_stream.horizon
+        assert result.releases.shape == (horizon, 2)
+        assert result.true_frequencies.shape == (horizon, 2)
+        assert len(result.records) == horizon
+
+    def test_metadata(self, small_binary_stream):
+        result = run_stream(
+            "LPU", small_binary_stream, epsilon=2.0, window=4, oracle="oue", seed=0
+        )
+        assert result.mechanism == "LPU"
+        assert result.oracle == "oue"
+        assert result.epsilon == 2.0
+        assert result.window == 4
+        assert result.n_users == small_binary_stream.n_users
+
+    def test_horizon_override(self, small_binary_stream):
+        result = run_stream(
+            "LBU", small_binary_stream, epsilon=1.0, window=5, horizon=10, seed=0
+        )
+        assert result.horizon == 10
+
+    def test_horizon_required_for_unbounded(self):
+        stream = TaxiSimulator(n_users=200, horizon=None, seed=0)
+        with pytest.raises(InvalidParameterError):
+            run_stream("LBU", stream, epsilon=1.0, window=5, seed=0)
+        result = run_stream(
+            "LBU", stream, epsilon=1.0, window=5, horizon=8, seed=0
+        )
+        assert result.horizon == 8
+
+    def test_seed_reproducibility(self, small_binary_stream):
+        a = run_stream("LPA", small_binary_stream, epsilon=1.0, window=5, seed=99)
+        b = run_stream("LPA", small_binary_stream, epsilon=1.0, window=5, seed=99)
+        assert np.array_equal(a.releases, b.releases)
+        assert a.total_reports == b.total_reports
+
+    def test_different_seeds_differ(self, small_binary_stream):
+        a = run_stream("LBU", small_binary_stream, epsilon=1.0, window=5, seed=1)
+        b = run_stream("LBU", small_binary_stream, epsilon=1.0, window=5, seed=2)
+        assert not np.array_equal(a.releases, b.releases)
+
+    def test_postprocess_applied(self, small_binary_stream):
+        result = run_stream(
+            "LBU",
+            small_binary_stream,
+            epsilon=0.5,
+            window=10,
+            seed=0,
+            postprocess="norm_sub",
+        )
+        assert (result.releases >= 0).all()
+        assert np.allclose(result.releases.sum(axis=1), 1.0)
+
+    def test_slow_path_runs(self, constant_stream):
+        result = run_stream(
+            "LBU", constant_stream, epsilon=1.0, window=5, seed=0, fast=False
+        )
+        assert result.horizon == constant_stream.horizon
+
+    def test_invalid_horizon(self, small_binary_stream):
+        with pytest.raises(InvalidParameterError):
+            run_stream(
+                "LBU", small_binary_stream, epsilon=1.0, window=5, horizon=0, seed=0
+            )
+
+    def test_max_window_spend_recorded(self, small_binary_stream):
+        result = run_stream("LBU", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert 0 < result.max_window_spend <= 1.0 + 1e-9
+
+    def test_mechanism_instance_accepted(self, small_binary_stream):
+        from repro.mechanisms import LSP
+
+        result = run_stream(
+            LSP(offset=3), small_binary_stream, epsilon=1.0, window=5, seed=0
+        )
+        publish_ts = [
+            r.t for r in result.records if r.strategy == "publish"
+        ]
+        assert all(t % 5 == 3 for t in publish_ts)

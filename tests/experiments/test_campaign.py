@@ -1,0 +1,68 @@
+"""Tests for the full-evaluation campaign runner."""
+
+import pytest
+
+from repro.experiments import ARTIFACTS, run_campaign
+from repro.experiments.campaign import run_campaign as run_campaign_direct
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """One tiny campaign, shared by all assertions in this module."""
+    out = tmp_path_factory.mktemp("campaign")
+    results = run_campaign(
+        output_dir=out, size="smoke", repeats=1, seed=1, verbose=False
+    )
+    return out, results
+
+
+class TestCampaign:
+    def test_all_artifacts_produced(self, campaign):
+        out, results = campaign
+        for name in ARTIFACTS:
+            assert name in results
+            assert (out / f"{name}.txt").exists(), f"missing {name}.txt"
+
+    def test_csv_series_written(self, campaign):
+        out, _ = campaign
+        # ROC curves and table2 are text-only; the figures get CSVs.
+        for name in ("fig4", "fig5", "fig8"):
+            csv_path = out / f"{name}.csv"
+            assert csv_path.exists()
+            header = csv_path.read_text().splitlines()[0]
+            assert header == "panel,method,x,value"
+
+    def test_fig4_artifact_contains_all_methods(self, campaign):
+        out, _ = campaign
+        text = (out / "fig4.txt").read_text()
+        for method in ("LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA"):
+            assert method in text
+
+    def test_table2_artifact_has_paper_reference(self, campaign):
+        out, _ = campaign
+        text = (out / "table2.txt").read_text()
+        assert "/" in text  # measured/paper format
+        assert "eps=2, w=40" in text
+
+    def test_elapsed_recorded(self, campaign):
+        _, results = campaign
+        assert results["elapsed_seconds"] > 0
+
+    def test_no_output_dir_is_fine(self):
+        results = run_campaign_direct(
+            output_dir=None, size="smoke", seed=2, verbose=False
+        )
+        assert set(ARTIFACTS) <= set(results)
+
+
+class TestCampaignCLI:
+    def test_cli_campaign(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            ["campaign", "--size", "smoke", "--out", str(tmp_path / "artifacts")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign finished" in out
+        assert (tmp_path / "artifacts" / "table2.txt").exists()

@@ -1,0 +1,58 @@
+"""Unit tests for the experiment dataset registry."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import ALL_DATASETS, dataset_names, dataset_size, make_dataset
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert len(dataset_names()) == 6
+        assert set(ALL_DATASETS) == {
+            "LNS",
+            "Sin",
+            "Log",
+            "Taxi",
+            "Foursquare",
+            "Taobao",
+        }
+
+    def test_paper_sizes_match_section_7_1(self):
+        assert dataset_size("LNS", "paper") == (200_000, 800)
+        assert dataset_size("Taxi", "paper") == (10_357, 886)
+        assert dataset_size("Foursquare", "paper") == (265_149, 447)
+        assert dataset_size("Taobao", "paper") == (1_023_154, 432)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_dataset("Nope")
+        with pytest.raises(InvalidParameterError):
+            dataset_size("LNS", "huge")
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_smoke_size_instantiates(self, name):
+        stream = make_dataset(name, size="smoke", seed=1)
+        n, t = dataset_size(name, "smoke")
+        assert stream.n_users == n
+        assert stream.horizon == t
+
+    def test_paper_domain_sizes(self):
+        assert make_dataset("Taxi", size="smoke", seed=1).domain_size == 5
+        assert make_dataset("Foursquare", size="smoke", seed=1).domain_size == 77
+        assert make_dataset("Taobao", size="smoke", seed=1).domain_size == 117
+        assert make_dataset("LNS", size="smoke", seed=1).domain_size == 2
+
+    def test_overrides(self):
+        stream = make_dataset("Sin", n_users=1_234, horizon=55, seed=1)
+        assert stream.n_users == 1_234
+        assert stream.horizon == 55
+
+    def test_generator_kwargs_forwarded(self):
+        stream = make_dataset(
+            "Sin", size="smoke", b=0.5, amplitude=0.2, offset=0.5, seed=1
+        )
+        series = stream.frequency_matrix()[:, 1]
+        assert series.max() > 0.6  # amplitude+offset visible

@@ -1,0 +1,173 @@
+"""Smoke + structure tests for the figure/table series generators.
+
+These run every generator at tiny sizes and assert the *structure* matches
+the paper's figures (methods, x-axes, value ranges).  The heavier
+shape-of-results assertions live in tests/integration/test_paper_shape.py
+and in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FIG7_METHODS,
+    PAPER_TABLE2,
+    TABLE2_DATASETS,
+    TABLE2_SETTINGS,
+    fig4_utility_vs_epsilon,
+    fig5_utility_vs_window,
+    fig6_fluctuation,
+    fig6_population,
+    fig7_event_monitoring,
+    fig8_communication,
+    format_figure,
+    format_roc_summary,
+    format_series_table,
+    format_table2,
+    table2_cfpu,
+)
+from repro.mechanisms import ALL_METHODS
+
+
+class TestFig4:
+    def test_structure(self):
+        series = fig4_utility_vs_epsilon(
+            datasets=("LNS",),
+            methods=("LBU", "LPU"),
+            epsilons=(0.5, 1.0),
+            size="smoke",
+            seed=0,
+        )
+        assert set(series) == {"LNS"}
+        assert set(series["LNS"]) == {"LBU", "LPU"}
+        assert set(series["LNS"]["LBU"]) == {0.5, 1.0}
+        assert all(v > 0 for v in series["LNS"]["LBU"].values())
+
+
+class TestFig5:
+    def test_structure(self):
+        series = fig5_utility_vs_window(
+            datasets=("Sin",),
+            methods=("LPU",),
+            windows=(5, 10),
+            size="smoke",
+            seed=0,
+        )
+        assert set(series["Sin"]["LPU"]) == {5, 10}
+
+
+class TestFig6:
+    def test_population_panel(self):
+        series = fig6_population(
+            populations=(2_000, 4_000),
+            datasets=("LNS",),
+            methods=("LBU", "LPU"),
+            horizon=40,
+            seed=0,
+        )
+        assert set(series["LNS"]["LPU"]) == {2_000.0, 4_000.0}
+
+    def test_error_decreases_with_population(self):
+        series = fig6_population(
+            populations=(2_000, 16_000),
+            datasets=("LNS",),
+            methods=("LPU",),
+            horizon=60,
+            repeats=3,
+            seed=0,
+        )
+        values = series["LNS"]["LPU"]
+        assert values[16_000.0] < values[2_000.0]
+
+    def test_fluctuation_panels(self):
+        series = fig6_fluctuation(
+            q_values=(0.001, 0.008),
+            b_values=(0.01,),
+            methods=("LPA",),
+            n_users=4_000,
+            horizon=40,
+            seed=0,
+        )
+        assert set(series) == {"LNS", "Sin"}
+        assert set(series["LNS"]["LPA"]) == {0.001, 0.008}
+        assert set(series["Sin"]["LPA"]) == {0.01}
+
+
+class TestFig7:
+    def test_structure(self):
+        curves = fig7_event_monitoring(
+            datasets=("Sin",), methods=("LPU", "LPA"), size="smoke", seed=0
+        )
+        assert set(curves["Sin"]) == {"LPU", "LPA"}
+        for curve in curves["Sin"].values():
+            assert 0.0 <= curve.auc <= 1.0
+
+    def test_default_methods_match_paper(self):
+        assert FIG7_METHODS == ("LBA", "LSP", "LPU", "LPD", "LPA")
+
+
+class TestFig8:
+    def test_four_panels(self):
+        panels = fig8_communication(
+            methods=("LBU", "LPU"),
+            populations=(2_000,),
+            q_values=(0.01,),
+            epsilons=(1.0,),
+            windows=(5,),
+            n_users=2_000,
+            horizon=40,
+            seed=0,
+        )
+        assert set(panels) == {"N", "Q", "epsilon", "window"}
+        assert panels["N"]["LBU"][2_000.0] == pytest.approx(1.0)
+        assert panels["window"]["LPU"][5.0] == pytest.approx(0.2, rel=0.05)
+
+
+class TestTable2:
+    def test_structure_and_budget_division_rows(self):
+        table = table2_cfpu(
+            datasets=("Sin",), settings=((1.0, 5),), size="smoke", seed=0
+        )
+        block = table[(1.0, 5)]
+        assert set(block) == set(ALL_METHODS)
+        assert block["LBU"]["Sin"] == pytest.approx(1.0)
+        assert block["LSP"]["Sin"] == pytest.approx(1 / 5, rel=0.05)
+        assert 1.0 < block["LBD"]["Sin"] <= 2.0
+        assert block["LPD"]["Sin"] <= 1 / 5 + 1e-9
+
+    def test_paper_reference_complete(self):
+        for setting in TABLE2_SETTINGS:
+            block = PAPER_TABLE2[setting]
+            assert set(block) == set(ALL_METHODS)
+            for method in ALL_METHODS:
+                assert set(block[method]) == set(TABLE2_DATASETS)
+
+
+class TestReporting:
+    def test_series_table_renders(self):
+        text = format_series_table({"LBU": {0.5: 1.0, 1.0: 0.5}}, x_label="eps")
+        assert "LBU" in text
+        assert "0.5" in text
+
+    def test_figure_renders_panels(self):
+        text = format_figure({"LNS": {"LBU": {1.0: 0.1}}})
+        assert "== LNS ==" in text
+
+    def test_roc_summary_renders(self):
+        curves = fig7_event_monitoring(
+            datasets=("Sin",), methods=("LPU",), size="smoke", seed=0
+        )
+        text = format_roc_summary(curves)
+        assert "Sin" in text and "LPU" in text
+
+    def test_table2_renders_with_reference(self):
+        table = {
+            (1.0, 20): {"LBU": {"Sin": 1.0}},
+        }
+        paper = {(1.0, 20): {"LBU": {"Sin": 1.0}}}
+        text = format_table2(table, paper)
+        assert "1.0000/1.0000" in text
+
+    def test_missing_values_render_dash(self):
+        text = format_series_table({"A": {1.0: 0.5}, "B": {2.0: 0.1}})
+        assert "-" in text

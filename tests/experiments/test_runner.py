@@ -1,0 +1,77 @@
+"""Unit tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import evaluate, run_single, sweep
+from repro.streams import TaxiSimulator
+
+
+class TestEvaluate:
+    def test_metrics_present(self, small_binary_stream):
+        cell = evaluate("LPU", small_binary_stream, 1.0, 5, seed=0)
+        assert cell.mechanism == "LPU"
+        assert cell.mre > 0
+        assert cell.mae > 0
+        assert cell.mse > 0
+        assert 0 < cell.cfpu <= 1.0
+        assert 0 <= cell.publication_rate <= 1.0
+        assert np.isnan(cell.auc)  # ROC off by default
+
+    def test_roc_enabled(self, small_binary_stream):
+        cell = evaluate("LPU", small_binary_stream, 1.0, 5, seed=0, with_roc=True)
+        assert 0.0 <= cell.auc <= 1.0
+
+    def test_repeats_average(self, small_binary_stream):
+        one = evaluate("LBU", small_binary_stream, 1.0, 5, seed=0, repeats=1)
+        many = evaluate("LBU", small_binary_stream, 1.0, 5, seed=0, repeats=4)
+        assert many.repeats == 4
+        assert many.mre == pytest.approx(one.mre, rel=0.5)
+
+    def test_invalid_repeats(self, small_binary_stream):
+        with pytest.raises(InvalidParameterError):
+            evaluate("LBU", small_binary_stream, 1.0, 5, repeats=0)
+
+    def test_generative_stream_rewound_between_runs(self):
+        stream = TaxiSimulator(n_users=500, horizon=20, seed=1)
+        evaluate("LBU", stream, 1.0, 5, seed=0, repeats=2)
+        # A third evaluation still works because reset() rewinds the cursor.
+        cell = evaluate("LPU", stream, 1.0, 5, seed=0)
+        assert cell.mre > 0
+
+    def test_as_dict(self, small_binary_stream):
+        cell = evaluate("LPU", small_binary_stream, 1.0, 5, seed=0)
+        d = cell.as_dict()
+        assert set(d) == {"mre", "mae", "mse", "cfpu", "publication_rate", "auc"}
+
+
+class TestSweep:
+    def test_grid_shape(self, small_binary_stream):
+        results = sweep(
+            ["LBU", "LPU"],
+            small_binary_stream,
+            epsilons=(0.5, 1.0),
+            windows=(5,),
+            seed=0,
+        )
+        assert set(results) == {"LBU", "LPU"}
+        assert set(results["LBU"]) == {(0.5, 5), (1.0, 5)}
+
+    def test_error_decreases_with_epsilon(self, small_binary_stream):
+        results = sweep(
+            ["LBU"],
+            small_binary_stream,
+            epsilons=(0.5, 2.5),
+            windows=(5,),
+            seed=0,
+            repeats=3,
+        )
+        assert results["LBU"][(2.5, 5)].mre < results["LBU"][(0.5, 5)].mre
+
+
+class TestRunSingle:
+    def test_returns_session_result(self, small_binary_stream):
+        result = run_single("LPA", small_binary_stream, 1.0, 5, seed=0)
+        assert result.mechanism == "LPA"
+        assert result.horizon == small_binary_stream.horizon

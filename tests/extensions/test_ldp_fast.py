@@ -1,0 +1,59 @@
+"""Tests for the LPF extension (population-division FAST)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import mean_squared_error
+from repro.engine import STRATEGY_PUBLISH, run_stream
+from repro.exceptions import InvalidParameterError
+from repro.extensions import LPF
+from repro.mechanisms import get_mechanism
+from repro.streams import BinaryStream, make_sin
+
+
+class TestLPFBasics:
+    def test_registered(self):
+        assert get_mechanism("lpf").name == "LPF"
+
+    def test_runs_and_tracks(self, small_sin_stream):
+        result = run_stream("LPF", small_sin_stream, epsilon=1.0, window=5, seed=0)
+        assert result.releases.shape == (small_sin_stream.horizon, 2)
+        assert mean_squared_error(result.releases, result.true_frequencies) < 0.05
+
+    def test_privacy_budget_respected(self, small_sin_stream):
+        result = run_stream("LPF", small_sin_stream, epsilon=1.0, window=5, seed=0)
+        assert result.max_window_spend <= 1.0 + 1e-9
+
+    def test_group_size_at_most_n_over_w(self, small_sin_stream):
+        w = 5
+        n = small_sin_stream.n_users
+        result = run_stream("LPF", small_sin_stream, epsilon=1.0, window=w, seed=0)
+        assert all(r.publication_users <= n // w for r in result.records)
+
+    def test_adaptive_interval_skips_timestamps(self, constant_stream):
+        """On a static stream the PID controller should slow sampling down."""
+        result = run_stream("LPF", constant_stream, epsilon=1.0, window=5, seed=0)
+        assert result.publication_rate < 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            LPF(process_variance=0.0)
+
+    def test_needs_enough_users(self):
+        tiny = BinaryStream(np.full(5, 0.5), n_users=3, seed=0)
+        with pytest.raises(InvalidParameterError):
+            run_stream("LPF", tiny, epsilon=1.0, window=5, seed=0)
+
+
+class TestLPFFiltering:
+    def test_kalman_smoothing_beats_raw_lpu_on_slow_stream(self):
+        """On a slowly varying stream, LPF's filtered estimates should beat
+        the unfiltered LPU releases with the same per-round population."""
+        stream = make_sin(n_users=10_000, horizon=100, b=0.005, seed=3)
+        lpf_mse, lpu_mse = [], []
+        for seed in range(5):
+            lpf = run_stream("LPF", stream, epsilon=0.5, window=10, seed=seed)
+            lpu = run_stream("LPU", stream, epsilon=0.5, window=10, seed=seed)
+            lpf_mse.append(mean_squared_error(lpf.releases, lpf.true_frequencies))
+            lpu_mse.append(mean_squared_error(lpu.releases, lpu.true_frequencies))
+        assert np.mean(lpf_mse) < np.mean(lpu_mse)

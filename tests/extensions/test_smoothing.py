@@ -1,0 +1,76 @@
+"""Tests for post-release smoothing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.extensions import (
+    adaptive_group_smoothing,
+    exponential_smoothing,
+    moving_average,
+)
+
+
+@pytest.fixture
+def noisy_constant(rng):
+    truth = np.tile([0.3, 0.7], (60, 1))
+    return truth, truth + rng.normal(0, 0.05, size=truth.shape)
+
+
+class TestMovingAverage:
+    def test_width_one_is_identity(self, noisy_constant):
+        _, noisy = noisy_constant
+        assert np.allclose(moving_average(noisy, 1), noisy)
+
+    def test_reduces_noise_on_constant(self, noisy_constant):
+        truth, noisy = noisy_constant
+        smoothed = moving_average(noisy, 10)
+        assert np.mean((smoothed - truth) ** 2) < np.mean((noisy - truth) ** 2)
+
+    def test_trailing_window_semantics(self):
+        trace = np.arange(10, dtype=float).reshape(-1, 1)
+        out = moving_average(trace, 3)
+        assert out[0, 0] == 0.0
+        assert out[2, 0] == pytest.approx(1.0)
+        assert out[9, 0] == pytest.approx(8.0)
+
+    def test_invalid_width(self, noisy_constant):
+        with pytest.raises(InvalidParameterError):
+            moving_average(noisy_constant[1], 0)
+
+
+class TestExponentialSmoothing:
+    def test_alpha_one_is_identity(self, noisy_constant):
+        _, noisy = noisy_constant
+        assert np.allclose(exponential_smoothing(noisy, 1.0), noisy)
+
+    def test_reduces_noise(self, noisy_constant):
+        truth, noisy = noisy_constant
+        smoothed = exponential_smoothing(noisy, 0.2)
+        assert np.mean((smoothed - truth) ** 2) < np.mean((noisy - truth) ** 2)
+
+    def test_invalid_alpha(self, noisy_constant):
+        with pytest.raises(InvalidParameterError):
+            exponential_smoothing(noisy_constant[1], 0.0)
+        with pytest.raises(InvalidParameterError):
+            exponential_smoothing(noisy_constant[1], 1.5)
+
+
+class TestAdaptiveGroupSmoothing:
+    def test_reduces_noise_on_flat_segments(self, noisy_constant):
+        truth, noisy = noisy_constant
+        smoothed = adaptive_group_smoothing(noisy, noise_std=0.05)
+        assert np.mean((smoothed - truth) ** 2) < np.mean((noisy - truth) ** 2)
+
+    def test_preserves_level_changes(self, rng):
+        truth = np.vstack(
+            [np.tile([0.2, 0.8], (30, 1)), np.tile([0.7, 0.3], (30, 1))]
+        )
+        noisy = truth + rng.normal(0, 0.02, size=truth.shape)
+        smoothed = adaptive_group_smoothing(noisy, noise_std=0.02)
+        # Early and late levels must stay distinguishable after smoothing.
+        assert abs(smoothed[:20, 0].mean() - smoothed[40:, 0].mean()) > 0.3
+
+    def test_invalid_noise_std(self, noisy_constant):
+        with pytest.raises(InvalidParameterError):
+            adaptive_group_smoothing(noisy_constant[1], noise_std=0.0)

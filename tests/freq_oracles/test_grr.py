@@ -1,0 +1,157 @@
+"""Unit tests for the GRR frequency oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.freq_oracles import GRR, grr_probabilities
+from repro.freq_oracles.variance import grr_mean_variance
+
+
+@pytest.fixture
+def oracle():
+    return GRR()
+
+
+class TestProbabilities:
+    def test_keep_probability_formula(self):
+        p, q = grr_probabilities(1.0, 4)
+        e = math.exp(1.0)
+        assert p == pytest.approx(e / (e + 3))
+        assert q == pytest.approx(1 / (e + 3))
+
+    def test_probabilities_sum_to_one_over_domain(self):
+        for d in (2, 5, 117):
+            p, q = grr_probabilities(0.7, d)
+            assert p + (d - 1) * q == pytest.approx(1.0)
+
+    def test_high_epsilon_approaches_truthful(self):
+        p, _ = grr_probabilities(20.0, 4)
+        assert p > 0.999
+
+    def test_ratio_respects_epsilon(self):
+        p, q = grr_probabilities(1.3, 10)
+        assert p / q == pytest.approx(math.exp(1.3))
+
+
+class TestPerturb:
+    def test_output_stays_in_domain(self, oracle, rng):
+        values = rng.integers(0, 6, size=500)
+        reports = oracle.perturb(values, 6, 1.0, rng=rng)
+        assert reports.min() >= 0
+        assert reports.max() < 6
+
+    def test_high_epsilon_is_near_identity(self, oracle, rng):
+        values = rng.integers(0, 4, size=200)
+        reports = oracle.perturb(values, 4, 30.0, rng=rng)
+        assert np.array_equal(reports, values)
+
+    def test_keep_rate_matches_p(self, oracle, rng):
+        values = np.zeros(40_000, dtype=np.int64)
+        reports = oracle.perturb(values, 5, 1.0, rng=rng)
+        p, _ = grr_probabilities(1.0, 5)
+        kept = float(np.mean(reports == 0))
+        assert kept == pytest.approx(p, abs=0.01)
+
+    def test_lie_is_uniform_over_others(self, oracle, rng):
+        values = np.zeros(120_000, dtype=np.int64)
+        reports = oracle.perturb(values, 4, 0.5, rng=rng)
+        lies = reports[reports != 0]
+        counts = np.bincount(lies, minlength=4)[1:]
+        assert counts.std() / counts.mean() < 0.05
+
+    def test_rejects_out_of_domain_values(self, oracle):
+        with pytest.raises(InvalidParameterError):
+            oracle.perturb(np.array([0, 5]), 4, 1.0)
+
+    def test_rejects_nonpositive_epsilon(self, oracle):
+        with pytest.raises(InvalidParameterError):
+            oracle.perturb(np.array([0, 1]), 4, 0.0)
+        with pytest.raises(InvalidParameterError):
+            oracle.perturb(np.array([0, 1]), 4, -1.0)
+
+    def test_rejects_tiny_domain(self, oracle):
+        with pytest.raises(InvalidParameterError):
+            oracle.perturb(np.array([0]), 1, 1.0)
+
+
+class TestAggregate:
+    def test_unbiasedness(self, oracle, rng):
+        true = np.array([0.5, 0.3, 0.2])
+        values = rng.choice(3, size=50_000, p=true)
+        reports = oracle.perturb(values, 3, 1.0, rng=rng)
+        estimate = oracle.aggregate(reports, 3, 1.0)
+        empirical = np.bincount(values, minlength=3) / values.size
+        assert np.allclose(estimate.frequencies, empirical, atol=0.03)
+
+    def test_estimate_sums_to_one(self, oracle, rng):
+        values = rng.integers(0, 4, size=5_000)
+        reports = oracle.perturb(values, 4, 1.0, rng=rng)
+        estimate = oracle.aggregate(reports, 4, 1.0)
+        # Debiasing preserves the total mass exactly.
+        assert estimate.frequencies.sum() == pytest.approx(1.0)
+
+    def test_metadata_fields(self, oracle, rng):
+        values = rng.integers(0, 4, size=1_000)
+        reports = oracle.perturb(values, 4, 2.0, rng=rng)
+        estimate = oracle.aggregate(reports, 4, 2.0)
+        assert estimate.n_reports == 1_000
+        assert estimate.epsilon == 2.0
+        assert estimate.domain_size == 4
+        assert estimate.variance == pytest.approx(grr_mean_variance(2.0, 1_000, 4))
+
+    def test_empty_reports_rejected(self, oracle):
+        with pytest.raises(InvalidParameterError):
+            oracle.aggregate(np.empty(0, dtype=np.int64), 4, 1.0)
+
+
+class TestSampleAggregate:
+    def test_matches_per_user_distribution(self, oracle):
+        """Count-level sampling and per-user simulation agree in moments."""
+        true_counts = np.array([700, 200, 100])
+        eps, d, runs = 0.8, 3, 400
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(2)
+        fast = np.array(
+            [
+                oracle.sample_aggregate(true_counts, eps, rng=rng_a).frequencies
+                for _ in range(runs)
+            ]
+        )
+        values = np.repeat(np.arange(d), true_counts)
+        slow = np.array(
+            [
+                oracle.aggregate(
+                    oracle.perturb(values, d, eps, rng=rng_b), d, eps
+                ).frequencies
+                for _ in range(runs)
+            ]
+        )
+        assert np.allclose(fast.mean(axis=0), slow.mean(axis=0), atol=0.02)
+        assert np.allclose(fast.std(axis=0), slow.std(axis=0), rtol=0.25)
+
+    def test_unbiased_at_count_level(self, oracle, rng):
+        true_counts = np.array([5_000, 3_000, 2_000])
+        estimates = np.array(
+            [
+                oracle.sample_aggregate(true_counts, 1.0, rng=rng).frequencies
+                for _ in range(200)
+            ]
+        )
+        assert np.allclose(estimates.mean(axis=0), [0.5, 0.3, 0.2], atol=0.01)
+
+    def test_variance_matches_closed_form(self, oracle, rng):
+        n, d, eps = 20_000, 4, 1.0
+        true_counts = np.array([n, 0, 0, 0])
+        estimates = np.array(
+            [
+                oracle.sample_aggregate(true_counts, eps, rng=rng).frequencies
+                for _ in range(300)
+            ]
+        )
+        empirical = float(estimates.var(axis=0).mean())
+        predicted = grr_mean_variance(eps, n, d)
+        # The f_k term concentrates on cell 0 here; allow a loose band.
+        assert empirical == pytest.approx(predicted, rel=0.5)

@@ -1,0 +1,115 @@
+"""Unit tests for the Hadamard Response oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.freq_oracles import (
+    HadamardResponse,
+    get_oracle,
+    hadamard_order,
+    hr_probability,
+)
+from repro.freq_oracles.hadamard import hadamard_entry
+
+
+class TestHadamardMatrix:
+    def test_order_is_power_of_two_above_d(self):
+        assert hadamard_order(2) == 4
+        assert hadamard_order(3) == 4
+        assert hadamard_order(4) == 8
+        assert hadamard_order(77) == 128
+
+    def test_entries_are_pm_one(self):
+        rows = np.arange(8)
+        for r in rows:
+            entries = hadamard_entry(np.int64(r), np.arange(8))
+            assert set(np.unique(entries)) <= {-1, 1}
+
+    def test_row_zero_all_ones(self):
+        assert (hadamard_entry(np.int64(0), np.arange(16)) == 1).all()
+
+    def test_rows_are_orthogonal(self):
+        order = 16
+        cols = np.arange(order)
+        for r1 in range(order):
+            for r2 in range(r1 + 1, order):
+                a = hadamard_entry(np.int64(r1), cols)
+                b = hadamard_entry(np.int64(r2), cols)
+                assert int(np.dot(a, b)) == 0
+
+    def test_nonzero_rows_balanced(self):
+        order = 32
+        cols = np.arange(order)
+        for r in range(1, order):
+            assert hadamard_entry(np.int64(r), cols).sum() == 0
+
+
+class TestHRProtocol:
+    def test_registered(self):
+        assert isinstance(get_oracle("hr"), HadamardResponse)
+
+    def test_support_probability(self):
+        assert hr_probability(1.0) == pytest.approx(
+            math.exp(1.0) / (math.exp(1.0) + 1.0)
+        )
+
+    def test_perturb_output_range(self, rng):
+        oracle = HadamardResponse()
+        reports = oracle.perturb(rng.integers(0, 5, size=300), 5, 1.0, rng=rng)
+        order = hadamard_order(5)
+        assert reports.min() >= 0
+        assert reports.max() < order
+
+    def test_support_rate_matches_p(self, rng):
+        oracle = HadamardResponse()
+        values = np.zeros(40_000, dtype=np.int64)
+        reports = oracle.perturb(values, 4, 1.0, rng=rng)
+        signs = hadamard_entry(np.int64(1), reports)
+        rate = float(np.mean(signs == 1))
+        assert rate == pytest.approx(hr_probability(1.0), abs=0.01)
+
+    def test_aggregate_unbiased(self, rng):
+        oracle = HadamardResponse()
+        true = np.array([0.5, 0.3, 0.15, 0.05])
+        values = rng.choice(4, size=60_000, p=true)
+        reports = oracle.perturb(values, 4, 1.0, rng=rng)
+        estimate = oracle.aggregate(reports, 4, 1.0)
+        empirical = np.bincount(values, minlength=4) / values.size
+        assert np.allclose(estimate.frequencies, empirical, atol=0.03)
+
+    def test_sample_aggregate_unbiased(self, rng):
+        oracle = HadamardResponse()
+        counts = np.array([5_000, 3_000, 1_500, 500])
+        estimates = np.array(
+            [
+                oracle.sample_aggregate(counts, 1.0, rng=rng).frequencies
+                for _ in range(200)
+            ]
+        )
+        assert np.allclose(estimates.mean(axis=0), counts / 10_000, atol=0.01)
+
+    def test_variance_close_to_prediction(self, rng):
+        oracle = HadamardResponse()
+        n = 20_000
+        counts = np.array([n, 0, 0, 0])
+        estimates = np.array(
+            [
+                oracle.sample_aggregate(counts, 1.0, rng=rng).frequencies
+                for _ in range(300)
+            ]
+        )
+        empirical = float(estimates.var(axis=0).mean())
+        assert empirical == pytest.approx(
+            oracle.variance(1.0, n, 4), rel=0.3
+        )
+
+    def test_drives_stream_mechanism(self, small_binary_stream):
+        from repro.engine import run_stream
+
+        result = run_stream(
+            "LPA", small_binary_stream, epsilon=1.0, window=5, oracle="hr", seed=1
+        )
+        assert result.oracle == "hr"
+        assert result.max_window_spend <= 1.0 + 1e-9

@@ -1,0 +1,81 @@
+"""Unit tests for the OLH frequency oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.freq_oracles import OLH, olh_hash_range
+
+
+class TestHashRange:
+    def test_formula(self):
+        assert olh_hash_range(1.0) == round(math.exp(1.0)) + 1
+
+    def test_minimum_is_two(self):
+        assert olh_hash_range(0.01) >= 2
+
+    def test_grows_with_epsilon(self):
+        assert olh_hash_range(3.0) > olh_hash_range(1.0)
+
+
+class TestOLH:
+    def test_report_shape(self, rng):
+        oracle = OLH()
+        values = rng.integers(0, 10, size=50)
+        reports = oracle.perturb(values, 10, 1.0, rng=rng)
+        assert reports.shape == (50, 3)
+
+    def test_reported_hash_in_range(self, rng):
+        oracle = OLH()
+        values = rng.integers(0, 10, size=200)
+        reports = oracle.perturb(values, 10, 1.0, rng=rng)
+        g = olh_hash_range(1.0)
+        assert reports[:, 2].min() >= 0
+        assert reports[:, 2].max() < g
+
+    def test_aggregate_unbiased(self, rng):
+        oracle = OLH()
+        true = np.array([0.5, 0.3, 0.1, 0.1])
+        values = rng.choice(4, size=30_000, p=true)
+        reports = oracle.perturb(values, 4, 1.0, rng=rng)
+        estimate = oracle.aggregate(reports, 4, 1.0)
+        empirical = np.bincount(values, minlength=4) / values.size
+        assert np.allclose(estimate.frequencies, empirical, atol=0.04)
+
+    def test_sample_aggregate_unbiased(self, rng):
+        oracle = OLH()
+        true_counts = np.array([5_000, 3_000, 1_000, 1_000])
+        estimates = np.array(
+            [
+                oracle.sample_aggregate(true_counts, 1.0, rng=rng).frequencies
+                for _ in range(200)
+            ]
+        )
+        assert np.allclose(estimates.mean(axis=0), [0.5, 0.3, 0.1, 0.1], atol=0.01)
+
+    def test_count_level_matches_per_user_mean(self):
+        oracle = OLH()
+        true_counts = np.array([500, 300, 200])
+        values = np.repeat(np.arange(3), true_counts)
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(4)
+        fast = np.array(
+            [
+                oracle.sample_aggregate(true_counts, 1.0, rng=rng_a).frequencies
+                for _ in range(200)
+            ]
+        )
+        slow = np.array(
+            [
+                oracle.aggregate(
+                    oracle.perturb(values, 3, 1.0, rng=rng_b), 3, 1.0
+                ).frequencies
+                for _ in range(200)
+            ]
+        )
+        assert np.allclose(fast.mean(axis=0), slow.mean(axis=0), atol=0.04)
+
+    def test_rejects_bad_report_shape(self, rng):
+        oracle = OLH()
+        with pytest.raises(ValueError):
+            oracle.aggregate(rng.integers(0, 5, size=(10, 2)), 4, 1.0)

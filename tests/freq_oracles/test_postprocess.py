@@ -1,0 +1,97 @@
+"""Unit tests for FO post-processing (consistency steps)."""
+
+import numpy as np
+import pytest
+
+from repro.freq_oracles.postprocess import (
+    clip,
+    get_postprocessor,
+    norm_sub,
+    normalize,
+    project_simplex,
+)
+
+
+class TestClip:
+    def test_clamps_range(self):
+        out = clip(np.array([-0.2, 0.5, 1.3]))
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    def test_identity_inside_range(self):
+        x = np.array([0.1, 0.4, 0.5])
+        assert np.array_equal(clip(x), x)
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        out = normalize(np.array([-0.1, 0.5, 0.9]))
+        assert out.sum() == pytest.approx(1.0)
+        assert (out >= 0).all()
+
+    def test_all_negative_falls_back_to_uniform(self):
+        out = normalize(np.array([-1.0, -2.0, -3.0, -4.0]))
+        assert np.allclose(out, 0.25)
+
+
+class TestNormSub:
+    def test_sums_to_one_and_nonnegative(self, rng):
+        for _ in range(20):
+            x = rng.normal(0.25, 0.3, size=8)
+            out = norm_sub(x)
+            assert out.sum() == pytest.approx(1.0)
+            assert (out >= 0).all()
+
+    def test_valid_distribution_with_total_one_unchanged(self):
+        x = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(norm_sub(x), x)
+
+    def test_uniform_shift_recovered(self):
+        """A constant offset on a valid distribution is removed exactly."""
+        x = np.array([0.2, 0.3, 0.5]) + 0.1
+        assert np.allclose(norm_sub(x), [0.2, 0.3, 0.5])
+
+    def test_all_nonpositive_falls_back_to_uniform(self):
+        out = norm_sub(np.array([-0.5, -0.1]))
+        assert np.allclose(out, 0.5)
+
+
+class TestProjectSimplex:
+    def test_projection_is_on_simplex(self, rng):
+        for _ in range(20):
+            x = rng.normal(0.0, 1.0, size=6)
+            out = project_simplex(x)
+            assert out.sum() == pytest.approx(1.0)
+            assert (out >= 0).all()
+
+    def test_idempotent(self, rng):
+        x = project_simplex(rng.normal(0.0, 1.0, size=6))
+        assert np.allclose(project_simplex(x), x)
+
+    def test_point_on_simplex_unchanged(self):
+        x = np.array([0.1, 0.2, 0.7])
+        assert np.allclose(project_simplex(x), x)
+
+    def test_is_closest_point(self, rng):
+        """Projection beats random simplex points in Euclidean distance."""
+        x = rng.normal(0.2, 0.5, size=5)
+        projected = project_simplex(x)
+        for _ in range(50):
+            candidate = rng.dirichlet(np.ones(5))
+            assert np.linalg.norm(x - projected) <= np.linalg.norm(
+                x - candidate
+            ) + 1e-12
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ("none", "clip", "normalize", "norm_sub", "project_simplex"):
+            assert callable(get_postprocessor(name))
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_postprocessor("nope")
+
+    def test_none_is_identity(self):
+        x = np.array([-0.5, 1.5])
+        assert np.array_equal(get_postprocessor("none")(x), x)

@@ -1,0 +1,80 @@
+"""Unit tests for the frequency-oracle base class and registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.freq_oracles import (
+    GRR,
+    OLH,
+    OUE,
+    SUE,
+    FrequencyOracle,
+    available_oracles,
+    get_oracle,
+)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(available_oracles()) >= {"grr", "oue", "olh", "sue"}
+
+    def test_get_by_name(self):
+        assert isinstance(get_oracle("grr"), GRR)
+        assert isinstance(get_oracle("OUE"), OUE)
+
+    def test_get_by_class(self):
+        assert isinstance(get_oracle(OLH), OLH)
+
+    def test_passthrough_instance(self):
+        oracle = SUE()
+        assert get_oracle(oracle) is oracle
+
+    def test_unknown_raises(self):
+        with pytest.raises(InvalidParameterError):
+            get_oracle("unknown-oracle")
+
+
+@pytest.mark.parametrize("name", ["grr", "oue", "olh", "sue"])
+class TestCommonContract:
+    """Every oracle satisfies the same round-trip contract."""
+
+    def test_roundtrip_runs(self, name, rng):
+        oracle = get_oracle(name)
+        values = rng.integers(0, 5, size=300)
+        reports = oracle.perturb(values, 5, 1.0, rng=rng)
+        estimate = oracle.aggregate(reports, 5, 1.0)
+        assert estimate.frequencies.shape == (5,)
+        assert estimate.n_reports == 300
+
+    def test_sample_aggregate_runs(self, name, rng):
+        oracle = get_oracle(name)
+        counts = np.array([100, 80, 60, 40, 20])
+        estimate = oracle.sample_aggregate(counts, 1.0, rng=rng)
+        assert estimate.frequencies.shape == (5,)
+        assert estimate.n_reports == 300
+
+    def test_variance_positive_and_monotone(self, name):
+        oracle = get_oracle(name)
+        v1 = oracle.variance(1.0, 1_000, 5)
+        v2 = oracle.variance(1.0, 2_000, 5)
+        assert v1 > 0
+        assert v2 < v1
+
+    def test_estimate_variance_field_consistent(self, name, rng):
+        oracle = get_oracle(name)
+        counts = np.array([500, 300, 200])
+        estimate = oracle.sample_aggregate(counts, 1.5, rng=rng)
+        assert estimate.variance == pytest.approx(oracle.variance(1.5, 1_000, 3))
+
+    def test_invalid_epsilon_rejected(self, name):
+        oracle = get_oracle(name)
+        with pytest.raises(InvalidParameterError):
+            oracle.perturb(np.array([0, 1]), 3, -0.5)
+
+    def test_seeded_determinism(self, name):
+        oracle = get_oracle(name)
+        values = np.arange(100) % 4
+        a = oracle.perturb(values, 4, 1.0, rng=np.random.default_rng(42))
+        b = oracle.perturb(values, 4, 1.0, rng=np.random.default_rng(42))
+        assert np.array_equal(a, b)

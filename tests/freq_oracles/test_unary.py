@@ -1,0 +1,115 @@
+"""Unit tests for the unary-encoding oracles OUE and SUE."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.freq_oracles import OUE, SUE, oue_probabilities, sue_probabilities
+from repro.freq_oracles.variance import oue_mean_variance, sue_mean_variance
+
+
+class TestOUEProbabilities:
+    def test_p_is_half(self):
+        p, _ = oue_probabilities(1.0)
+        assert p == 0.5
+
+    def test_q_formula(self):
+        _, q = oue_probabilities(1.0)
+        assert q == pytest.approx(1.0 / (math.exp(1.0) + 1.0))
+
+    def test_privacy_ratio(self):
+        # The worst-case likelihood ratio for a single bit is
+        # p(1-q) / (q(1-p)) = e^eps.
+        p, q = oue_probabilities(1.4)
+        assert (p * (1 - q)) / (q * (1 - p)) == pytest.approx(math.exp(1.4))
+
+
+class TestSUEProbabilities:
+    def test_symmetric(self):
+        p, q = sue_probabilities(2.0)
+        assert p + q == pytest.approx(1.0)
+
+    def test_ratio_is_half_budget(self):
+        p, q = sue_probabilities(2.0)
+        assert p / q == pytest.approx(math.exp(1.0))
+
+
+@pytest.mark.parametrize("oracle_cls", [OUE, SUE])
+class TestUnaryOracles:
+    def test_perturb_shape(self, oracle_cls, rng):
+        oracle = oracle_cls()
+        values = rng.integers(0, 6, size=100)
+        bits = oracle.perturb(values, 6, 1.0, rng=rng)
+        assert bits.shape == (100, 6)
+        assert bits.dtype == bool
+
+    def test_aggregate_unbiased(self, oracle_cls, rng):
+        oracle = oracle_cls()
+        true = np.array([0.6, 0.25, 0.15])
+        values = rng.choice(3, size=40_000, p=true)
+        bits = oracle.perturb(values, 3, 1.0, rng=rng)
+        estimate = oracle.aggregate(bits, 3, 1.0)
+        empirical = np.bincount(values, minlength=3) / values.size
+        assert np.allclose(estimate.frequencies, empirical, atol=0.03)
+
+    def test_sample_aggregate_unbiased(self, oracle_cls, rng):
+        oracle = oracle_cls()
+        true_counts = np.array([6_000, 2_500, 1_500])
+        estimates = np.array(
+            [
+                oracle.sample_aggregate(true_counts, 1.0, rng=rng).frequencies
+                for _ in range(200)
+            ]
+        )
+        assert np.allclose(estimates.mean(axis=0), [0.6, 0.25, 0.15], atol=0.01)
+
+    def test_sample_matches_per_user(self, oracle_cls):
+        oracle = oracle_cls()
+        true_counts = np.array([400, 400, 200])
+        values = np.repeat(np.arange(3), true_counts)
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(6)
+        fast = np.array(
+            [
+                oracle.sample_aggregate(true_counts, 1.0, rng=rng_a).frequencies
+                for _ in range(300)
+            ]
+        )
+        slow = np.array(
+            [
+                oracle.aggregate(
+                    oracle.perturb(values, 3, 1.0, rng=rng_b), 3, 1.0
+                ).frequencies
+                for _ in range(300)
+            ]
+        )
+        assert np.allclose(fast.mean(axis=0), slow.mean(axis=0), atol=0.03)
+        assert np.allclose(fast.std(axis=0), slow.std(axis=0), rtol=0.3)
+
+    def test_rejects_bad_report_shape(self, oracle_cls, rng):
+        oracle = oracle_cls()
+        with pytest.raises(ValueError):
+            oracle.aggregate(rng.random((10, 3)) < 0.5, 4, 1.0)
+
+
+class TestVarianceOrdering:
+    def test_oue_beats_sue(self):
+        """OUE's optimised q strictly improves on symmetric flipping."""
+        for eps in (0.5, 1.0, 2.0):
+            assert oue_mean_variance(eps, 1_000, 10) < sue_mean_variance(
+                eps, 1_000, 10
+            )
+
+    def test_oue_variance_empirical(self, rng):
+        n, d, eps = 20_000, 8, 1.0
+        oracle = OUE()
+        true_counts = np.zeros(d, dtype=int)
+        true_counts[0] = n
+        estimates = np.array(
+            [
+                oracle.sample_aggregate(true_counts, eps, rng=rng).frequencies[1:]
+                for _ in range(300)
+            ]
+        )
+        empirical = float(estimates.var(axis=0).mean())
+        assert empirical == pytest.approx(oue_mean_variance(eps, n, d), rel=0.2)

@@ -1,0 +1,121 @@
+"""Unit tests for closed-form FO variances (Eq. 2 and friends)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.freq_oracles.variance import (
+    grr_cell_variance,
+    grr_mean_variance,
+    laplace_mean_variance,
+    olh_mean_variance,
+    oue_mean_variance,
+    sue_mean_variance,
+)
+
+
+class TestGRRVariance:
+    def test_eq2_leading_term(self):
+        eps, n, d = 1.0, 1_000, 2
+        e = math.exp(eps)
+        expected = (d - 2 + e) / (n * (e - 1) ** 2)
+        assert grr_cell_variance(eps, n, d, frequency=0.0) == pytest.approx(expected)
+
+    def test_frequency_term(self):
+        eps, n, d, f = 1.0, 1_000, 5, 0.3
+        e = math.exp(eps)
+        base = grr_cell_variance(eps, n, d, frequency=0.0)
+        extra = f * (d - 2) / (n * (e - 1))
+        assert grr_cell_variance(eps, n, d, frequency=f) == pytest.approx(base + extra)
+
+    def test_mean_variance_between_extremes(self):
+        """Mean over cells lies between the f=0 cell and the f=1 cell."""
+        eps, n, d = 1.0, 1_000, 10
+        low = grr_cell_variance(eps, n, d, frequency=0.0)
+        high = grr_cell_variance(eps, n, d, frequency=1.0)
+        mid = grr_mean_variance(eps, n, d)
+        assert low < mid < high
+
+    def test_binary_domain_mean_equals_cell(self):
+        """For d=2 the f_k term vanishes."""
+        assert grr_mean_variance(1.0, 500, 2) == pytest.approx(
+            grr_cell_variance(1.0, 500, 2, frequency=0.5)
+        )
+
+    def test_decreases_with_n(self):
+        assert grr_mean_variance(1.0, 2_000, 5) < grr_mean_variance(1.0, 1_000, 5)
+
+    def test_decreases_with_epsilon(self):
+        assert grr_mean_variance(2.0, 1_000, 5) < grr_mean_variance(1.0, 1_000, 5)
+
+    def test_increases_with_domain(self):
+        assert grr_mean_variance(1.0, 1_000, 50) > grr_mean_variance(1.0, 1_000, 5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            grr_mean_variance(0.0, 100, 4)
+        with pytest.raises(InvalidParameterError):
+            grr_mean_variance(1.0, 0, 4)
+        with pytest.raises(InvalidParameterError):
+            grr_mean_variance(1.0, 100, 1)
+
+
+class TestBudgetVsPopulationSensitivity:
+    """The asymmetry that motivates Section 6.1: V is much more sensitive
+    to the budget than to the population."""
+
+    def test_population_split_is_linear(self):
+        eps, n, d, w = 1.0, 10_000, 2, 10
+        full = grr_mean_variance(eps, n, d)
+        split = grr_mean_variance(eps, n // w, d)
+        assert split == pytest.approx(w * full, rel=1e-6)
+
+    def test_budget_split_is_superlinear(self):
+        eps, n, d, w = 1.0, 10_000, 2, 10
+        full = grr_mean_variance(eps, n, d)
+        split = grr_mean_variance(eps / w, n, d)
+        assert split > 5 * w * full  # dramatically worse than linear
+
+    def test_theorem_6_1_inequality_grr(self):
+        """V(eps, N/w) < V(eps/w, N) for every tested configuration."""
+        for eps in (0.5, 1.0, 2.0):
+            for w in (2, 10, 50):
+                for d in (2, 5, 117):
+                    n = 100_000
+                    assert grr_mean_variance(eps, n // w, d) < grr_mean_variance(
+                        eps / w, n, d
+                    )
+
+    def test_theorem_6_1_inequality_oue(self):
+        for eps in (0.5, 1.0, 2.0):
+            for w in (2, 10, 50):
+                n = 100_000
+                assert oue_mean_variance(eps, n // w, 10) < oue_mean_variance(
+                    eps / w, n, 10
+                )
+
+
+class TestOtherOracles:
+    def test_oue_independent_of_domain(self):
+        assert oue_mean_variance(1.0, 1_000, 2) == oue_mean_variance(1.0, 1_000, 200)
+
+    def test_olh_matches_oue(self):
+        assert olh_mean_variance(1.0, 1_000, 10) == oue_mean_variance(1.0, 1_000, 10)
+
+    def test_sue_formula(self):
+        eps, n = 1.0, 1_000
+        s = math.exp(eps / 2)
+        p, q = s / (s + 1), 1 / (s + 1)
+        expected = q * (1 - q) / (n * (p - q) ** 2)
+        assert sue_mean_variance(eps, n, 7) == pytest.approx(expected)
+
+    def test_laplace_variance(self):
+        # Var(Lap(b)) = 2 b^2, divided by n^2 for frequencies.
+        assert laplace_mean_variance(1.0, 100) == pytest.approx(
+            2 * (2.0 / 1.0) ** 2 / 100**2
+        )
+
+    def test_laplace_rejects_bad_input(self):
+        with pytest.raises(InvalidParameterError):
+            laplace_mean_variance(0.0, 100)

@@ -1,0 +1,112 @@
+"""Edge-case integration tests: boundary parameters across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_stream
+from repro.exceptions import InvalidParameterError
+from repro.mechanisms import ALL_METHODS
+from repro.streams import BinaryStream, MaterializedStream, make_lns
+
+
+class TestWindowBoundaries:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_window_of_one(self, method):
+        """w = 1: every timestamp is its own window; all methods valid."""
+        stream = make_lns(n_users=2_000, horizon=12, seed=2)
+        result = run_stream(method, stream, epsilon=1.0, window=1, seed=2)
+        assert result.horizon == 12
+        assert result.max_window_spend <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("method", ["LBU", "LSP", "LBD", "LBA"])
+    def test_window_larger_than_horizon(self, method):
+        """w > T: a single (incomplete) window spans the whole run."""
+        stream = make_lns(n_users=4_000, horizon=10, seed=2)
+        result = run_stream(method, stream, epsilon=1.0, window=25, seed=2)
+        assert result.max_window_spend <= 1.0 + 1e-9
+
+    def test_population_window_larger_than_horizon(self):
+        stream = make_lns(n_users=4_000, horizon=10, seed=2)
+        for method in ("LPU", "LPD", "LPA"):
+            result = run_stream(method, stream, epsilon=1.0, window=25, seed=2)
+            assert result.max_window_spend <= 1.0 + 1e-9
+
+
+class TestExtremeBudgets:
+    def test_tiny_epsilon_still_valid(self, small_binary_stream):
+        result = run_stream(
+            "LPA", small_binary_stream, epsilon=0.05, window=5, seed=1
+        )
+        assert np.isfinite(result.releases).all()
+        assert result.max_window_spend <= 0.05 + 1e-9
+
+    def test_huge_epsilon_near_exact(self):
+        stream = make_lns(n_users=5_000, horizon=20, seed=3)
+        result = run_stream("LPU", stream, epsilon=50.0, window=4, seed=3)
+        # With eps = 50 GRR is essentially truthful; only sampling error
+        # from the N/w group remains.
+        error = np.abs(result.releases - result.true_frequencies).mean()
+        assert error < 0.02
+
+
+class TestPopulationBoundaries:
+    def test_minimum_viable_population(self):
+        """N = 2w is the smallest population LPD/LPA accept."""
+        w = 4
+        stream = BinaryStream(np.full(3 * w, 0.5), n_users=2 * w, seed=1)
+        for method in ("LPD", "LPA"):
+            result = run_stream(method, stream, epsilon=1.0, window=w, seed=1)
+            assert result.horizon == 3 * w
+
+    def test_below_minimum_rejected(self):
+        w = 4
+        stream = BinaryStream(np.full(8, 0.5), n_users=2 * w - 1, seed=1)
+        for method in ("LPD", "LPA"):
+            with pytest.raises(InvalidParameterError):
+                run_stream(method, stream, epsilon=1.0, window=w, seed=1)
+
+    def test_population_not_divisible_by_window(self):
+        stream = BinaryStream(np.full(15, 0.3), n_users=1_003, seed=1)
+        result = run_stream("LPU", stream, epsilon=1.0, window=7, seed=1)
+        sizes = {r.publication_users for r in result.records}
+        assert sizes <= {1_003 // 7, 1_003 // 7 + 1}
+        assert result.max_window_spend <= 1.0 + 1e-9
+
+
+class TestDomainBoundaries:
+    def test_single_timestep_stream(self):
+        stream = BinaryStream(np.array([0.4]), n_users=1_000, seed=1)
+        for method in ALL_METHODS:
+            result = run_stream(method, stream, epsilon=1.0, window=3, seed=1)
+            assert result.horizon == 1
+
+    def test_large_domain(self, rng):
+        values = rng.integers(0, 117, size=(8, 2_000))
+        stream = MaterializedStream(values, domain_size=117)
+        result = run_stream("LPA", stream, epsilon=1.0, window=4, seed=1)
+        assert result.releases.shape == (8, 117)
+
+    def test_all_users_same_value(self):
+        stream = BinaryStream(np.full(10, 1.0), n_users=1_000, seed=1)
+        result = run_stream("LPU", stream, epsilon=2.0, window=5, seed=1)
+        assert result.releases[:, 1].mean() > 0.9
+
+
+class TestOracleEdgeCases:
+    @pytest.mark.parametrize("oracle", ["grr", "oue", "olh", "sue", "hr"])
+    def test_degenerate_counts(self, oracle, rng):
+        from repro.freq_oracles import get_oracle
+
+        o = get_oracle(oracle)
+        # All mass on one value.
+        est = o.sample_aggregate(np.array([100, 0, 0]), 1.0, rng=rng)
+        assert est.frequencies.argmax() == 0
+
+    @pytest.mark.parametrize("oracle", ["grr", "oue", "olh", "sue", "hr"])
+    def test_single_report(self, oracle, rng):
+        from repro.freq_oracles import get_oracle
+
+        o = get_oracle(oracle)
+        est = o.sample_aggregate(np.array([1, 0]), 1.0, rng=rng)
+        assert est.n_reports == 1
+        assert np.isfinite(est.frequencies).all()

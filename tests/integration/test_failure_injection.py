@@ -1,0 +1,184 @@
+"""Failure injection: deliberately broken mechanisms must fail loudly.
+
+The engine's claim is that privacy bugs cannot pass silently: the
+accountant (budget) and the user pool (participation) enforce the
+``w``-event LDP invariants at runtime.  These tests implement realistic
+bugs — the kind a port of Algorithms 1-4 could introduce — and assert the
+engine catches each one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_stream
+from repro.engine.collector import TimestepContext
+from repro.engine.records import STRATEGY_PUBLISH, StepRecord
+from repro.exceptions import (
+    InvalidParameterError,
+    PopulationExhaustedError,
+    PrivacyViolationError,
+)
+from repro.mechanisms.base import StreamMechanism
+
+
+class OverspendingUniform(StreamMechanism):
+    """Bug: forgets to divide by w — spends eps at every timestamp."""
+
+    name = "BROKEN-LBU"
+    framework = "budget"
+
+    def step(self, ctx: TimestepContext) -> StepRecord:
+        estimate = ctx.collect(self.epsilon)  # should be eps / w
+        self.last_release = estimate.frequencies
+        return StepRecord(
+            t=ctx.t,
+            release=estimate.frequencies,
+            strategy=STRATEGY_PUBLISH,
+            publication_epsilon=self.epsilon,
+            reports=estimate.n_reports,
+        )
+
+
+class ForgottenDissimilarityBudget(StreamMechanism):
+    """Bug: LBD-style method that books only M2's budget, not M1's."""
+
+    name = "BROKEN-LBD"
+    framework = "budget"
+
+    def step(self, ctx: TimestepContext) -> StepRecord:
+        # Spends eps/2 on dissimilarity *and* eps/2 on publication at every
+        # step: each half alone would be fine; together they overspend by
+        # a factor of w.
+        ctx.collect(self.epsilon / 2.0)
+        estimate = ctx.collect(self.epsilon / 2.0)
+        self.last_release = estimate.frequencies
+        return StepRecord(
+            t=ctx.t,
+            release=estimate.frequencies,
+            strategy=STRATEGY_PUBLISH,
+            publication_epsilon=self.epsilon / 2.0,
+            reports=2 * estimate.n_reports,
+        )
+
+
+class DoubleDippingPopulation(StreamMechanism):
+    """Bug: LPU-style method that reuses the same group every timestamp."""
+
+    name = "BROKEN-LPU"
+    framework = "population"
+
+    def _setup(self):
+        self._group = np.arange(self.n_users // self.window)
+
+    def step(self, ctx: TimestepContext) -> StepRecord:
+        estimate = ctx.collect(self.epsilon, user_ids=self._group)
+        self.last_release = estimate.frequencies
+        return StepRecord(
+            t=ctx.t,
+            release=estimate.frequencies,
+            strategy=STRATEGY_PUBLISH,
+            publication_epsilon=self.epsilon,
+            reports=estimate.n_reports,
+        )
+
+
+class PrematureRecycler(StreamMechanism):
+    """Bug: LPD-style method that recycles users after w-2 steps."""
+
+    name = "BROKEN-LPD"
+    framework = "population"
+
+    def _setup(self):
+        from repro.engine.population import UserPool
+
+        self._pool = UserPool(self.n_users, seed=self.rng)
+        self._history = {}
+
+    def step(self, ctx: TimestepContext) -> StepRecord:
+        group = self._pool.sample(self.n_users // self.window)
+        estimate = ctx.collect(self.epsilon, user_ids=group)
+        self._history[ctx.t] = group
+        early = ctx.t - self.window + 2  # off-by-one: should be w - 1
+        if early >= 0 and early in self._history:
+            self._pool.recycle(self._history.pop(early))
+        self.last_release = estimate.frequencies
+        return StepRecord(
+            t=ctx.t,
+            release=estimate.frequencies,
+            strategy=STRATEGY_PUBLISH,
+            publication_epsilon=self.epsilon,
+            reports=estimate.n_reports,
+        )
+
+
+class TestBudgetBugsCaught:
+    def test_overspending_uniform(self, small_binary_stream):
+        with pytest.raises(PrivacyViolationError):
+            run_stream(
+                OverspendingUniform(),
+                small_binary_stream,
+                epsilon=1.0,
+                window=5,
+                seed=0,
+            )
+
+    def test_forgotten_dissimilarity_budget(self, small_binary_stream):
+        with pytest.raises(PrivacyViolationError):
+            run_stream(
+                ForgottenDissimilarityBudget(),
+                small_binary_stream,
+                epsilon=1.0,
+                window=5,
+                seed=0,
+            )
+
+    def test_unenforced_mode_records_the_violation(self, small_binary_stream):
+        result = run_stream(
+            OverspendingUniform(),
+            small_binary_stream,
+            epsilon=1.0,
+            window=5,
+            seed=0,
+            enforce_privacy=False,
+        )
+        # The diagnostic shows exactly how badly the bug overspends: w x.
+        assert result.max_window_spend == pytest.approx(5.0)
+
+
+class TestPopulationBugsCaught:
+    def test_double_dipping_group(self, small_binary_stream):
+        with pytest.raises(PrivacyViolationError):
+            run_stream(
+                DoubleDippingPopulation(),
+                small_binary_stream,
+                epsilon=1.0,
+                window=5,
+                seed=0,
+            )
+
+    def test_premature_recycling(self, small_binary_stream):
+        with pytest.raises((PrivacyViolationError, PopulationExhaustedError)):
+            run_stream(
+                PrematureRecycler(),
+                small_binary_stream,
+                epsilon=1.0,
+                window=5,
+                seed=0,
+            )
+
+
+class TestMechanismContractViolations:
+    def test_wrong_timestamp_record_rejected(self, small_binary_stream):
+        class WrongT(StreamMechanism):
+            name = "WRONG-T"
+
+            def step(self, ctx):
+                estimate = ctx.collect(self.epsilon / self.window)
+                return StepRecord(
+                    t=ctx.t + 1,  # bug
+                    release=estimate.frequencies,
+                    strategy=STRATEGY_PUBLISH,
+                )
+
+        with pytest.raises(InvalidParameterError):
+            run_stream(WrongT(), small_binary_stream, epsilon=1.0, window=5, seed=0)

@@ -1,0 +1,55 @@
+"""Integration: every mechanism × every dataset family × every oracle."""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_stream
+from repro.experiments import make_dataset
+from repro.mechanisms import ALL_METHODS
+
+
+@pytest.mark.parametrize("method", ALL_METHODS + ("LPF",))
+@pytest.mark.parametrize("dataset", ["LNS", "Taxi", "Foursquare"])
+class TestMechanismDatasetMatrix:
+    def test_session_completes_with_privacy(self, method, dataset):
+        stream = make_dataset(dataset, size="smoke", seed=5)
+        result = run_stream(method, stream, epsilon=1.0, window=5, seed=5)
+        assert result.horizon == stream.horizon
+        assert np.isfinite(result.releases).all()
+        assert result.max_window_spend <= 1.0 + 1e-9
+        assert result.total_reports > 0
+
+
+@pytest.mark.parametrize("oracle", ["grr", "oue", "olh", "sue"])
+class TestOracleMatrix:
+    def test_all_oracles_drive_adaptive_methods(self, oracle, small_binary_stream):
+        for method in ("LBA", "LPA"):
+            result = run_stream(
+                method,
+                small_binary_stream,
+                epsilon=1.0,
+                window=5,
+                oracle=oracle,
+                seed=2,
+            )
+            assert result.oracle == oracle
+            assert result.max_window_spend <= 1.0 + 1e-9
+
+
+class TestLongRun:
+    """Infinite-stream behaviour: state stays bounded over many windows."""
+
+    @pytest.mark.parametrize("method", ["LBD", "LBA", "LPD", "LPA"])
+    def test_many_windows(self, method):
+        stream = make_dataset("Sin", n_users=2_000, horizon=240, seed=9)
+        result = run_stream(method, stream, epsilon=1.0, window=8, seed=9)
+        assert result.horizon == 240
+        assert result.max_window_spend <= 1.0 + 1e-9
+        # The mechanism keeps publishing throughout, not only at the start.
+        publish_ts = [r.t for r in result.records if r.strategy == "publish"]
+        assert publish_ts and publish_ts[-1] > 120
+
+    def test_population_pool_never_exhausts_over_long_horizon(self):
+        stream = make_dataset("LNS", n_users=1_000, horizon=300, seed=3)
+        result = run_stream("LPA", stream, epsilon=2.0, window=6, seed=3)
+        assert result.horizon == 300

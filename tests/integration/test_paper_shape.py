@@ -1,0 +1,132 @@
+"""Integration tests asserting the paper's headline results hold in shape.
+
+These are the claims a reader takes away from Section 7, checked on scaled
+workloads:
+
+1. Population division beats budget division on utility (Figs. 4-5).
+2. Error decreases with epsilon and increases with w (Figs. 4-5).
+3. Error decreases with population N (Fig. 6a/b).
+4. Adaptive population methods beat budget methods on communication, with
+   LPD/LPA below LPU's 1/w and LBD/LBA above 1 (Table 2, Fig. 8).
+5. LBA stays usable as w grows while LBD degrades toward/below LBU
+   (Fig. 5 discussion).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import mean_relative_error
+from repro.engine import run_stream
+from repro.experiments import evaluate, make_dataset
+from repro.streams import make_lns, make_sin
+
+
+def mre_of(method, stream, epsilon, window, seed=0, repeats=3):
+    return evaluate(
+        method, stream, epsilon, window, seed=seed, repeats=repeats
+    ).mre
+
+
+@pytest.fixture(scope="module")
+def lns_stream():
+    return make_lns(n_users=20_000, horizon=120, seed=21)
+
+
+@pytest.fixture(scope="module")
+def sin_stream():
+    return make_sin(n_users=20_000, horizon=120, seed=21)
+
+
+class TestPopulationBeatsBudget:
+    @pytest.mark.parametrize(
+        "budget_method,population_method",
+        [("LBU", "LPU"), ("LBD", "LPD"), ("LBA", "LPA")],
+    )
+    def test_pairwise_on_lns(self, lns_stream, budget_method, population_method):
+        budget = mre_of(budget_method, lns_stream, 1.0, 20)
+        population = mre_of(population_method, lns_stream, 1.0, 20)
+        assert population < budget, (
+            f"{population_method} ({population:.3f}) should beat "
+            f"{budget_method} ({budget:.3f})"
+        )
+
+    def test_family_gap_is_large(self, lns_stream):
+        """The paper reports multi-x gaps between the families."""
+        lbu = mre_of("LBU", lns_stream, 1.0, 20)
+        lpa = mre_of("LPA", lns_stream, 1.0, 20)
+        assert lpa < lbu / 2
+
+
+class TestTrends:
+    def test_error_decreases_with_epsilon(self, lns_stream):
+        for method in ("LBU", "LPU", "LPA"):
+            low = mre_of(method, lns_stream, 0.5, 20)
+            high = mre_of(method, lns_stream, 2.5, 20)
+            assert high < low, f"{method} MRE should fall as eps grows"
+
+    def test_error_increases_with_window(self, sin_stream):
+        for method in ("LBU", "LPU"):
+            small = mre_of(method, sin_stream, 1.0, 10)
+            large = mre_of(method, sin_stream, 1.0, 50)
+            assert large > small, f"{method} MRE should grow with w"
+
+    def test_error_decreases_with_population(self):
+        small = make_lns(n_users=5_000, horizon=80, seed=4)
+        large = make_lns(n_users=40_000, horizon=80, seed=4)
+        for method in ("LPU", "LPA"):
+            assert mre_of(method, large, 1.0, 20) < mre_of(method, small, 1.0, 20)
+
+
+class TestCommunicationShape:
+    def test_cfpu_ordering(self, lns_stream):
+        """LPA < LPD < LPU = LSP = 1/w << 1 = LBU < LBA < LBD."""
+        w = 20
+        cells = {
+            m: evaluate(m, lns_stream, 1.0, w, seed=1) for m in (
+                "LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA"
+            )
+        }
+        assert cells["LBU"].cfpu == pytest.approx(1.0)
+        assert cells["LSP"].cfpu == pytest.approx(1 / w, rel=0.05)
+        assert cells["LPU"].cfpu == pytest.approx(1 / w, rel=0.05)
+        assert cells["LBD"].cfpu > 1.0
+        assert cells["LBA"].cfpu > 1.0
+        assert cells["LBD"].cfpu > cells["LBA"].cfpu  # LBD publishes more
+        assert cells["LPD"].cfpu < 1 / w + 1e-9
+        assert cells["LPA"].cfpu < cells["LPD"].cfpu  # Table 2 ordering
+
+    def test_population_methods_cut_communication_20x(self, lns_stream):
+        lba = evaluate("LBA", lns_stream, 1.0, 20, seed=1).cfpu
+        lpa = evaluate("LPA", lns_stream, 1.0, 20, seed=1).cfpu
+        assert lba / lpa > 20
+
+
+class TestWindowGrowthBehaviour:
+    def test_lba_more_robust_than_lbd_at_large_w(self, sin_stream):
+        """Fig. 5: with large w, LBD's exponential decay hurts it; LBA
+        stays closer to (or better than) LBU."""
+        w = 50
+        lbd = mre_of("LBD", sin_stream, 1.0, w)
+        lba = mre_of("LBA", sin_stream, 1.0, w)
+        assert lba < lbd
+
+
+class TestEventMonitoringShape:
+    def test_adaptive_population_detects_better_than_lsp(self):
+        """Fig. 7 discussion: LSP's fixed sampling hinders real-time
+        detection; the adaptive population methods beat it."""
+        from repro.analysis import monitoring_roc
+
+        # Paper setting: w = 50, and a stream that moves fast enough that
+        # LSP's once-per-window snapshots go stale between samples.
+        stream = make_lns(n_users=40_000, horizon=300, q_std=0.008, seed=13)
+        aucs = {}
+        for method in ("LSP", "LPA"):
+            scores = []
+            for seed in range(3):
+                result = run_stream(method, stream, epsilon=1.0, window=50, seed=seed)
+                scores.append(
+                    monitoring_roc(result.releases, result.true_frequencies).auc
+                )
+            aucs[method] = np.mean(scores)
+        assert aucs["LPA"] > aucs["LSP"]

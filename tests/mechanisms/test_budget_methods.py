@@ -1,0 +1,140 @@
+"""Behavioural tests for the budget-division mechanisms (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    STRATEGY_APPROXIMATE,
+    STRATEGY_NULLIFIED,
+    STRATEGY_PUBLISH,
+    run_stream,
+)
+from repro.streams import make_step
+
+
+class TestLBU:
+    def test_publishes_every_timestamp(self, small_binary_stream):
+        result = run_stream("LBU", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert all(r.strategy == STRATEGY_PUBLISH for r in result.records)
+
+    def test_budget_per_step_is_eps_over_w(self, small_binary_stream):
+        result = run_stream("LBU", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert all(
+            r.publication_epsilon == pytest.approx(0.2) for r in result.records
+        )
+
+    def test_cfpu_is_one(self, small_binary_stream):
+        result = run_stream("LBU", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert result.cfpu == pytest.approx(1.0)
+
+    def test_spends_exactly_full_budget(self, small_binary_stream):
+        result = run_stream("LBU", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert result.max_window_spend == pytest.approx(1.0)
+
+
+class TestLSP:
+    def test_one_publication_per_window(self, small_binary_stream):
+        w = 8
+        result = run_stream("LSP", small_binary_stream, epsilon=1.0, window=w, seed=0)
+        publish_ts = [r.t for r in result.records if r.strategy == STRATEGY_PUBLISH]
+        assert publish_ts == [t for t in range(small_binary_stream.horizon) if t % w == 0]
+
+    def test_full_budget_at_sampling(self, small_binary_stream):
+        result = run_stream("LSP", small_binary_stream, epsilon=1.3, window=5, seed=0)
+        pubs = [r for r in result.records if r.strategy == STRATEGY_PUBLISH]
+        assert all(r.publication_epsilon == pytest.approx(1.3) for r in pubs)
+
+    def test_approximation_repeats_last_release(self, small_binary_stream):
+        result = run_stream("LSP", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        for i, record in enumerate(result.records):
+            if record.strategy == STRATEGY_APPROXIMATE:
+                assert np.array_equal(result.releases[i], result.releases[i - 1])
+
+    def test_cfpu_is_inverse_window(self, small_binary_stream):
+        result = run_stream("LSP", small_binary_stream, epsilon=1.0, window=8, seed=0)
+        expected = np.ceil(small_binary_stream.horizon / 8) / small_binary_stream.horizon
+        assert result.cfpu == pytest.approx(expected)
+
+
+class TestLBD:
+    def test_dissimilarity_round_every_step(self, small_binary_stream):
+        result = run_stream("LBD", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        n = small_binary_stream.n_users
+        assert all(r.dissimilarity_users == n for r in result.records)
+
+    def test_publication_budget_decays_within_window(self, small_binary_stream):
+        result = run_stream("LBD", small_binary_stream, epsilon=1.0, window=10, seed=0)
+        pubs = [r for r in result.records if r.strategy == STRATEGY_PUBLISH]
+        assert pubs, "LBD should publish at least once"
+        # First publication gets half the publication half-budget: eps/4.
+        assert pubs[0].publication_epsilon == pytest.approx(0.25)
+
+    def test_publication_budget_window_bounded(self, small_binary_stream):
+        """Sum of publication budgets in any window stays <= eps/2."""
+        w, eps = 6, 1.0
+        result = run_stream("LBD", small_binary_stream, epsilon=eps, window=w, seed=0)
+        budgets = [r.publication_epsilon for r in result.records]
+        for start in range(len(budgets) - w + 1):
+            assert sum(budgets[start : start + w]) <= eps / 2 + 1e-9
+
+    def test_strategies_are_publish_or_approximate(self, small_binary_stream):
+        result = run_stream("LBD", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert all(
+            r.strategy in (STRATEGY_PUBLISH, STRATEGY_APPROXIMATE)
+            for r in result.records
+        )
+
+    def test_dis_and_err_recorded(self, small_binary_stream):
+        result = run_stream("LBD", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert all(np.isfinite(r.dis) for r in result.records)
+
+
+class TestLBA:
+    def test_nullification_follows_absorption(self, small_binary_stream):
+        """After a publication that absorbed k units, k-1... timestamps
+        are nullified (Alg. 2 lines 4-6)."""
+        w = 5
+        result = run_stream("LBA", small_binary_stream, epsilon=1.0, window=w, seed=0)
+        unit = 1.0 / (2 * w)
+        for i, record in enumerate(result.records):
+            if record.strategy == STRATEGY_PUBLISH:
+                absorbed_units = round(record.publication_epsilon / unit)
+                expected_nullified = absorbed_units - 1
+                following = result.records[i + 1 : i + 1 + expected_nullified]
+                assert all(r.strategy == STRATEGY_NULLIFIED for r in following)
+
+    def test_publication_budget_window_bounded(self, small_binary_stream):
+        w, eps = 6, 1.0
+        result = run_stream("LBA", small_binary_stream, epsilon=eps, window=w, seed=0)
+        budgets = [r.publication_epsilon for r in result.records]
+        for start in range(len(budgets) - w + 1):
+            assert sum(budgets[start : start + w]) <= eps / 2 + 1e-9
+
+    def test_absorption_capped_at_window(self, constant_stream):
+        """Publication budget never exceeds w units = eps/2."""
+        result = run_stream("LBA", constant_stream, epsilon=1.0, window=5, seed=0)
+        assert all(r.publication_epsilon <= 0.5 + 1e-12 for r in result.records)
+
+    def test_m1_runs_even_when_nullified(self, small_binary_stream):
+        result = run_stream("LBA", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        n = small_binary_stream.n_users
+        nullified = [r for r in result.records if r.strategy == STRATEGY_NULLIFIED]
+        assert all(r.dissimilarity_users == n for r in nullified)
+
+
+class TestAdaptivityOnStepStream:
+    """On a square-wave stream, the adaptive methods should publish around
+    level changes and approximate within flat segments."""
+
+    @pytest.mark.parametrize("method", ["LBD", "LBA"])
+    def test_publishes_near_changes(self, method):
+        stream = make_step(
+            n_users=20_000, horizon=60, low=0.05, high=0.35, period=20, seed=4
+        )
+        result = run_stream(method, stream, epsilon=2.0, window=5, seed=1)
+        publish_ts = {r.t for r in result.records if r.strategy == STRATEGY_PUBLISH}
+        # Level changes happen at t = 20 and t = 40.
+        for change in (20, 40):
+            assert any(
+                abs(t - change) <= 3 for t in publish_ts
+            ), f"{method} missed the change at t={change}"

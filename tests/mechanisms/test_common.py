@@ -1,0 +1,58 @@
+"""Unit tests for the shared dissimilarity estimator (Theorem 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.freq_oracles import GRR, FOEstimate
+from repro.mechanisms import estimate_dissimilarity, true_dissimilarity
+
+
+class TestTrueDissimilarity:
+    def test_zero_for_identical(self):
+        c = np.array([0.4, 0.6])
+        assert true_dissimilarity(c, c) == 0.0
+
+    def test_mean_square_distance(self):
+        assert true_dissimilarity(
+            np.array([0.5, 0.5]), np.array([0.3, 0.7])
+        ) == pytest.approx(0.04)
+
+
+class TestEstimateDissimilarity:
+    def test_bias_correction_subtracts_variance(self):
+        estimate = FOEstimate(
+            frequencies=np.array([0.5, 0.5]),
+            n_reports=100,
+            epsilon=1.0,
+            variance=0.01,
+        )
+        last = np.array([0.5, 0.5])
+        # Raw squared distance is 0; corrected estimate is -variance.
+        assert estimate_dissimilarity(estimate, last) == pytest.approx(-0.01)
+
+    def test_unbiasedness_empirical(self, rng):
+        """E[dis] == dis* over repeated FO draws (Theorem 5.2)."""
+        oracle = GRR()
+        n, d, eps = 5_000, 2, 1.0
+        true_counts = np.array([3_500, 1_500])
+        truth = true_counts / n
+        last_release = np.array([0.6, 0.4])
+        target = true_dissimilarity(truth, last_release)
+        estimates = []
+        for _ in range(400):
+            fo = oracle.sample_aggregate(true_counts, eps, rng=rng)
+            estimates.append(estimate_dissimilarity(fo, last_release))
+        assert np.mean(estimates) == pytest.approx(target, abs=2e-4)
+
+    def test_estimator_can_go_negative(self, rng):
+        """With truth == last release, the unbiased estimator straddles 0."""
+        oracle = GRR()
+        true_counts = np.array([1_000, 1_000])
+        last_release = np.array([0.5, 0.5])
+        values = [
+            estimate_dissimilarity(
+                oracle.sample_aggregate(true_counts, 1.0, rng=rng), last_release
+            )
+            for _ in range(200)
+        ]
+        assert min(values) < 0 < max(values)

@@ -1,0 +1,86 @@
+"""Unit tests for the mechanism base class and registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.freq_oracles import GRR
+from repro.mechanisms import (
+    ALL_METHODS,
+    LBU,
+    StreamMechanism,
+    available_mechanisms,
+    get_mechanism,
+)
+
+
+class TestRegistry:
+    def test_all_seven_registered(self):
+        registered = set(available_mechanisms())
+        assert {m.lower() for m in ALL_METHODS} <= registered
+
+    def test_lookup_case_insensitive(self):
+        assert get_mechanism("lbu").name == "LBU"
+        assert get_mechanism("LpA").name == "LPA"
+
+    def test_class_and_instance_lookup(self):
+        assert isinstance(get_mechanism(LBU), LBU)
+        instance = LBU()
+        assert get_mechanism(instance) is instance
+
+    def test_unknown_raises(self):
+        with pytest.raises(InvalidParameterError):
+            get_mechanism("nonexistent")
+
+    def test_framework_labels(self):
+        for name in ("LBU", "LSP", "LBD", "LBA"):
+            assert get_mechanism(name).framework == "budget"
+        for name in ("LPU", "LPD", "LPA"):
+            assert get_mechanism(name).framework == "population"
+
+    def test_adaptive_labels(self):
+        for name in ("LBD", "LBA", "LPD", "LPA"):
+            assert get_mechanism(name).adaptive
+        for name in ("LBU", "LSP", "LPU"):
+            assert not get_mechanism(name).adaptive
+
+
+class TestSetupValidation:
+    def _setup(self, **overrides):
+        kwargs = dict(
+            n_users=100,
+            domain_size=2,
+            epsilon=1.0,
+            window=5,
+            oracle=GRR(),
+            rng=np.random.default_rng(0),
+        )
+        kwargs.update(overrides)
+        mech = LBU()
+        mech.setup(**kwargs)
+        return mech
+
+    def test_valid_setup(self):
+        mech = self._setup()
+        assert mech.n_users == 100
+        assert np.array_equal(mech.last_release, np.zeros(2))
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n_users": 0},
+            {"domain_size": 1},
+            {"epsilon": 0.0},
+            {"epsilon": -1.0},
+            {"window": 0},
+        ],
+    )
+    def test_invalid_setup(self, overrides):
+        with pytest.raises(InvalidParameterError):
+            self._setup(**overrides)
+
+    def test_predicted_error_uses_oracle(self):
+        mech = self._setup()
+        assert mech.predicted_error(1.0, 100) == pytest.approx(
+            GRR().variance(1.0, 100, 2)
+        )

@@ -1,0 +1,83 @@
+"""Interplay between frequency-oracle choice and mechanism behaviour.
+
+The adaptive mechanisms' publish/approximate decision depends on the
+oracle's closed-form error, so switching oracles changes *behaviour*, not
+just noise.  These tests pin down that coupling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import mean_squared_error
+from repro.engine import run_stream
+from repro.streams import MaterializedStream, make_lns
+
+
+class TestOracleAwareDecisions:
+    def test_err_reflects_oracle_variance(self, small_binary_stream):
+        """The recorded potential publication error equals the oracle's
+        closed form for the actually allocated users/budget."""
+        from repro.freq_oracles import get_oracle
+
+        result = run_stream(
+            "LPD", small_binary_stream, epsilon=1.0, window=5, oracle="oue", seed=0
+        )
+        oue = get_oracle("oue")
+        n = small_binary_stream.n_users
+        first = result.records[0]
+        # First timestamp: N_pp = (N/2)/2.
+        assert first.err == pytest.approx(oue.variance(1.0, n // 2 // 2, 2))
+
+    def test_better_oracle_reduces_large_domain_error(self, rng):
+        """On a large domain, OUE-backed LPU beats GRR-backed LPU, matching
+        the variance crossover."""
+        values = rng.integers(0, 64, size=(20, 8_000))
+        stream = MaterializedStream(values, domain_size=64)
+        grr_mse, oue_mse = [], []
+        for seed in range(3):
+            a = run_stream("LPU", stream, epsilon=1.0, window=5, oracle="grr", seed=seed)
+            b = run_stream("LPU", stream, epsilon=1.0, window=5, oracle="oue", seed=seed)
+            grr_mse.append(mean_squared_error(a.releases, a.true_frequencies))
+            oue_mse.append(mean_squared_error(b.releases, b.true_frequencies))
+        assert np.mean(oue_mse) < np.mean(grr_mse)
+
+    def test_grr_wins_small_domain(self):
+        """And the reverse on the binary domain."""
+        stream = make_lns(n_users=8_000, horizon=20, seed=4)
+        grr_mse, oue_mse = [], []
+        for seed in range(4):
+            a = run_stream("LPU", stream, epsilon=1.0, window=5, oracle="grr", seed=seed)
+            b = run_stream("LPU", stream, epsilon=1.0, window=5, oracle="oue", seed=seed)
+            grr_mse.append(mean_squared_error(a.releases, a.true_frequencies))
+            oue_mse.append(mean_squared_error(b.releases, b.true_frequencies))
+        assert np.mean(grr_mse) < np.mean(oue_mse)
+
+    @pytest.mark.parametrize("oracle", ["grr", "oue", "olh", "sue", "hr"])
+    def test_every_oracle_satisfies_privacy_in_adaptive_runs(
+        self, oracle, small_binary_stream
+    ):
+        for method in ("LBD", "LPD"):
+            result = run_stream(
+                method,
+                small_binary_stream,
+                epsilon=1.0,
+                window=5,
+                oracle=oracle,
+                seed=7,
+            )
+            assert result.max_window_spend <= 1.0 + 1e-9
+
+
+class TestDecisionConsistency:
+    def test_publish_iff_dis_exceeds_err(self, small_binary_stream):
+        """Every adaptive record satisfies the Algorithm 1-4 decision rule
+        (modulo the u_min guard, which only blocks publications)."""
+        for method in ("LBD", "LBA", "LPD", "LPA"):
+            result = run_stream(
+                method, small_binary_stream, epsilon=1.0, window=5, seed=3
+            )
+            for record in result.records:
+                if record.strategy == "publish":
+                    assert record.dis > record.err
+                elif record.strategy == "approximate" and np.isfinite(record.err):
+                    assert record.dis <= record.err

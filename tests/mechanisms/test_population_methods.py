@@ -1,0 +1,139 @@
+"""Behavioural tests for the population-division mechanisms (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    STRATEGY_APPROXIMATE,
+    STRATEGY_NULLIFIED,
+    STRATEGY_PUBLISH,
+    run_stream,
+)
+from repro.exceptions import InvalidParameterError
+from repro.mechanisms import LPD, get_mechanism
+from repro.streams import make_step
+
+
+class TestLPU:
+    def test_group_size_is_n_over_w(self, small_binary_stream):
+        w = 5
+        n = small_binary_stream.n_users
+        result = run_stream("LPU", small_binary_stream, epsilon=1.0, window=w, seed=0)
+        sizes = {r.publication_users for r in result.records}
+        assert sizes <= {n // w, n // w + 1}
+
+    def test_full_budget_per_report(self, small_binary_stream):
+        result = run_stream("LPU", small_binary_stream, epsilon=1.7, window=5, seed=0)
+        assert all(
+            r.publication_epsilon == pytest.approx(1.7) for r in result.records
+        )
+
+    def test_publishes_every_timestamp(self, small_binary_stream):
+        result = run_stream("LPU", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert all(r.strategy == STRATEGY_PUBLISH for r in result.records)
+
+    def test_cfpu_is_inverse_window(self, small_binary_stream):
+        result = run_stream("LPU", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert result.cfpu == pytest.approx(1.0 / 5, rel=0.01)
+
+    def test_each_window_spends_full_budget_once(self, small_binary_stream):
+        result = run_stream("LPU", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert result.max_window_spend == pytest.approx(1.0)
+
+
+class TestLPD:
+    def test_m1_group_size(self, small_binary_stream):
+        w = 5
+        n = small_binary_stream.n_users
+        result = run_stream("LPD", small_binary_stream, epsilon=1.0, window=w, seed=0)
+        assert all(
+            r.dissimilarity_users == n // (2 * w) for r in result.records
+        )
+
+    def test_first_publication_uses_quarter_population(self, small_binary_stream):
+        n = small_binary_stream.n_users
+        result = run_stream("LPD", small_binary_stream, epsilon=1.0, window=5, seed=0)
+        pubs = [r for r in result.records if r.strategy == STRATEGY_PUBLISH]
+        assert pubs, "LPD should publish at least once (r0 is all-zero)"
+        assert pubs[0].publication_users == n // 2 // 2
+
+    def test_publication_users_window_bounded(self, small_binary_stream):
+        """Σ|U_i,2| over any window stays <= N/2 (Theorem 6.2 proof)."""
+        w = 6
+        n = small_binary_stream.n_users
+        result = run_stream("LPD", small_binary_stream, epsilon=1.0, window=w, seed=0)
+        counts = [r.publication_users for r in result.records]
+        for start in range(len(counts) - w + 1):
+            assert sum(counts[start : start + w]) <= n // 2
+
+    def test_u_min_blocks_tiny_groups(self, small_binary_stream):
+        mech = LPD(u_min=10_000)  # bigger than N/4: every publication blocked
+        result = run_stream(mech, small_binary_stream, epsilon=1.0, window=5, seed=0)
+        assert result.publication_count == 0
+
+    def test_invalid_u_min(self):
+        with pytest.raises(InvalidParameterError):
+            LPD(u_min=0)
+
+    def test_needs_enough_users(self):
+        from repro.streams import BinaryStream
+
+        tiny = BinaryStream(np.full(5, 0.5), n_users=5, seed=0)
+        with pytest.raises(InvalidParameterError):
+            run_stream("LPD", tiny, epsilon=1.0, window=5, seed=0)
+
+
+class TestLPA:
+    def test_m1_group_size(self, small_binary_stream):
+        w = 5
+        n = small_binary_stream.n_users
+        result = run_stream("LPA", small_binary_stream, epsilon=1.0, window=w, seed=0)
+        assert all(
+            r.dissimilarity_users == n // (2 * w) for r in result.records
+        )
+
+    def test_nullification_matches_absorption(self, small_binary_stream):
+        w = 5
+        n = small_binary_stream.n_users
+        unit = n // (2 * w)
+        result = run_stream("LPA", small_binary_stream, epsilon=1.0, window=w, seed=0)
+        for i, record in enumerate(result.records):
+            if record.strategy == STRATEGY_PUBLISH:
+                groups = round(record.publication_users / unit)
+                following = result.records[i + 1 : i + groups]
+                assert all(r.strategy == STRATEGY_NULLIFIED for r in following)
+
+    def test_publication_users_window_bounded(self, small_binary_stream):
+        w = 6
+        n = small_binary_stream.n_users
+        result = run_stream("LPA", small_binary_stream, epsilon=1.0, window=w, seed=0)
+        counts = [r.publication_users for r in result.records]
+        for start in range(len(counts) - w + 1):
+            assert sum(counts[start : start + w]) <= n // 2 + w  # rounding slack
+
+    def test_absorption_capped_at_w_groups(self, constant_stream):
+        w = 5
+        n = constant_stream.n_users
+        result = run_stream("LPA", constant_stream, epsilon=1.0, window=w, seed=0)
+        max_group = w * (n // (2 * w))
+        assert all(r.publication_users <= max_group for r in result.records)
+
+
+class TestAdaptivityOnStepStream:
+    @pytest.mark.parametrize("method", ["LPD", "LPA"])
+    def test_publishes_near_changes(self, method):
+        stream = make_step(
+            n_users=20_000, horizon=60, low=0.05, high=0.35, period=20, seed=4
+        )
+        result = run_stream(method, stream, epsilon=1.0, window=5, seed=1)
+        publish_ts = {r.t for r in result.records if r.strategy == STRATEGY_PUBLISH}
+        for change in (20, 40):
+            assert any(
+                abs(t - change) <= 3 for t in publish_ts
+            ), f"{method} missed the change at t={change}"
+
+    @pytest.mark.parametrize("method", ["LPD", "LPA"])
+    def test_mostly_approximates_on_constant_stream(self, method, constant_stream):
+        result = run_stream(method, constant_stream, epsilon=1.0, window=5, seed=1)
+        # After the initial publication there is nothing to chase.
+        assert result.publication_rate < 0.5

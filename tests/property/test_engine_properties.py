@@ -1,0 +1,93 @@
+"""Property-based tests on the accountant and the user pool."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import UserPool, WEventAccountant
+from repro.exceptions import PopulationExhaustedError, PrivacyViolationError
+
+
+class TestAccountantProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10),  # window
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.4, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    def test_accountant_matches_bruteforce_sliding_sum(self, window, charges):
+        """The accountant accepts a schedule iff the brute-force sliding sum
+        stays within budget — no false alarms, no misses."""
+        epsilon = 1.0
+        acc = WEventAccountant(n_users=3, epsilon=epsilon, window=window)
+        spent = []
+        violated_at = None
+        for t, eps in enumerate(charges):
+            spent.append(eps)
+            window_sum = sum(spent[max(0, t - window + 1) : t + 1])
+            try:
+                acc.charge(t, None, eps)
+                assert window_sum <= epsilon + 1e-9, (
+                    f"accountant missed a violation at t={t}"
+                )
+            except PrivacyViolationError:
+                violated_at = t
+                assert window_sum > epsilon + 1e-12, (
+                    f"accountant false alarm at t={t}"
+                )
+                break
+        if violated_at is None:
+            assert acc.max_window_spend <= epsilon + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_disjoint_group_schedule_never_violates(self, window, seed):
+        """LPU-style schedules (disjoint groups, full budget, recycled after
+        w steps) are always accepted."""
+        rng = np.random.default_rng(seed)
+        n = window * 5
+        acc = WEventAccountant(n_users=n, epsilon=1.0, window=window)
+        groups = np.array_split(rng.permutation(n), window)
+        for t in range(4 * window):
+            acc.charge(t, groups[t % window], 1.0)
+        assert acc.max_window_spend <= 1.0 + 1e-9
+
+
+class TestUserPoolProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_no_user_held_twice(self, n_users, requests, seed):
+        """However sampling/recycling interleave, a user is never handed
+        out while already outstanding, and counts always reconcile."""
+        pool = UserPool(n_users, seed=seed)
+        outstanding: list[np.ndarray] = []
+        held = set()
+        for k in requests:
+            try:
+                ids = pool.sample(k)
+            except PopulationExhaustedError:
+                assert k > pool.n_available
+                if outstanding:
+                    back = outstanding.pop(0)
+                    pool.recycle(back)
+                    held -= set(back.tolist())
+                continue
+            as_set = set(ids.tolist())
+            assert not (as_set & held), "user handed out twice"
+            held |= as_set
+            outstanding.append(ids)
+            assert pool.n_available == n_users - len(held)
+        for ids in outstanding:
+            pool.recycle(ids)
+        assert pool.n_available == n_users

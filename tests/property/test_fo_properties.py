@@ -1,0 +1,121 @@
+"""Property-based tests on frequency oracles (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.freq_oracles import (
+    get_oracle,
+    grr_probabilities,
+    oue_probabilities,
+    sue_probabilities,
+)
+from repro.freq_oracles.variance import grr_mean_variance
+
+oracle_names = st.sampled_from(["grr", "oue", "olh", "sue"])
+epsilons = st.floats(min_value=0.1, max_value=5.0, allow_nan=False)
+domains = st.integers(min_value=2, max_value=40)
+
+
+class TestProbabilityProperties:
+    @given(epsilons, domains)
+    def test_grr_probability_ratio_bounded_by_epsilon(self, epsilon, d):
+        """The defining LDP inequality: p/q == e^eps exactly for GRR."""
+        p, q = grr_probabilities(epsilon, d)
+        assert 0 < q < p < 1
+        assert p / q == pytest.approx(math.exp(epsilon))
+
+    @given(epsilons)
+    def test_oue_bitwise_ratio(self, epsilon):
+        p, q = oue_probabilities(epsilon)
+        # Worst-case single-bit likelihood ratio equals e^eps.
+        ratio = (p * (1 - q)) / (q * (1 - p))
+        assert ratio == pytest.approx(math.exp(epsilon))
+
+    @given(epsilons)
+    def test_sue_two_bit_ratio(self, epsilon):
+        """SUE spends eps/2 per differing bit; two bits differ between any
+        two one-hot encodings, giving e^eps overall."""
+        p, q = sue_probabilities(epsilon)
+        per_bit = p / q
+        assert per_bit * per_bit == pytest.approx(math.exp(epsilon))
+
+
+class TestEstimatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        oracle_names,
+        epsilons,
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_mass_preservation_grr_like(self, name, epsilon, d, seed):
+        """Estimated frequencies always sum to ~1 for GRR (exact) and stay
+        finite for all oracles."""
+        rng = np.random.default_rng(seed)
+        oracle = get_oracle(name)
+        counts = rng.multinomial(500, np.full(d, 1.0 / d))
+        estimate = oracle.sample_aggregate(counts, epsilon, rng=rng)
+        assert np.isfinite(estimate.frequencies).all()
+        if name == "grr":
+            assert estimate.frequencies.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        oracle_names,
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_estimates_centre_on_truth(self, name, seed):
+        """Averaging many estimates approaches the true distribution."""
+        rng = np.random.default_rng(seed)
+        oracle = get_oracle(name)
+        truth = np.array([0.5, 0.3, 0.2])
+        counts = (truth * 3_000).astype(int)
+        mean = np.zeros(3)
+        runs = 60
+        for _ in range(runs):
+            mean += oracle.sample_aggregate(counts, 2.0, rng=rng).frequencies
+        mean /= runs
+        assert np.allclose(mean, truth, atol=0.05)
+
+    @settings(max_examples=30, deadline=None)
+    @given(epsilons, domains, st.integers(min_value=10, max_value=10**6))
+    def test_variance_positive_monotone(self, epsilon, d, n):
+        v = grr_mean_variance(epsilon, n, d)
+        assert v > 0
+        assert grr_mean_variance(epsilon, 2 * n, d) < v
+        assert grr_mean_variance(epsilon + 0.5, n, d) < v
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        epsilons,
+        st.integers(min_value=2, max_value=50),
+        st.integers(min_value=2, max_value=117),
+    )
+    def test_theorem_6_1_universally(self, epsilon, w, d):
+        """V(eps, N/w) < V(eps/w, N) over the whole parameter box."""
+        n = 100_000
+        assert grr_mean_variance(epsilon, n // w, d) < grr_mean_variance(
+            epsilon / w, n, d
+        )
+
+
+class TestPerturbDomainProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        oracle_names,
+        epsilons,
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_perturb_aggregate_roundtrip(self, name, epsilon, d, seed):
+        rng = np.random.default_rng(seed)
+        oracle = get_oracle(name)
+        values = rng.integers(0, d, size=200)
+        reports = oracle.perturb(values, d, epsilon, rng=rng)
+        estimate = oracle.aggregate(reports, d, epsilon)
+        assert estimate.n_reports == 200
+        assert estimate.frequencies.shape == (d,)

@@ -1,0 +1,96 @@
+"""Property-based tests on mechanisms: privacy invariants under random
+parameters, and post-processing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import run_stream
+from repro.freq_oracles.postprocess import norm_sub, project_simplex
+from repro.mechanisms import ALL_METHODS
+from repro.streams import BinaryStream
+
+
+def _random_stream(draw_seed: int, horizon: int, n_users: int) -> BinaryStream:
+    rng = np.random.default_rng(draw_seed)
+    probs = np.clip(rng.normal(0.1, 0.05, size=horizon), 0.0, 1.0)
+    return BinaryStream(probs, n_users=n_users, seed=draw_seed)
+
+
+class TestPrivacyInvariantProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sampled_from(ALL_METHODS),
+        st.floats(min_value=0.2, max_value=3.0, allow_nan=False),
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_window_spend_never_exceeds_epsilon(self, method, epsilon, window, seed):
+        """For any (method, eps, w, stream), the live accountant accepts the
+        whole run and the recorded max window spend is <= eps."""
+        stream = _random_stream(seed % 1_000, horizon=3 * window, n_users=800)
+        result = run_stream(method, stream, epsilon=epsilon, window=window, seed=seed)
+        assert result.max_window_spend <= epsilon + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.sampled_from(("LPU", "LPD", "LPA")),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_population_methods_report_each_user_once_per_window(
+        self, method, window, seed
+    ):
+        """Population division: total reports over any w consecutive steps
+        never exceed N (each user at most once)."""
+        n_users = 600
+        stream = _random_stream(seed % 1_000, horizon=3 * window, n_users=n_users)
+        result = run_stream(method, stream, epsilon=1.0, window=window, seed=seed)
+        reports = [r.reports for r in result.records]
+        for start in range(len(reports) - window + 1):
+            assert sum(reports[start : start + window]) <= n_users
+
+
+class TestReleaseInvariantProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.sampled_from(ALL_METHODS),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_releases_are_finite(self, method, seed):
+        stream = _random_stream(seed % 1_000, horizon=12, n_users=800)
+        result = run_stream(method, stream, epsilon=1.0, window=4, seed=seed)
+        assert np.isfinite(result.releases).all()
+
+
+class TestPostprocessProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_norm_sub_outputs_distribution(self, values):
+        out = norm_sub(np.array(values))
+        assert out.sum() == pytest.approx(1.0)
+        assert (out >= -1e-12).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_simplex_projection_properties(self, values):
+        x = np.array(values)
+        out = project_simplex(x)
+        assert out.sum() == pytest.approx(1.0)
+        assert (out >= 0).all()
+        # Projection is order preserving.
+        order_in = np.argsort(x, kind="stable")
+        assert (np.diff(out[order_in]) >= -1e-12).all()

@@ -1,0 +1,98 @@
+"""Property-based tests on the numeric mechanisms and analysis helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import cusum_detect, score_change_points, topk_precision
+from repro.queries import get_numeric_mechanism
+
+numeric_names = st.sampled_from(["duchi", "piecewise", "hybrid"])
+epsilons = st.floats(min_value=0.2, max_value=5.0, allow_nan=False)
+
+
+class TestNumericProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        numeric_names,
+        epsilons,
+        st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_reports_centre_on_value(self, name, epsilon, value, seed):
+        """Averaging many perturbed copies of one value recovers it within
+        a few standard errors — per-report unbiasedness."""
+        mech = get_numeric_mechanism(name)
+        rng = np.random.default_rng(seed)
+        n = 4_000
+        reports = mech.perturb(np.full(n, value), epsilon, rng=rng)
+        standard_error = np.sqrt(mech.variance(epsilon, n))
+        assert abs(reports.mean() - value) < 6 * standard_error + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(numeric_names, epsilons)
+    def test_variance_monotone(self, name, epsilon):
+        mech = get_numeric_mechanism(name)
+        assert mech.variance(epsilon, 2_000) < mech.variance(epsilon, 1_000)
+        assert mech.variance(epsilon + 0.5, 1_000) <= mech.variance(
+            epsilon, 1_000
+        ) * 1.01
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        numeric_names,
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_reports_bounded(self, name, seed):
+        """Every mechanism's output magnitude is bounded by its own scale
+        constant — no unbounded reports."""
+        import math
+
+        mech = get_numeric_mechanism(name)
+        rng = np.random.default_rng(seed)
+        eps = 1.0
+        reports = mech.perturb(rng.uniform(-1, 1, size=500), eps, rng=rng)
+        # Both Duchi's and PM's supports are within (e^{eps/2}+1)/(e^{eps/2}-1)
+        # and (e^eps+1)/(e^eps-1); take the looser of the two.
+        s, e = math.exp(eps / 2.0), math.exp(eps)
+        bound = max((s + 1) / (s - 1), (e + 1) / (e - 1))
+        assert np.abs(reports).max() <= bound + 1e-9
+
+
+class TestAnalysisProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=4,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_topk_self_precision_is_one(self, row, k):
+        trace = np.tile(np.asarray(row), (3, 1))
+        assert topk_precision(trace, trace, k) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=0.2, allow_nan=False),
+        st.floats(min_value=0.3, max_value=2.0, allow_nan=False),
+    )
+    def test_cusum_silent_on_constant(self, drift, threshold):
+        series = np.full(100, 0.5)
+        assert cusum_detect(series, drift=drift, threshold=threshold) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=200), max_size=10),
+        st.lists(st.integers(min_value=0, max_value=200), max_size=5),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_scoring_accounting_identity(self, detected, true_points, tol):
+        """matched + false_alarms == len(detected), matched <= len(truth)."""
+        report = score_change_points(detected, true_points, tolerance=tol)
+        assert report.matched + report.false_alarms == len(detected)
+        assert report.matched <= len(set(true_points)) + (
+            len(true_points) - len(set(true_points))
+        )

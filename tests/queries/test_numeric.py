@@ -1,0 +1,115 @@
+"""Unit tests for the numeric (mean-estimation) LDP mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.queries import (
+    DuchiMechanism,
+    HybridMechanism,
+    PiecewiseMechanism,
+    get_numeric_mechanism,
+)
+
+ALL = [DuchiMechanism, PiecewiseMechanism, HybridMechanism]
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_numeric_mechanism("duchi"), DuchiMechanism)
+        assert isinstance(get_numeric_mechanism("piecewise"), PiecewiseMechanism)
+        assert isinstance(get_numeric_mechanism("hybrid"), HybridMechanism)
+
+    def test_passthrough(self):
+        mech = DuchiMechanism()
+        assert get_numeric_mechanism(mech) is mech
+
+    def test_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            get_numeric_mechanism("laplace")
+
+
+@pytest.mark.parametrize("mechanism_cls", ALL)
+class TestCommonContract:
+    def test_unbiased_mean(self, mechanism_cls, rng):
+        mech = mechanism_cls()
+        values = rng.uniform(-0.5, 0.5, size=60_000)
+        reports = mech.perturb(values, 1.0, rng=rng)
+        assert mech.estimate_mean(reports) == pytest.approx(
+            values.mean(), abs=0.03
+        )
+
+    def test_unbiased_at_extremes(self, mechanism_cls, rng):
+        mech = mechanism_cls()
+        values = np.full(60_000, 0.8)
+        reports = mech.perturb(values, 1.0, rng=rng)
+        assert reports.mean() == pytest.approx(0.8, abs=0.04)
+
+    def test_empirical_variance_bounded_by_worst_case(self, mechanism_cls, rng):
+        mech = mechanism_cls()
+        n, eps = 2_000, 1.0
+        values = rng.uniform(-1, 1, size=n)
+        means = [
+            mech.perturb(values, eps, rng=rng).mean() for _ in range(200)
+        ]
+        assert np.var(means) <= mech.variance(eps, n) * 1.3
+
+    def test_rejects_out_of_range(self, mechanism_cls):
+        with pytest.raises(InvalidParameterError):
+            mechanism_cls().perturb(np.array([1.5]), 1.0)
+
+    def test_rejects_bad_epsilon(self, mechanism_cls):
+        with pytest.raises(InvalidParameterError):
+            mechanism_cls().perturb(np.array([0.0]), 0.0)
+
+    def test_variance_decreases_with_n_and_eps(self, mechanism_cls):
+        mech = mechanism_cls()
+        assert mech.variance(1.0, 2_000) < mech.variance(1.0, 1_000)
+        assert mech.variance(2.0, 1_000) < mech.variance(1.0, 1_000)
+
+    def test_empty_reports_rejected(self, mechanism_cls):
+        with pytest.raises(InvalidParameterError):
+            mechanism_cls().estimate_mean(np.empty(0))
+
+
+class TestDuchi:
+    def test_binary_output(self, rng):
+        mech = DuchiMechanism()
+        reports = mech.perturb(rng.uniform(-1, 1, size=100), 1.0, rng=rng)
+        assert len(np.unique(np.abs(reports))) == 1
+
+    def test_output_magnitude(self, rng):
+        import math
+
+        mech = DuchiMechanism()
+        reports = mech.perturb(np.zeros(10), 1.0, rng=rng)
+        e = math.exp(1.0)
+        assert np.abs(reports[0]) == pytest.approx((e + 1) / (e - 1))
+
+
+class TestPiecewise:
+    def test_output_within_extended_range(self, rng):
+        import math
+
+        mech = PiecewiseMechanism()
+        eps = 2.0
+        s = math.exp(eps / 2)
+        c = (s + 1) / (s - 1)
+        reports = mech.perturb(rng.uniform(-1, 1, size=500), eps, rng=rng)
+        assert np.abs(reports).max() <= c + 1e-9
+
+    def test_concentrates_near_truth_at_high_eps(self, rng):
+        mech = PiecewiseMechanism()
+        reports = mech.perturb(np.full(2_000, 0.5), 6.0, rng=rng)
+        assert np.median(np.abs(reports - 0.5)) < 0.2
+
+
+class TestHybrid:
+    def test_small_eps_equals_duchi_support(self, rng):
+        mech = HybridMechanism()
+        reports = mech.perturb(rng.uniform(-1, 1, size=200), 0.4, rng=rng)
+        assert len(np.unique(np.abs(reports))) == 1  # pure Duchi regime
+
+    def test_beats_or_matches_duchi_at_high_eps(self):
+        hybrid, duchi = HybridMechanism(), DuchiMechanism()
+        assert hybrid.variance(4.0, 1_000) < duchi.variance(4.0, 1_000)

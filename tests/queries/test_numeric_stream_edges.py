@@ -1,0 +1,71 @@
+"""Edge cases for the mean-query stream machinery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.queries import (
+    MeanPopulationAbsorption,
+    MeanPopulationUniform,
+    NumericStream,
+    make_sine_numeric_stream,
+)
+
+
+class TestNumericStreamEdges:
+    def test_boundary_values_accepted(self):
+        stream = NumericStream(np.array([[-1.0, 1.0, 0.0]]))
+        assert stream.n_users == 3
+
+    def test_single_timestep(self):
+        stream = NumericStream(np.zeros((1, 100)))
+        result = MeanPopulationUniform().run(stream, 1.0, 5, seed=0)
+        assert result.releases.shape == (1,)
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            NumericStream(np.zeros(10))
+
+    def test_generator_clipping(self):
+        stream = make_sine_numeric_stream(
+            n_users=500, horizon=20, amplitude=0.9, noise_std=0.5, seed=1
+        )
+        for t in range(20):
+            values = stream.values(t)
+            assert values.min() >= -1.0
+            assert values.max() <= 1.0
+
+
+class TestMeanSessionEdges:
+    def test_window_one(self):
+        stream = make_sine_numeric_stream(n_users=400, horizon=10, seed=2)
+        for runner in (MeanPopulationUniform(), MeanPopulationAbsorption()):
+            result = runner.run(stream, 1.0, 1, seed=2)
+            assert np.isfinite(result.releases).all()
+
+    def test_window_larger_than_horizon(self):
+        stream = make_sine_numeric_stream(n_users=2_000, horizon=5, seed=2)
+        result = MeanPopulationAbsorption().run(stream, 1.0, 20, seed=2)
+        assert result.releases.shape == (5,)
+
+    def test_results_deterministic_under_seed(self):
+        stream = make_sine_numeric_stream(n_users=2_000, horizon=30, seed=3)
+        a = MeanPopulationAbsorption().run(stream, 1.0, 5, seed=11)
+        b = MeanPopulationAbsorption().run(stream, 1.0, 5, seed=11)
+        assert np.array_equal(a.releases, b.releases)
+
+    def test_mse_decreases_with_epsilon(self):
+        stream = make_sine_numeric_stream(n_users=6_000, horizon=60, seed=3)
+        low = np.mean(
+            [
+                MeanPopulationUniform().run(stream, 0.3, 10, seed=s).mse
+                for s in range(4)
+            ]
+        )
+        high = np.mean(
+            [
+                MeanPopulationUniform().run(stream, 3.0, 10, seed=s).mse
+                for s in range(4)
+            ]
+        )
+        assert high < low

@@ -1,0 +1,98 @@
+"""Tests for w-event LDP mean release over streams (MPU / MPA)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, StreamAccessError
+from repro.queries import (
+    MeanPopulationAbsorption,
+    MeanPopulationUniform,
+    NumericStream,
+    make_sine_numeric_stream,
+)
+
+
+@pytest.fixture
+def sine_stream():
+    return make_sine_numeric_stream(
+        n_users=4_000, horizon=80, amplitude=0.3, period=60, seed=5
+    )
+
+
+class TestNumericStream:
+    def test_shape_properties(self, sine_stream):
+        assert sine_stream.n_users == 4_000
+        assert sine_stream.horizon == 80
+        assert sine_stream.values(0).shape == (4_000,)
+
+    def test_true_means_tracks_process(self, sine_stream):
+        means = sine_stream.true_means()
+        assert means.shape == (80,)
+        assert means.max() > 0.2
+        assert means.min() < -0.2
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(InvalidParameterError):
+            NumericStream(np.array([[2.0, 0.0]]))
+
+    def test_rejects_bad_timestamp(self, sine_stream):
+        with pytest.raises(StreamAccessError):
+            sine_stream.values(80)
+
+
+class TestMPU:
+    def test_tracks_mean(self, sine_stream):
+        result = MeanPopulationUniform().run(sine_stream, 1.0, 10, seed=1)
+        assert result.mse < 0.05
+
+    def test_every_step_publishes(self, sine_stream):
+        result = MeanPopulationUniform().run(sine_stream, 1.0, 10, seed=1)
+        assert all(r.strategy == "publish" for r in result.records)
+
+    def test_cfpu_is_inverse_window(self, sine_stream):
+        result = MeanPopulationUniform().run(sine_stream, 1.0, 10, seed=1)
+        assert result.cfpu == pytest.approx(1 / 10, rel=0.01)
+
+    def test_invalid_parameters(self, sine_stream):
+        with pytest.raises(InvalidParameterError):
+            MeanPopulationUniform().run(sine_stream, 0.0, 10)
+        with pytest.raises(InvalidParameterError):
+            MeanPopulationUniform().run(sine_stream, 1.0, 0)
+
+
+class TestMPA:
+    def test_tracks_mean(self, sine_stream):
+        result = MeanPopulationAbsorption().run(sine_stream, 1.0, 10, seed=1)
+        assert result.mse < 0.05
+
+    def test_approximates_on_constant_stream(self, rng):
+        values = np.clip(rng.normal(0.2, 0.05, size=(60, 4_000)), -1, 1)
+        stream = NumericStream(values)
+        result = MeanPopulationAbsorption().run(stream, 1.0, 10, seed=1)
+        publishes = sum(1 for r in result.records if r.strategy == "publish")
+        assert publishes < 30  # mostly approximation on a flat stream
+
+    def test_communication_below_uniform(self, sine_stream):
+        mpa = MeanPopulationAbsorption().run(sine_stream, 1.0, 10, seed=1)
+        mpu = MeanPopulationUniform().run(sine_stream, 1.0, 10, seed=1)
+        assert mpa.total_reports < mpu.total_reports * 1.05
+
+    def test_window_report_bound(self, sine_stream):
+        """No more than N reports in any window (each user once)."""
+        w = 10
+        result = MeanPopulationAbsorption().run(sine_stream, 1.0, w, seed=1)
+        reporters = [r.reporters for r in result.records]
+        for start in range(len(reporters) - w + 1):
+            assert sum(reporters[start : start + w]) <= sine_stream.n_users
+
+    def test_needs_enough_users(self):
+        stream = NumericStream(np.zeros((10, 5)))
+        with pytest.raises(InvalidParameterError):
+            MeanPopulationAbsorption().run(stream, 1.0, 10)
+
+    @pytest.mark.parametrize("numeric", ["duchi", "piecewise", "hybrid"])
+    def test_all_numeric_mechanisms(self, sine_stream, numeric):
+        result = MeanPopulationAbsorption(numeric_mechanism=numeric).run(
+            sine_stream, 1.0, 10, seed=2
+        )
+        assert np.isfinite(result.releases).all()

@@ -1,0 +1,97 @@
+"""Unit tests for the Markov value process substrate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.streams import MarkovValueProcess, sample_categorical
+
+
+class TestSampleCategorical:
+    def test_distribution_respected(self, rng):
+        probs = np.array([0.7, 0.2, 0.1])
+        draws = sample_categorical(probs, 50_000, rng)
+        freqs = np.bincount(draws, minlength=3) / 50_000
+        assert np.allclose(freqs, probs, atol=0.01)
+
+    def test_unnormalised_weights_accepted(self, rng):
+        draws = sample_categorical(np.array([7.0, 2.0, 1.0]), 20_000, rng)
+        freqs = np.bincount(draws, minlength=3) / 20_000
+        assert np.allclose(freqs, [0.7, 0.2, 0.1], atol=0.02)
+
+    def test_rejects_bad_weights(self, rng):
+        with pytest.raises(InvalidParameterError):
+            sample_categorical(np.array([-1.0, 1.0]), 10, rng)
+        with pytest.raises(InvalidParameterError):
+            sample_categorical(np.array([0.0, 0.0]), 10, rng)
+        with pytest.raises(InvalidParameterError):
+            sample_categorical(np.empty(0), 10, rng)
+
+
+class TestMarkovValueProcess:
+    @staticmethod
+    def _uniform_target(t):
+        return np.full(4, 0.25)
+
+    def test_first_step_samples_target(self):
+        process = MarkovValueProcess(
+            20_000, self._uniform_target, churn_rate=0.5, seed=1
+        )
+        values = process.step(0)
+        freqs = np.bincount(values, minlength=4) / 20_000
+        assert np.allclose(freqs, 0.25, atol=0.02)
+
+    def test_zero_churn_freezes_values(self):
+        process = MarkovValueProcess(
+            1_000, self._uniform_target, churn_rate=0.0, seed=1
+        )
+        first = process.step(0).copy()
+        for t in range(1, 5):
+            assert np.array_equal(process.step(t), first)
+
+    def test_full_churn_resamples_everyone(self):
+        process = MarkovValueProcess(
+            50_000, self._uniform_target, churn_rate=1.0, seed=1
+        )
+        a = process.step(0).copy()
+        b = process.step(1)
+        # With churn 1 the overlap should be the chance level 1/d.
+        overlap = float(np.mean(a == b))
+        assert overlap == pytest.approx(0.25, abs=0.02)
+
+    def test_partial_churn_stickiness(self):
+        churn = 0.1
+        process = MarkovValueProcess(
+            50_000, self._uniform_target, churn_rate=churn, seed=1
+        )
+        a = process.step(0).copy()
+        b = process.step(1)
+        stay = float(np.mean(a == b))
+        expected = (1 - churn) + churn * 0.25
+        assert stay == pytest.approx(expected, abs=0.02)
+
+    def test_tracks_moving_target(self):
+        def moving_target(t):
+            return np.array([0.9, 0.1]) if t < 5 else np.array([0.1, 0.9])
+
+        process = MarkovValueProcess(20_000, moving_target, churn_rate=0.5, seed=1)
+        for t in range(20):
+            values = process.step(t)
+        late_freq = np.bincount(values, minlength=2) / 20_000
+        assert late_freq[1] > 0.8
+
+    def test_invalid_churn_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MarkovValueProcess(10, self._uniform_target, churn_rate=1.5)
+        with pytest.raises(InvalidParameterError):
+            MarkovValueProcess(0, self._uniform_target, churn_rate=0.5)
+
+    def test_reset_restarts(self):
+        process = MarkovValueProcess(
+            100, self._uniform_target, churn_rate=0.3, seed=9
+        )
+        process.step(0)
+        process.step(1)
+        process.reset(seed=9)
+        values = process.step(0)
+        assert values.shape == (100,)

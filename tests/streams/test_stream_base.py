@@ -1,0 +1,123 @@
+"""Unit tests for stream dataset base classes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, StreamAccessError
+from repro.streams import GenerativeStream, MaterializedStream
+
+
+class TestMaterializedStream:
+    def test_basic_properties(self, rng):
+        values = rng.integers(0, 4, size=(10, 50))
+        stream = MaterializedStream(values, domain_size=4)
+        assert stream.n_users == 50
+        assert stream.domain_size == 4
+        assert stream.horizon == 10
+
+    def test_values_random_access(self, rng):
+        values = rng.integers(0, 4, size=(10, 50))
+        stream = MaterializedStream(values, domain_size=4)
+        assert np.array_equal(stream.values(7), values[7])
+        assert np.array_equal(stream.values(0), values[0])
+
+    def test_true_frequencies_sum_to_one(self, rng):
+        values = rng.integers(0, 4, size=(5, 100))
+        stream = MaterializedStream(values, domain_size=4)
+        for t in range(5):
+            assert stream.true_frequencies(t).sum() == pytest.approx(1.0)
+
+    def test_true_counts_match_values(self):
+        values = np.array([[0, 0, 1, 2, 2, 2]])
+        stream = MaterializedStream(values, domain_size=3)
+        assert np.array_equal(stream.true_counts(0), [2, 1, 3])
+
+    def test_frequency_matrix_shape(self, rng):
+        values = rng.integers(0, 3, size=(8, 20))
+        stream = MaterializedStream(values, domain_size=3)
+        assert stream.frequency_matrix().shape == (8, 3)
+
+    def test_domain_inferred(self):
+        stream = MaterializedStream(np.array([[0, 1, 2]]))
+        assert stream.domain_size == 3
+
+    def test_out_of_horizon_raises(self, rng):
+        stream = MaterializedStream(rng.integers(0, 2, size=(5, 10)))
+        with pytest.raises(StreamAccessError):
+            stream.values(5)
+        with pytest.raises(StreamAccessError):
+            stream.values(-1)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MaterializedStream(np.array([[0, 5]]), domain_size=3)
+        with pytest.raises(InvalidParameterError):
+            MaterializedStream(np.array([0, 1, 2]))  # 1-D
+
+
+class _CountingStream(GenerativeStream):
+    """Generative stream that records how many times _advance ran."""
+
+    def __init__(self):
+        super().__init__(n_users=10, domain_size=2, horizon=20)
+        self.advances = 0
+
+    def _advance(self, t):
+        self.advances += 1
+        return np.full(10, t % 2, dtype=np.int64)
+
+    def _reset_state(self):
+        self.advances = 0
+
+
+class TestGenerativeStream:
+    def test_in_order_access(self):
+        stream = _CountingStream()
+        for t in range(5):
+            assert np.array_equal(stream.values(t), np.full(10, t % 2))
+        assert stream.advances == 5
+
+    def test_repeated_reads_are_cached(self):
+        stream = _CountingStream()
+        stream.values(0)
+        stream.values(0)
+        stream.values(0)
+        assert stream.advances == 1
+
+    def test_skipping_ahead_raises(self):
+        stream = _CountingStream()
+        stream.values(0)
+        with pytest.raises(StreamAccessError):
+            stream.values(2)
+
+    def test_rewind_raises_without_reset(self):
+        stream = _CountingStream()
+        stream.values(0)
+        stream.values(1)
+        with pytest.raises(StreamAccessError):
+            stream.values(0)
+
+    def test_reset_allows_replay(self):
+        stream = _CountingStream()
+        stream.values(0)
+        stream.values(1)
+        stream.reset()
+        assert np.array_equal(stream.values(0), np.full(10, 0))
+
+    def test_horizon_enforced(self):
+        stream = _CountingStream()
+        with pytest.raises(StreamAccessError):
+            stream.values(20)
+
+    def test_frequency_matrix_requires_horizon_for_unbounded(self):
+        class Unbounded(_CountingStream):
+            def __init__(self):
+                GenerativeStream.__init__(
+                    self, n_users=10, domain_size=2, horizon=None
+                )
+                self.advances = 0
+
+        stream = Unbounded()
+        with pytest.raises(StreamAccessError):
+            stream.frequency_matrix()
+        assert stream.frequency_matrix(horizon=3).shape == (3, 2)

@@ -1,0 +1,117 @@
+"""Unit tests for the synthetic stream generators (Section 7.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.streams import (
+    BinaryStream,
+    lns_probability_sequence,
+    log_probability_sequence,
+    make_constant,
+    make_lns,
+    make_log,
+    make_sin,
+    make_step,
+    sin_probability_sequence,
+    step_probability_sequence,
+)
+
+
+class TestProbabilitySequences:
+    def test_lns_starts_at_p0(self):
+        probs = lns_probability_sequence(100, p0=0.05, seed=1)
+        assert probs[0] == pytest.approx(0.05)
+
+    def test_lns_within_unit_interval(self):
+        probs = lns_probability_sequence(5_000, q_std=0.05, seed=1)
+        assert probs.min() >= 0.0
+        assert probs.max() <= 1.0
+
+    def test_lns_step_scale(self):
+        # Start mid-range so the [0, 1] clipping never distorts the walk.
+        probs = lns_probability_sequence(2_000, p0=0.5, q_std=0.0025, seed=2)
+        steps = np.diff(probs)
+        assert steps.std() == pytest.approx(0.0025, rel=0.1)
+
+    def test_sin_matches_formula(self):
+        probs = sin_probability_sequence(50, amplitude=0.05, b=0.01, offset=0.075)
+        t = np.arange(50)
+        assert np.allclose(probs, 0.05 * np.sin(0.01 * t) + 0.075)
+
+    def test_log_is_monotone_increasing(self):
+        probs = log_probability_sequence(500)
+        assert (np.diff(probs) >= 0).all()
+
+    def test_log_asymptote(self):
+        probs = log_probability_sequence(10_000, amplitude=0.25, b=0.01)
+        assert probs[-1] == pytest.approx(0.25, abs=1e-4)
+
+    def test_step_alternates(self):
+        probs = step_probability_sequence(300, low=0.05, high=0.2, period=100)
+        assert probs[0] == 0.05
+        assert probs[150] == 0.2
+        assert probs[250] == 0.05
+
+
+class TestBinaryStream:
+    def test_frequency_tracks_probability(self):
+        probs = np.array([0.1, 0.5, 0.9])
+        stream = BinaryStream(probs, n_users=1_000, seed=0)
+        for t, p in enumerate(probs):
+            assert stream.true_frequencies(t)[1] == pytest.approx(p, abs=1e-3)
+
+    def test_domain_is_binary(self):
+        stream = BinaryStream(np.array([0.2]), n_users=100, seed=0)
+        assert stream.domain_size == 2
+
+    def test_rejects_invalid_probabilities(self):
+        with pytest.raises(InvalidParameterError):
+            BinaryStream(np.array([1.2]), n_users=100)
+        with pytest.raises(InvalidParameterError):
+            BinaryStream(np.array([-0.1]), n_users=100)
+        with pytest.raises(InvalidParameterError):
+            BinaryStream(np.empty(0), n_users=100)
+
+    def test_seed_reproducible(self):
+        a = BinaryStream(np.array([0.3, 0.4]), n_users=200, seed=5)
+        b = BinaryStream(np.array([0.3, 0.4]), n_users=200, seed=5)
+        assert np.array_equal(a.values(0), b.values(0))
+        assert np.array_equal(a.values(1), b.values(1))
+
+
+class TestFactories:
+    @pytest.mark.parametrize(
+        "factory,name",
+        [
+            (make_lns, "LNS"),
+            (make_sin, "Sin"),
+            (make_log, "Log"),
+            (make_step, "Step"),
+            (make_constant, "Constant"),
+        ],
+    )
+    def test_factory_metadata(self, factory, name):
+        stream = factory(n_users=500, horizon=30, seed=1)
+        assert stream.name == name
+        assert stream.n_users == 500
+        assert stream.horizon == 30
+        assert stream.domain_size == 2
+
+    def test_paper_defaults(self):
+        """Default sizes are the paper's T=800, N=200,000."""
+        from repro.streams.synthetic import DEFAULT_N, DEFAULT_T
+
+        assert DEFAULT_T == 800
+        assert DEFAULT_N == 200_000
+
+    def test_constant_stream_is_constant(self):
+        stream = make_constant(n_users=400, horizon=10, p=0.1, seed=2)
+        freqs = stream.frequency_matrix()
+        assert np.allclose(freqs, freqs[0])
+
+    def test_sin_oscillates(self):
+        stream = make_sin(n_users=2_000, horizon=700, b=0.02, seed=2)
+        series = stream.frequency_matrix()[:, 1]
+        assert series.max() > 0.11
+        assert series.min() < 0.04

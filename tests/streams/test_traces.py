@@ -1,0 +1,90 @@
+"""Tests for real-trace loading utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.streams import (
+    load_value_matrix,
+    save_value_matrix,
+    stream_from_events,
+)
+
+
+class TestLoadValueMatrix:
+    def test_npy_round_trip(self, tmp_path, rng):
+        values = rng.integers(0, 4, size=(10, 30))
+        np.save(tmp_path / "trace.npy", values)
+        stream = load_value_matrix(tmp_path / "trace.npy", domain_size=4)
+        assert stream.n_users == 30
+        assert stream.horizon == 10
+        assert np.array_equal(stream.values(3), values[3])
+
+    def test_csv_load(self, tmp_path):
+        (tmp_path / "trace.csv").write_text("0,1,2\n2,1,0\n")
+        stream = load_value_matrix(tmp_path / "trace.csv")
+        assert stream.horizon == 2
+        assert stream.n_users == 3
+        assert stream.domain_size == 3
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            load_value_matrix(tmp_path / "nope.npy")
+
+    def test_save_round_trip(self, tmp_path, rng):
+        values = rng.integers(0, 3, size=(5, 8))
+        np.save(tmp_path / "a.npy", values)
+        stream = load_value_matrix(tmp_path / "a.npy")
+        save_value_matrix(stream, tmp_path / "b.npy")
+        again = load_value_matrix(tmp_path / "b.npy")
+        assert np.array_equal(again.values(4), values[4])
+
+    def test_save_requires_npy(self, tmp_path, rng):
+        np.save(tmp_path / "a.npy", rng.integers(0, 3, size=(2, 2)))
+        stream = load_value_matrix(tmp_path / "a.npy")
+        with pytest.raises(InvalidParameterError):
+            save_value_matrix(stream, tmp_path / "b.csv")
+
+
+class TestStreamFromEvents:
+    def test_forward_fill(self):
+        events = [(0, 1, 2), (1, 3, 1)]
+        stream = stream_from_events(events, n_users=2, horizon=5, domain_size=3)
+        # User 0: default 0 at t=0, then 2 from t=1; user 1: 1 from t=3.
+        assert stream.values(0).tolist() == [0, 0]
+        assert stream.values(1).tolist() == [2, 0]
+        assert stream.values(2).tolist() == [2, 0]
+        assert stream.values(3).tolist() == [2, 1]
+        assert stream.values(4).tolist() == [2, 1]
+
+    def test_multiple_events_same_user(self):
+        events = [(0, 0, 1), (0, 2, 2), (0, 4, 0)]
+        stream = stream_from_events(events, n_users=1, horizon=6, domain_size=3)
+        assert [int(stream.values(t)[0]) for t in range(6)] == [1, 1, 2, 2, 0, 0]
+
+    def test_unsorted_events_accepted(self):
+        events = [(0, 3, 1), (0, 0, 2)]
+        stream = stream_from_events(events, n_users=1, horizon=5, domain_size=3)
+        assert int(stream.values(1)[0]) == 2
+        assert int(stream.values(4)[0]) == 1
+
+    def test_invalid_user_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            stream_from_events([(5, 0, 1)], n_users=2, horizon=3)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            stream_from_events([(0, 0, -1)], n_users=2, horizon=3)
+
+    def test_usable_in_session(self):
+        from repro.engine import run_stream
+
+        rng = np.random.default_rng(0)
+        events = [
+            (u, int(t), int(rng.integers(0, 3)))
+            for u in range(200)
+            for t in rng.choice(30, size=4, replace=False)
+        ]
+        stream = stream_from_events(events, n_users=200, horizon=30, domain_size=3)
+        result = run_stream("LPU", stream, epsilon=1.0, window=5, seed=0)
+        assert result.horizon == 30

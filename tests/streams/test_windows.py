@@ -1,0 +1,61 @@
+"""Unit tests for the sliding-window sum helper."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.streams import SlidingWindowSum
+
+
+class TestSlidingWindowSum:
+    def test_sum_inside_window(self):
+        sws = SlidingWindowSum(3)
+        sws.record(0, 1.0)
+        sws.record(1, 2.0)
+        sws.record(2, 4.0)
+        assert sws.window_sum(2) == pytest.approx(7.0)
+
+    def test_eviction(self):
+        sws = SlidingWindowSum(3)
+        for t, v in enumerate([1.0, 2.0, 4.0, 8.0]):
+            sws.record(t, v)
+        # Window ending at 3 covers t in {1, 2, 3}.
+        assert sws.window_sum(3) == pytest.approx(14.0)
+
+    def test_query_without_record_advances_eviction(self):
+        sws = SlidingWindowSum(2)
+        sws.record(0, 5.0)
+        assert sws.window_sum(0) == 5.0
+        assert sws.window_sum(1) == 5.0
+        assert sws.window_sum(2) == 0.0
+
+    def test_sparse_timestamps(self):
+        sws = SlidingWindowSum(10)
+        sws.record(0, 1.0)
+        sws.record(7, 2.0)
+        assert sws.window_sum(7) == pytest.approx(3.0)
+        assert sws.window_sum(12) == pytest.approx(2.0)
+
+    def test_window_one_keeps_only_current(self):
+        sws = SlidingWindowSum(1)
+        sws.record(0, 3.0)
+        sws.record(1, 4.0)
+        assert sws.window_sum(1) == pytest.approx(4.0)
+
+    def test_non_monotone_rejected(self):
+        sws = SlidingWindowSum(3)
+        sws.record(5, 1.0)
+        with pytest.raises(InvalidParameterError):
+            sws.record(5, 1.0)
+        with pytest.raises(InvalidParameterError):
+            sws.record(4, 1.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowSum(0)
+
+    def test_len_counts_live_entries(self):
+        sws = SlidingWindowSum(2)
+        sws.record(0, 1.0)
+        sws.record(1, 1.0)
+        sws.record(2, 1.0)
+        assert len(sws) == 2

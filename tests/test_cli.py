@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_basic_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--method",
+                "LPA",
+                "--dataset",
+                "LNS",
+                "--size",
+                "smoke",
+                "--seed",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LPA on LNS" in out
+        assert "MRE" in out
+        assert "CFPU" in out
+        assert "max window spend" in out
+
+    def test_saves_artifacts(self, capsys, tmp_path):
+        json_path = tmp_path / "session.json"
+        csv_path = tmp_path / "session.csv"
+        code = main(
+            [
+                "run",
+                "--method",
+                "LBU",
+                "--dataset",
+                "Sin",
+                "--size",
+                "smoke",
+                "--save-json",
+                str(json_path),
+                "--save-csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert json.loads(json_path.read_text())["mechanism"] == "LBU"
+        assert csv_path.read_text().startswith("t,strategy")
+
+    def test_unknown_method_is_graceful(self, capsys):
+        code = main(["run", "--method", "NOPE", "--size", "smoke"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_dataset_is_graceful(self, capsys):
+        code = main(
+            ["run", "--method", "LBU", "--dataset", "NOPE", "--size", "smoke"]
+        )
+        assert code == 2
+
+
+class TestListing:
+    def test_methods(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA"):
+            assert name in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("LNS", "Taxi", "Taobao"):
+            assert name in out
+        assert "200000" in out  # paper tier visible
+
+
+class TestFigureAndTable:
+    def test_fig7_smoke(self, capsys):
+        assert main(["figure", "fig7", "--size", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "AUC" in out
+
+    def test_table2_smoke(self, capsys):
+        assert main(["table2", "--size", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "eps=1, w=20" in out
+        assert "measured/paper" in out

@@ -1,0 +1,92 @@
+"""Tests for session/series serialization."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import run_stream
+from repro.exceptions import InvalidParameterError
+from repro.io import (
+    load_session,
+    save_session,
+    series_to_csv,
+    session_from_dict,
+    session_to_csv,
+    session_to_dict,
+)
+
+
+@pytest.fixture
+def session(small_binary_stream):
+    return run_stream("LPA", small_binary_stream, epsilon=1.0, window=5, seed=3)
+
+
+class TestJSONRoundTrip:
+    def test_dict_round_trip(self, session):
+        restored = session_from_dict(session_to_dict(session))
+        assert restored.mechanism == session.mechanism
+        assert restored.epsilon == session.epsilon
+        assert np.allclose(restored.releases, session.releases)
+        assert np.allclose(restored.true_frequencies, session.true_frequencies)
+        assert restored.total_reports == session.total_reports
+        assert restored.cfpu == pytest.approx(session.cfpu)
+
+    def test_records_preserved(self, session):
+        restored = session_from_dict(session_to_dict(session))
+        assert len(restored.records) == len(session.records)
+        for a, b in zip(restored.records, session.records):
+            assert a.t == b.t
+            assert a.strategy == b.strategy
+            assert a.reports == b.reports
+            assert (np.isnan(a.dis) and np.isnan(b.dis)) or a.dis == b.dis
+
+    def test_file_round_trip(self, session, tmp_path):
+        path = tmp_path / "nested" / "session.json"
+        save_session(session, path)
+        restored = load_session(path)
+        assert np.allclose(restored.releases, session.releases)
+
+    def test_json_is_valid(self, session, tmp_path):
+        path = tmp_path / "session.json"
+        save_session(session, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+
+    def test_version_check(self, session):
+        payload = session_to_dict(session)
+        payload["format_version"] = 99
+        with pytest.raises(InvalidParameterError):
+            session_from_dict(payload)
+
+
+class TestCSVExport:
+    def test_session_csv_shape(self, session, tmp_path):
+        path = tmp_path / "session.csv"
+        session_to_csv(session, path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == session.horizon + 1  # header + T rows
+        assert rows[0][:2] == ["t", "strategy"]
+        assert len(rows[1]) == 5 + 2 * session.domain_size
+
+    def test_csv_values_match(self, session, tmp_path):
+        path = tmp_path / "session.csv"
+        session_to_csv(session, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        t = 3
+        assert float(rows[t]["release_1"]) == pytest.approx(
+            session.releases[t, 1], rel=1e-6
+        )
+
+    def test_series_csv(self, tmp_path):
+        series = {"LNS": {"LBU": {0.5: 1.2, 1.0: 0.8}}}
+        path = tmp_path / "series.csv"
+        series_to_csv(series, path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["panel", "method", "x", "value"]
+        assert rows[1] == ["LNS", "LBU", "0.5", "1.2"]
+        assert len(rows) == 3
