@@ -1,0 +1,110 @@
+"""Parallel sweep scaling — wall-clock at 1/2/4 workers, identical results.
+
+Runs one mechanism × epsilon × window grid through the parallel engine at
+three worker counts, prints the scaling table, and asserts
+
+* every worker count returns bit-identical ``CellResult``s (the engine's
+  determinism contract), and
+* ≥1.5× speedup at 4 workers over serial — checked only on machines with
+  at least 4 usable CPUs, since a container pinned to one core
+  time-shares the pool and cannot exhibit parallel speedup.
+
+Sizes follow BENCH_SIZE (smoke/default/paper) like every other bench.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import pytest
+
+from repro.experiments import DatasetSpec, sweep
+
+#: Grid per size tier: (dataset n_users, horizon, mechanisms, epsilons, windows)
+_GRIDS = {
+    "smoke": (2_000, 40, ("LBU", "LPU", "LPA"), (0.5, 1.0), (5, 10)),
+    "default": (
+        20_000,
+        200,
+        ("LBU", "LBA", "LPU", "LPD", "LPA"),
+        (0.5, 1.0, 1.5, 2.0),
+        (10, 20),
+    ),
+    "paper": (
+        200_000,
+        800,
+        ("LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA"),
+        (0.5, 1.0, 1.5, 2.0, 2.5),
+        (10, 20, 30, 40, 50),
+    ),
+}
+
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_TARGET = 1.5
+
+
+def _grid_kwargs(size):
+    n_users, horizon, mechanisms, epsilons, windows = _GRIDS[size]
+    dataset = DatasetSpec.of("LNS", n_users=n_users, horizon=horizon, seed=17)
+    return mechanisms, dataset, {"epsilons": epsilons, "windows": windows, "seed": 17}
+
+
+def _run(size, jobs):
+    mechanisms, dataset, kwargs = _grid_kwargs(size)
+    return sweep(mechanisms, dataset, jobs=jobs, **kwargs)
+
+
+def _assert_identical(a, b):
+    for mechanism in a:
+        for key in a[mechanism]:
+            for field in ("mre", "mae", "mse", "cfpu", "publication_rate", "auc"):
+                x = getattr(a[mechanism][key], field)
+                y = getattr(b[mechanism][key], field)
+                assert (x == y) or (math.isnan(x) and math.isnan(y)), (
+                    f"{mechanism}{key}.{field}: {x} != {y}"
+                )
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_sweep_scaling(benchmark, size):
+    mechanisms, _, kwargs = _grid_kwargs(size)
+    n_cells = len(mechanisms) * len(kwargs["epsilons"]) * len(kwargs["windows"])
+
+    elapsed = {}
+    results = {}
+    for jobs in WORKER_COUNTS:
+        if jobs == max(WORKER_COUNTS):
+            results[jobs] = benchmark.pedantic(
+                _run, args=(size, jobs), iterations=1, rounds=1
+            )
+            elapsed[jobs] = benchmark.stats.stats.mean
+        else:
+            started = time.perf_counter()
+            results[jobs] = _run(size, jobs)
+            elapsed[jobs] = time.perf_counter() - started
+
+    print()
+    print(f"parallel sweep scaling — {n_cells} cells, size={size}")
+    print(f"{'jobs':>6}{'seconds':>10}{'speedup':>9}")
+    for jobs in WORKER_COUNTS:
+        speedup = elapsed[WORKER_COUNTS[0]] / elapsed[jobs]
+        print(f"{jobs:>6}{elapsed[jobs]:>10.2f}{speedup:>8.2f}x")
+
+    # Determinism: every worker count produced bit-identical grids.
+    for jobs in WORKER_COUNTS[1:]:
+        _assert_identical(results[WORKER_COUNTS[0]], results[jobs])
+
+    cpus = os.cpu_count() or 1
+    speedup_at_4 = elapsed[1] / elapsed[4]
+    if cpus >= 4:
+        assert speedup_at_4 > SPEEDUP_TARGET, (
+            f"expected >{SPEEDUP_TARGET}x speedup at 4 workers on {cpus} "
+            f"CPUs, measured {speedup_at_4:.2f}x"
+        )
+    else:
+        print(
+            f"(speedup assertion skipped: only {cpus} usable CPU(s); "
+            f"measured {speedup_at_4:.2f}x)"
+        )

@@ -5,16 +5,25 @@ Commands
 ``run``       one streaming session; prints metrics, optionally saves JSON/CSV
 ``figure``    regenerate a paper figure's series and print it as a table
 ``table2``    regenerate Table 2 (CFPU) with the paper's values side by side
+``campaign``  regenerate every figure and table; write artifacts
 ``datasets``  list the registered datasets and their size tiers
 ``methods``   list the registered mechanisms
+
+``run``, ``figure``, ``table2`` and ``campaign`` accept ``--jobs N`` to
+fan their experiment grids out over N worker processes (``--jobs 0`` uses
+all CPUs).  Results are bit-identical at any worker count: each grid
+cell's randomness is derived from the seed and the cell's coordinates
+(see :mod:`repro.experiments.parallel`).
 
 Examples
 --------
 ::
 
     python -m repro run --method LPA --dataset LNS --epsilon 1 --window 20
-    python -m repro figure fig4 --size smoke
+    python -m repro run --method LPA --repeats 8 --jobs 4
+    python -m repro figure fig4 --size smoke --jobs 4
     python -m repro table2 --size smoke
+    python -m repro campaign --size smoke --jobs 0 --out artifacts/
     python -m repro datasets
 """
 
@@ -50,6 +59,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--window", type=int, default=20)
     run.add_argument("--oracle", default="grr")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="average metrics over this many independently seeded sessions",
+    )
+    _add_jobs_flag(run)
     run.add_argument("--save-json", metavar="PATH", default=None)
     run.add_argument("--save-csv", metavar="PATH", default=None)
 
@@ -60,10 +76,12 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--size", default="smoke", choices=["smoke", "default", "paper"])
     figure.add_argument("--seed", type=int, default=0)
     figure.add_argument("--repeats", type=int, default=1)
+    _add_jobs_flag(figure)
 
     table2 = sub.add_parser("table2", help="regenerate Table 2 (CFPU)")
     table2.add_argument("--size", default="smoke", choices=["smoke", "default", "paper"])
     table2.add_argument("--seed", type=int, default=0)
+    _add_jobs_flag(table2)
 
     campaign = sub.add_parser(
         "campaign", help="regenerate every figure & table; write artifacts"
@@ -74,15 +92,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--repeats", type=int, default=1)
     campaign.add_argument("--seed", type=int, default=0)
+    _add_jobs_flag(campaign)
 
     sub.add_parser("datasets", help="list datasets")
     sub.add_parser("methods", help="list mechanisms")
     return parser
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment grid (0 = all CPUs); "
+        "results are identical at any worker count",
+    )
+
+
 def _cmd_run(args) -> int:
     from .experiments import make_dataset
 
+    if args.repeats < 1:
+        raise InvalidParameterError(
+            f"repeats must be >= 1, got {args.repeats}"
+        )
+    if args.repeats > 1:
+        if args.save_json or args.save_csv:
+            raise InvalidParameterError(
+                "--save-json/--save-csv save one session's trace and need "
+                "--repeats 1; repeated runs only report averaged metrics"
+            )
+        return _cmd_run_repeats(args)
+    if args.jobs not in (0, 1):
+        print("(--jobs has no effect on a single session; add --repeats N)")
     dataset = make_dataset(args.dataset, size=args.size, seed=args.seed)
     result = run_stream(
         args.method,
@@ -121,6 +164,37 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_run_repeats(args) -> int:
+    """Averaged multi-repeat run, fanned over ``--jobs`` workers."""
+    from .experiments.parallel import DatasetSpec, evaluate_parallel
+
+    dataset = DatasetSpec.of(args.dataset, size=args.size, seed=args.seed)
+    cell = evaluate_parallel(
+        args.method,
+        dataset,
+        args.epsilon,
+        args.window,
+        oracle=args.oracle,
+        seed=args.seed,
+        repeats=args.repeats,
+        with_roc=True,
+        jobs=args.jobs,
+    )
+    print(
+        f"{cell.mechanism} on {args.dataset} (size={args.size}, "
+        f"eps={cell.epsilon:g}, w={cell.window}, oracle={args.oracle}, "
+        f"repeats={cell.repeats}, jobs={args.jobs})"
+    )
+    print(f"  MRE  = {cell.mre:.4f}")
+    print(f"  MAE  = {cell.mae:.5f}")
+    print(f"  MSE  = {cell.mse:.3e}")
+    print(f"  CFPU = {cell.cfpu:.4f}")
+    print(f"  publication rate = {cell.publication_rate:.4f}")
+    if cell.auc == cell.auc:  # not NaN
+        print(f"  event-monitoring AUC = {cell.auc:.4f}")
+    return 0
+
+
 def _cmd_figure(args) -> int:
     from .experiments import (
         fig4_utility_vs_epsilon,
@@ -135,34 +209,53 @@ def _cmd_figure(args) -> int:
 
     if args.name == "fig4":
         series = fig4_utility_vs_epsilon(
-            size=args.size, seed=args.seed, repeats=args.repeats
+            size=args.size, seed=args.seed, repeats=args.repeats, jobs=args.jobs
         )
         print(format_figure(series, x_label="epsilon"))
     elif args.name == "fig5":
         series = fig5_utility_vs_window(
-            size=args.size, seed=args.seed, repeats=args.repeats
+            size=args.size, seed=args.seed, repeats=args.repeats, jobs=args.jobs
         )
         print(format_figure(series, x_label="w"))
     elif args.name == "fig6":
-        print(format_figure(fig6_population(seed=args.seed, repeats=args.repeats), x_label="N"))
+        print(
+            format_figure(
+                fig6_population(
+                    seed=args.seed, repeats=args.repeats, jobs=args.jobs
+                ),
+                x_label="N",
+            )
+        )
         print()
         print(
             format_figure(
-                fig6_fluctuation(seed=args.seed, repeats=args.repeats),
+                fig6_fluctuation(
+                    seed=args.seed, repeats=args.repeats, jobs=args.jobs
+                ),
                 x_label="fluctuation",
             )
         )
     elif args.name == "fig7":
-        print(format_roc_summary(fig7_event_monitoring(size=args.size, seed=args.seed)))
+        print(
+            format_roc_summary(
+                fig7_event_monitoring(
+                    size=args.size, seed=args.seed, jobs=args.jobs
+                )
+            )
+        )
     elif args.name == "fig8":
-        print(format_figure(fig8_communication(seed=args.seed), x_label="x"))
+        print(
+            format_figure(
+                fig8_communication(seed=args.seed, jobs=args.jobs), x_label="x"
+            )
+        )
     return 0
 
 
 def _cmd_table2(args) -> int:
     from .experiments import PAPER_TABLE2, format_table2, table2_cfpu
 
-    table = table2_cfpu(size=args.size, seed=args.seed)
+    table = table2_cfpu(size=args.size, seed=args.seed, jobs=args.jobs)
     print(format_table2(table, PAPER_TABLE2))
     print("\n(values shown as measured/paper)")
     return 0
@@ -177,6 +270,7 @@ def _cmd_campaign(args) -> int:
         repeats=args.repeats,
         seed=args.seed,
         verbose=True,
+        jobs=args.jobs,
     )
     if args.out:
         print(f"artifacts written to {args.out}")

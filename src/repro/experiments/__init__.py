@@ -3,6 +3,9 @@
 * :mod:`~repro.experiments.datasets` — the six evaluation datasets at
   smoke/default/paper sizes;
 * :mod:`~repro.experiments.runner` — grid evaluation with all metrics;
+* :mod:`~repro.experiments.parallel` — the parallel experiment engine:
+  self-describing :class:`CellSpec` jobs over worker processes, with
+  coordinate-derived seeding (bit-identical at any worker count);
 * :mod:`~repro.experiments.figures` — series generators for Figs. 4-8;
 * :mod:`~repro.experiments.tables` — Table 2 (+ the paper's reported values);
 * :mod:`~repro.experiments.reporting` — text rendering of the series.
@@ -32,7 +35,24 @@ from .reporting import (
     format_series_table,
     format_table2,
 )
-from .runner import CellResult, evaluate, run_single, sweep
+from .parallel import (
+    CellSpec,
+    DatasetSpec,
+    evaluate_parallel,
+    execute_cells,
+    grid_specs,
+    merge_grid,
+    parallel_sweep,
+    run_cell,
+)
+from .runner import (
+    CellResult,
+    evaluate,
+    evaluate_repeat,
+    merge_repeat_cells,
+    run_single,
+    sweep,
+)
 from .tables import PAPER_TABLE2, TABLE2_DATASETS, TABLE2_SETTINGS, table2_cfpu
 
 __all__ = [
@@ -45,7 +65,17 @@ __all__ = [
     "dataset_size",
     "make_dataset",
     "CellResult",
+    "CellSpec",
+    "DatasetSpec",
     "evaluate",
+    "evaluate_parallel",
+    "evaluate_repeat",
+    "execute_cells",
+    "grid_specs",
+    "merge_grid",
+    "merge_repeat_cells",
+    "parallel_sweep",
+    "run_cell",
     "run_single",
     "sweep",
     "fig4_utility_vs_epsilon",

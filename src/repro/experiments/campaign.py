@@ -49,11 +49,15 @@ def run_campaign(
     repeats: int = 1,
     seed: SeedLike = 0,
     verbose: bool = True,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, object]:
     """Run the full evaluation; optionally write artifacts to ``output_dir``.
 
     Returns a dict with one entry per artifact name in :data:`ARTIFACTS`
-    holding the raw series, plus ``"elapsed_seconds"``.
+    holding the raw series, plus ``"elapsed_seconds"``.  ``jobs=N`` fans
+    every figure/table grid out over N worker processes (``None`` uses
+    all CPUs) without changing any result — see
+    :mod:`repro.experiments.parallel` for the determinism contract.
     """
     out = Path(output_dir) if output_dir is not None else None
     if out is not None:
@@ -72,10 +76,14 @@ def run_campaign(
     started = time.time()
     results: Dict[str, object] = {}
 
-    results["fig4"] = fig4_utility_vs_epsilon(size=size, repeats=repeats, seed=seed)
+    results["fig4"] = fig4_utility_vs_epsilon(
+        size=size, repeats=repeats, seed=seed, jobs=jobs
+    )
     emit("fig4", format_figure(results["fig4"], x_label="epsilon"), results["fig4"])
 
-    results["fig5"] = fig5_utility_vs_window(size=size, repeats=repeats, seed=seed)
+    results["fig5"] = fig5_utility_vs_window(
+        size=size, repeats=repeats, seed=seed, jobs=jobs
+    )
     emit("fig5", format_figure(results["fig5"], x_label="w"), results["fig5"])
 
     # fig6/fig8 take explicit workload parameters rather than a size tier;
@@ -92,7 +100,7 @@ def run_campaign(
     )
 
     results["fig6_population"] = fig6_population(
-        repeats=repeats, seed=seed, **fig6_kwargs
+        repeats=repeats, seed=seed, jobs=jobs, **fig6_kwargs
     )
     emit(
         "fig6_population",
@@ -101,7 +109,7 @@ def run_campaign(
     )
 
     results["fig6_fluctuation"] = fig6_fluctuation(
-        repeats=repeats, seed=seed, **fig6_fluct_kwargs
+        repeats=repeats, seed=seed, jobs=jobs, **fig6_fluct_kwargs
     )
     emit(
         "fig6_fluctuation",
@@ -109,13 +117,13 @@ def run_campaign(
         results["fig6_fluctuation"],
     )
 
-    results["fig7"] = fig7_event_monitoring(size=size, seed=seed)
+    results["fig7"] = fig7_event_monitoring(size=size, seed=seed, jobs=jobs)
     emit("fig7", format_roc_summary(results["fig7"]))
 
-    results["fig8"] = fig8_communication(seed=seed, **fig8_kwargs)
+    results["fig8"] = fig8_communication(seed=seed, jobs=jobs, **fig8_kwargs)
     emit("fig8", format_figure(results["fig8"], x_label="x"), results["fig8"])
 
-    results["table2"] = table2_cfpu(size=size, seed=seed)
+    results["table2"] = table2_cfpu(size=size, seed=seed, jobs=jobs)
     emit("table2", format_table2(results["table2"], PAPER_TABLE2))
 
     results["elapsed_seconds"] = time.time() - started

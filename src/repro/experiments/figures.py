@@ -7,6 +7,13 @@ paper's exact parameter values are the defaults; sizes default to the
 ``default`` tier of :mod:`repro.experiments.datasets` (scaled, shape
 preserving) and can be raised to ``paper``.
 
+Every generator decomposes its grid into
+:class:`~repro.experiments.parallel.CellSpec` jobs and executes them
+through :func:`~repro.experiments.parallel.execute_cells`, so passing
+``jobs=N`` fans the figure out over N worker processes with bit-identical
+results to the serial run (each cell's randomness derives from the figure
+seed and the cell's coordinates alone).
+
 Figure index (see DESIGN.md for the full mapping):
 
 * Fig. 4 — MRE vs epsilon, w = 20, 6 datasets, 7 methods;
@@ -18,27 +25,42 @@ Figure index (see DESIGN.md for the full mapping):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis import ROCCurve, monitoring_roc
+import numpy as np
+
+from ..analysis import ROCCurve
 from ..mechanisms import ALL_METHODS
-from ..rng import SeedLike, ensure_rng
-from .datasets import ALL_DATASETS, make_dataset
-from .runner import evaluate, run_single
+from ..rng import SeedLike, as_seed_sequence, derive_seed
+from .datasets import ALL_DATASETS
+from .parallel import CellSpec, DatasetSpec, execute_cells
 
 #: Methods on the paper's Fig. 7 ROC plots.
 FIG7_METHODS = ("LBA", "LSP", "LPU", "LPD", "LPA")
 
 SeriesDict = Dict[str, Dict[str, Dict[float, float]]]
 
+#: (panel, method, x) coordinates tracked alongside each CellSpec so the
+#: executed cells can be folded back into the figure's nested-dict shape.
+_Coord = Tuple[str, str, float]
 
-def _seed_stream(seed: SeedLike):
-    rng = ensure_rng(seed)
 
-    def next_seed() -> int:
-        return int(rng.integers(0, 2**31 - 1))
-
-    return next_seed
+def _fill(
+    specs: List[CellSpec],
+    coords: List[_Coord],
+    *,
+    base: np.random.SeedSequence,
+    jobs: Optional[int],
+    metric: str = "mre",
+) -> SeriesDict:
+    """Execute specs and fold ``metric`` into ``series[panel][method][x]``."""
+    cells = execute_cells(specs, base_seed=base, jobs=jobs)
+    series: SeriesDict = {}
+    for (panel, method, x), cell in zip(coords, cells):
+        series.setdefault(panel, {}).setdefault(method, {})[x] = getattr(
+            cell, metric
+        )
+    return series
 
 
 def fig4_utility_vs_epsilon(
@@ -49,26 +71,30 @@ def fig4_utility_vs_epsilon(
     size: str = "default",
     repeats: int = 1,
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
 ) -> SeriesDict:
     """Fig. 4: ``series[dataset][method][epsilon] = MRE``."""
-    next_seed = _seed_stream(seed)
-    series: SeriesDict = {}
+    base = as_seed_sequence(seed)
+    specs: List[CellSpec] = []
+    coords: List[_Coord] = []
     for name in datasets:
-        dataset = make_dataset(name, size=size, seed=next_seed())
-        series[name] = {}
+        dataset = DatasetSpec.of(
+            name, size=size, seed=derive_seed(base, "fig4", name)
+        )
         for method in methods:
-            series[name][method] = {}
             for epsilon in epsilons:
-                cell = evaluate(
-                    method,
-                    dataset,
-                    epsilon,
-                    window,
-                    seed=next_seed(),
-                    repeats=repeats,
+                specs.append(
+                    CellSpec(
+                        mechanism=method,
+                        dataset=dataset,
+                        epsilon=float(epsilon),
+                        window=int(window),
+                        repeats=repeats,
+                        tag="fig4",
+                    )
                 )
-                series[name][method][epsilon] = cell.mre
-    return series
+                coords.append((name, method, epsilon))
+    return _fill(specs, coords, base=base, jobs=jobs)
 
 
 def fig5_utility_vs_window(
@@ -79,26 +105,30 @@ def fig5_utility_vs_window(
     size: str = "default",
     repeats: int = 1,
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
 ) -> SeriesDict:
     """Fig. 5: ``series[dataset][method][window] = MRE``."""
-    next_seed = _seed_stream(seed)
-    series: SeriesDict = {}
+    base = as_seed_sequence(seed)
+    specs: List[CellSpec] = []
+    coords: List[_Coord] = []
     for name in datasets:
-        dataset = make_dataset(name, size=size, seed=next_seed())
-        series[name] = {}
+        dataset = DatasetSpec.of(
+            name, size=size, seed=derive_seed(base, "fig5", name)
+        )
         for method in methods:
-            series[name][method] = {}
             for window in windows:
-                cell = evaluate(
-                    method,
-                    dataset,
-                    epsilon,
-                    window,
-                    seed=next_seed(),
-                    repeats=repeats,
+                specs.append(
+                    CellSpec(
+                        mechanism=method,
+                        dataset=dataset,
+                        epsilon=float(epsilon),
+                        window=int(window),
+                        repeats=repeats,
+                        tag="fig5",
+                    )
                 )
-                series[name][method][window] = cell.mre
-    return series
+                coords.append((name, method, window))
+    return _fill(specs, coords, base=base, jobs=jobs)
 
 
 def fig6_population(
@@ -110,32 +140,37 @@ def fig6_population(
     horizon: int = 200,
     repeats: int = 1,
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
 ) -> SeriesDict:
     """Fig. 6(a,b): MRE vs population N (frequency process held fixed).
 
     The paper's x-axis is {1e5, 2e5, 4e5, 8e5}; the default here is the
     same geometric ladder scaled by 10 for bench speed.
     """
-    next_seed = _seed_stream(seed)
-    series: SeriesDict = {}
+    base = as_seed_sequence(seed)
+    specs: List[CellSpec] = []
+    coords: List[_Coord] = []
     for name in datasets:
-        process_seed = next_seed()
-        series[name] = {method: {} for method in methods}
+        # One process seed per dataset: the frequency process stays fixed
+        # while N varies, exactly as in the paper's Fig. 6(a,b).
+        process_seed = derive_seed(base, "fig6", name)
         for n_users in populations:
-            dataset = make_dataset(
+            dataset = DatasetSpec.of(
                 name, n_users=n_users, horizon=horizon, seed=process_seed
             )
             for method in methods:
-                cell = evaluate(
-                    method,
-                    dataset,
-                    epsilon,
-                    window,
-                    seed=next_seed(),
-                    repeats=repeats,
+                specs.append(
+                    CellSpec(
+                        mechanism=method,
+                        dataset=dataset,
+                        epsilon=float(epsilon),
+                        window=int(window),
+                        repeats=repeats,
+                        tag="fig6",
+                    )
                 )
-                series[name][method][float(n_users)] = cell.mre
-    return series
+                coords.append((name, method, float(n_users)))
+    return _fill(specs, coords, base=base, jobs=jobs)
 
 
 def fig6_fluctuation(
@@ -148,29 +183,58 @@ def fig6_fluctuation(
     horizon: int = 200,
     repeats: int = 1,
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
 ) -> SeriesDict:
     """Fig. 6(c,d): MRE vs fluctuation — sqrt(Q) for LNS and b for Sin."""
-    next_seed = _seed_stream(seed)
-    series: SeriesDict = {"LNS": {m: {} for m in methods}, "Sin": {m: {} for m in methods}}
+    base = as_seed_sequence(seed)
+    specs: List[CellSpec] = []
+    coords: List[_Coord] = []
     for q_std in q_values:
-        dataset = make_dataset(
-            "LNS", n_users=n_users, horizon=horizon, q_std=q_std, seed=next_seed()
+        dataset = DatasetSpec.of(
+            "LNS",
+            n_users=n_users,
+            horizon=horizon,
+            seed=derive_seed(base, "fig6", "LNS", float(q_std)),
+            q_std=float(q_std),
         )
         for method in methods:
-            cell = evaluate(
-                method, dataset, epsilon, window, seed=next_seed(), repeats=repeats
+            specs.append(
+                CellSpec(
+                    mechanism=method,
+                    dataset=dataset,
+                    epsilon=float(epsilon),
+                    window=int(window),
+                    repeats=repeats,
+                    tag="fig6",
+                )
             )
-            series["LNS"][method][q_std] = cell.mre
+            coords.append(("LNS", method, q_std))
     for b in b_values:
-        dataset = make_dataset(
-            "Sin", n_users=n_users, horizon=horizon, b=b, seed=next_seed()
+        dataset = DatasetSpec.of(
+            "Sin",
+            n_users=n_users,
+            horizon=horizon,
+            seed=derive_seed(base, "fig6", "Sin", float(b)),
+            b=float(b),
         )
         for method in methods:
-            cell = evaluate(
-                method, dataset, epsilon, window, seed=next_seed(), repeats=repeats
+            specs.append(
+                CellSpec(
+                    mechanism=method,
+                    dataset=dataset,
+                    epsilon=float(epsilon),
+                    window=int(window),
+                    repeats=repeats,
+                    tag="fig6",
+                )
             )
-            series["Sin"][method][b] = cell.mre
-    return series
+            coords.append(("Sin", method, b))
+    series = _fill(specs, coords, base=base, jobs=jobs)
+    # Preserve the paper's panel order even when a panel is empty.
+    return {
+        "LNS": series.get("LNS", {m: {} for m in methods}),
+        "Sin": series.get("Sin", {m: {} for m in methods}),
+    }
 
 
 def fig7_event_monitoring(
@@ -180,20 +244,32 @@ def fig7_event_monitoring(
     window: int = 50,
     size: str = "default",
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, Dict[str, ROCCurve]]:
     """Fig. 7: ``curves[dataset][method]`` = ROC curve (with ``.auc``)."""
-    next_seed = _seed_stream(seed)
-    curves: Dict[str, Dict[str, ROCCurve]] = {}
+    base = as_seed_sequence(seed)
+    specs: List[CellSpec] = []
+    coords: List[Tuple[str, str]] = []
     for name in datasets:
-        dataset = make_dataset(name, size=size, seed=next_seed())
-        curves[name] = {}
+        dataset = DatasetSpec.of(
+            name, size=size, seed=derive_seed(base, "fig7", name)
+        )
         for method in methods:
-            result = run_single(
-                method, dataset, epsilon, window, seed=next_seed()
+            specs.append(
+                CellSpec(
+                    mechanism=method,
+                    dataset=dataset,
+                    epsilon=float(epsilon),
+                    window=int(window),
+                    kind="roc",
+                    tag="fig7",
+                )
             )
-            curves[name][method] = monitoring_roc(
-                result.releases, result.true_frequencies
-            )
+            coords.append((name, method))
+    cells = execute_cells(specs, base_seed=base, jobs=jobs)
+    curves: Dict[str, Dict[str, ROCCurve]] = {}
+    for (name, method), curve in zip(coords, cells):
+        curves.setdefault(name, {})[method] = curve
     return curves
 
 
@@ -209,46 +285,63 @@ def fig8_communication(
     window: int = 20,
     repeats: int = 1,
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, SeriesDict]:
     """Fig. 8(a-d): CFPU on LNS vs N, Q, epsilon and window.
 
     Returns ``panels[panel][method][x] = CFPU`` with panels
     ``"N"``, ``"Q"``, ``"epsilon"``, ``"window"``.
     """
-    next_seed = _seed_stream(seed)
-    panels: Dict[str, Dict[str, Dict[float, float]]] = {
-        "N": {m: {} for m in methods},
-        "Q": {m: {} for m in methods},
-        "epsilon": {m: {} for m in methods},
-        "window": {m: {} for m in methods},
-    }
-    for n in populations:
-        dataset = make_dataset("LNS", n_users=n, horizon=horizon, seed=next_seed())
-        for method in methods:
-            cell = evaluate(
-                method, dataset, epsilon, window, seed=next_seed(), repeats=repeats
+    base = as_seed_sequence(seed)
+    specs: List[CellSpec] = []
+    coords: List[_Coord] = []
+
+    def add(panel: str, dataset: DatasetSpec, method: str, eps: float, w: int, x: float) -> None:
+        specs.append(
+            CellSpec(
+                mechanism=method,
+                dataset=dataset,
+                epsilon=float(eps),
+                window=int(w),
+                repeats=repeats,
+                tag=f"fig8:{panel}",
             )
-            panels["N"][method][float(n)] = cell.cfpu
-    for q_std in q_values:
-        dataset = make_dataset(
-            "LNS", n_users=n_users, horizon=horizon, q_std=q_std, seed=next_seed()
+        )
+        coords.append((panel, method, x))
+
+    for n in populations:
+        dataset = DatasetSpec.of(
+            "LNS",
+            n_users=n,
+            horizon=horizon,
+            seed=derive_seed(base, "fig8", "N", int(n)),
         )
         for method in methods:
-            cell = evaluate(
-                method, dataset, epsilon, window, seed=next_seed(), repeats=repeats
-            )
-            panels["Q"][method][q_std] = cell.cfpu
-    base = make_dataset("LNS", n_users=n_users, horizon=horizon, seed=next_seed())
+            add("N", dataset, method, epsilon, window, float(n))
+    for q_std in q_values:
+        dataset = DatasetSpec.of(
+            "LNS",
+            n_users=n_users,
+            horizon=horizon,
+            seed=derive_seed(base, "fig8", "Q", float(q_std)),
+            q_std=float(q_std),
+        )
+        for method in methods:
+            add("Q", dataset, method, epsilon, window, q_std)
+    shared = DatasetSpec.of(
+        "LNS",
+        n_users=n_users,
+        horizon=horizon,
+        seed=derive_seed(base, "fig8", "base"),
+    )
     for eps in epsilons:
         for method in methods:
-            cell = evaluate(
-                method, base, eps, window, seed=next_seed(), repeats=repeats
-            )
-            panels["epsilon"][method][eps] = cell.cfpu
+            add("epsilon", shared, method, eps, window, eps)
     for w in windows:
         for method in methods:
-            cell = evaluate(
-                method, base, epsilon, w, seed=next_seed(), repeats=repeats
-            )
-            panels["window"][method][float(w)] = cell.cfpu
+            add("window", shared, method, epsilon, w, float(w))
+
+    panels = _fill(specs, coords, base=base, jobs=jobs, metric="cfpu")
+    for panel in ("N", "Q", "epsilon", "window"):
+        panels.setdefault(panel, {m: {} for m in methods})
     return panels

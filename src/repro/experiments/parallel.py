@@ -1,0 +1,435 @@
+"""Parallel experiment engine: self-describing cells over worker processes.
+
+The paper's evaluation is a large mechanism × epsilon × window × dataset
+grid.  This module decomposes any sweep into an explicit list of
+:class:`CellSpec` jobs and executes them either inline or over a
+:class:`concurrent.futures.ProcessPoolExecutor`, then merges the results
+back into the ``results[mechanism][(epsilon, window)]`` shape the rest of
+the experiments layer expects.
+
+Determinism contract
+--------------------
+A cell's randomness is a pure function of the campaign seed and the
+cell's *coordinates* (dataset identity, mechanism, epsilon, window,
+oracle, tag) — derived through :func:`repro.rng.derive_seed_sequence`,
+never from sequential draws off a shared generator.  Consequences:
+
+* ``jobs=1`` and ``jobs=N`` produce bit-identical
+  :class:`~repro.experiments.runner.CellResult`\\ s;
+* reordering the grid (or running a single cell in isolation) does not
+  change any cell's result;
+* repeats split across workers reproduce the serial average exactly,
+  because per-repeat seeds are prefix-stable ``SeedSequence.spawn``
+  children (see :func:`repro.experiments.runner.evaluate_repeat`).
+
+Workers reconstruct datasets from a :class:`DatasetSpec` (registry name +
+size/overrides + seed) rather than receiving pickled value matrices, so
+fanning out a paper-tier grid ships a few hundred bytes per job instead
+of gigabytes.  Passing a live :class:`~repro.streams.base.StreamDataset`
+still works — it is pickled to the workers — but specs are the fast path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..analysis import ROCCurve, monitoring_roc
+from ..exceptions import InvalidParameterError
+from ..rng import SeedLike, as_seed_sequence, derive_seed, derive_seed_sequence
+from ..streams.base import StreamDataset
+from .datasets import make_dataset
+from .runner import (
+    CellResult,
+    evaluate,
+    evaluate_repeat,
+    merge_repeat_cells,
+    run_single,
+)
+
+#: Hashable scalar parameter value inside a DatasetSpec.
+ParamValue = Union[int, float, str, bool]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A dataset described by registry coordinates, not by its data.
+
+    ``build()`` reconstructs the actual stream via
+    :func:`repro.experiments.datasets.make_dataset`; two equal specs
+    always build bit-identical streams, which is what lets worker
+    processes rebuild datasets locally instead of unpickling them.
+    """
+
+    name: str
+    size: str = "default"
+    n_users: Optional[int] = None
+    horizon: Optional[int] = None
+    seed: Optional[int] = None
+    params: Tuple[Tuple[str, ParamValue], ...] = ()
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        size: str = "default",
+        n_users: Optional[int] = None,
+        horizon: Optional[int] = None,
+        seed: Optional[int] = None,
+        **params: ParamValue,
+    ) -> "DatasetSpec":
+        """Build a spec; extra kwargs become sorted ``params`` entries."""
+        return cls(
+            name=str(name),
+            size=str(size),
+            n_users=None if n_users is None else int(n_users),
+            horizon=None if horizon is None else int(horizon),
+            seed=None if seed is None else int(seed),
+            params=tuple(sorted(params.items())),
+        )
+
+    def build(self) -> StreamDataset:
+        """Instantiate the dataset this spec describes."""
+        return make_dataset(
+            self.name,
+            size=self.size,
+            n_users=self.n_users,
+            horizon=self.horizon,
+            seed=self.seed,
+            **dict(self.params),
+        )
+
+    def seed_keys(self) -> Tuple[Union[int, float, str], ...]:
+        """Stable coordinate keys identifying this dataset for seeding."""
+        keys: List[Union[int, float, str]] = [
+            self.name,
+            self.size,
+            -1 if self.n_users is None else self.n_users,
+            -1 if self.horizon is None else self.horizon,
+            -1 if self.seed is None else self.seed,
+        ]
+        for key, value in self.params:
+            keys.append(key)
+            keys.append(value if isinstance(value, (int, float)) else str(value))
+        return tuple(keys)
+
+
+DatasetLike = Union[DatasetSpec, StreamDataset, str]
+
+
+def as_dataset_spec(dataset: DatasetLike, size: str = "default") -> DatasetLike:
+    """Normalise a dataset argument: names become specs, the rest pass."""
+    if isinstance(dataset, str):
+        return DatasetSpec.of(dataset, size=size)
+    return dataset
+
+
+def _pin_dataset_seed(
+    dataset: DatasetLike, seed: SeedLike, tag: str
+) -> DatasetLike:
+    """Give a seedless DatasetSpec a campaign-derived seed.
+
+    Workers rebuild DatasetSpec streams locally; without a pinned seed a
+    seedless spec would materialise differently in every process.  The
+    pin happens once, in the parent, so serial and parallel runs agree.
+    """
+    dataset = as_dataset_spec(dataset)
+    if isinstance(dataset, DatasetSpec) and dataset.seed is None:
+        return replace(
+            dataset, seed=derive_seed(seed, tag, "dataset", dataset.name)
+        )
+    return dataset
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One self-describing experiment job.
+
+    ``kind`` selects the result type: ``"cell"`` runs
+    :func:`~repro.experiments.runner.evaluate` (averaged
+    :class:`CellResult`), ``"roc"`` runs a single session and returns its
+    event-monitoring :class:`~repro.analysis.ROCCurve` (Fig. 7).  When
+    ``repeat_index`` is set, only that repeat runs — with the exact seed
+    the full serial evaluation would hand it.
+    """
+
+    mechanism: str
+    dataset: Union[DatasetSpec, StreamDataset]
+    epsilon: float
+    window: int
+    oracle: str = "grr"
+    repeats: int = 1
+    horizon: Optional[int] = None
+    with_roc: bool = False
+    kind: str = "cell"
+    tag: str = ""
+    repeat_index: Optional[int] = None
+
+    def seed_keys(self) -> Tuple[Union[int, float, str], ...]:
+        """The cell's seeding coordinates (excludes ``repeat_index``)."""
+        if isinstance(self.dataset, DatasetSpec):
+            dataset_keys = self.dataset.seed_keys()
+        else:  # live dataset: identify by its observable shape
+            dataset_keys = (
+                type(self.dataset).__name__,
+                self.dataset.n_users,
+                self.dataset.domain_size,
+                -1 if self.dataset.horizon is None else self.dataset.horizon,
+            )
+        return (
+            self.tag,
+            self.kind,
+            *dataset_keys,
+            _mechanism_key(self.mechanism),
+            float(self.epsilon),
+            int(self.window),
+            _oracle_key(self.oracle),
+            -1 if self.horizon is None else int(self.horizon),
+        )
+
+    def seed_sequence(self, base: SeedLike) -> np.random.SeedSequence:
+        """The cell's SeedSequence under campaign seed ``base``."""
+        return derive_seed_sequence(base, *self.seed_keys())
+
+
+def _mechanism_key(mechanism) -> str:
+    if isinstance(mechanism, str):
+        return mechanism.upper()
+    name = getattr(mechanism, "name", None)
+    if name:
+        return str(name).upper()
+    return getattr(mechanism, "__name__", str(mechanism)).upper()
+
+
+def _oracle_key(oracle) -> str:
+    if isinstance(oracle, str):
+        return oracle.lower()
+    return str(getattr(oracle, "name", oracle)).lower()
+
+
+# --------------------------------------------------------------------------
+# Cell execution
+
+#: Per-process cache of materialised DatasetSpec streams.  Bounded so a
+#: long campaign cannot pin every paper-tier value matrix in worker RAM.
+_DATASET_CACHE: Dict[DatasetSpec, StreamDataset] = {}
+_DATASET_CACHE_MAX = 4
+
+
+def _materialize(dataset: Union[DatasetSpec, StreamDataset]) -> StreamDataset:
+    if not isinstance(dataset, DatasetSpec):
+        return dataset
+    cached = _DATASET_CACHE.get(dataset)
+    if cached is None:
+        if len(_DATASET_CACHE) >= _DATASET_CACHE_MAX:
+            _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
+        cached = _DATASET_CACHE[dataset] = dataset.build()
+    return cached
+
+
+def run_cell(
+    spec: CellSpec, base_seed: SeedLike = 0
+) -> Union[CellResult, ROCCurve]:
+    """Execute one cell; pure in (spec, base_seed) by construction."""
+    dataset = _materialize(spec.dataset)
+    seed = spec.seed_sequence(base_seed)
+    if spec.kind == "roc":
+        result = run_single(
+            spec.mechanism,
+            dataset,
+            spec.epsilon,
+            spec.window,
+            oracle=spec.oracle,
+            seed=np.random.default_rng(seed),
+            horizon=spec.horizon,
+        )
+        return monitoring_roc(result.releases, result.true_frequencies)
+    if spec.kind != "cell":
+        raise InvalidParameterError(f"unknown cell kind {spec.kind!r}")
+    if spec.repeat_index is not None:
+        return evaluate_repeat(
+            spec.mechanism,
+            dataset,
+            spec.epsilon,
+            spec.window,
+            index=spec.repeat_index,
+            oracle=spec.oracle,
+            seed=seed,
+            with_roc=spec.with_roc,
+            horizon=spec.horizon,
+        )
+    return evaluate(
+        spec.mechanism,
+        dataset,
+        spec.epsilon,
+        spec.window,
+        oracle=spec.oracle,
+        seed=seed,
+        repeats=spec.repeats,
+        with_roc=spec.with_roc,
+        horizon=spec.horizon,
+    )
+
+
+def _run_cell_job(job: Tuple[CellSpec, np.random.SeedSequence]):
+    """Top-level worker entry point (must be picklable)."""
+    spec, base = job
+    return run_cell(spec, base)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` argument: ``None``/``0`` mean all CPUs."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise InvalidParameterError(f"jobs must be >= 0 or None, got {jobs}")
+    return int(jobs)
+
+
+def execute_cells(
+    specs: Sequence[CellSpec],
+    *,
+    base_seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
+) -> List[Union[CellResult, ROCCurve]]:
+    """Run every spec, returning results in spec order.
+
+    ``jobs <= 1`` runs inline; anything larger fans out over a process
+    pool.  Both paths call the same :func:`run_cell`, and each cell's
+    seed depends only on its coordinates, so the outputs are identical.
+    """
+    # Normalise entropy once in the parent so seed=None still gives every
+    # cell a distinct (if irreproducible) stream under any worker count.
+    base = as_seed_sequence(base_seed)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(specs) <= 1:
+        return [run_cell(spec, base) for spec in specs]
+    workers = min(jobs, len(specs))
+    chunksize = max(1, len(specs) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(
+            pool.map(
+                _run_cell_job,
+                [(spec, base) for spec in specs],
+                chunksize=chunksize,
+            )
+        )
+
+
+# --------------------------------------------------------------------------
+# Grid sweeps
+
+def grid_specs(
+    mechanisms: Iterable,
+    dataset: DatasetLike,
+    *,
+    epsilons: Iterable[float] = (1.0,),
+    windows: Iterable[int] = (20,),
+    oracle="grr",
+    repeats: int = 1,
+    with_roc: bool = False,
+    horizon: Optional[int] = None,
+    tag: str = "sweep",
+) -> List[CellSpec]:
+    """Decompose a sweep grid into its cell jobs (row-major order)."""
+    dataset = as_dataset_spec(dataset)
+    return [
+        CellSpec(
+            mechanism=mechanism,
+            dataset=dataset,
+            epsilon=float(epsilon),
+            window=int(window),
+            oracle=oracle,
+            repeats=repeats,
+            with_roc=with_roc,
+            horizon=horizon,
+            tag=tag,
+        )
+        for mechanism in mechanisms
+        for epsilon in epsilons
+        for window in windows
+    ]
+
+
+def merge_grid(
+    specs: Sequence[CellSpec], cells: Sequence[CellResult]
+) -> Dict[str, Dict[tuple, CellResult]]:
+    """Fold executed cells back into ``results[mechanism][(eps, w)]``."""
+    results: Dict[str, Dict[tuple, CellResult]] = {}
+    for spec, cell in zip(specs, cells):
+        name = str(spec.mechanism)
+        results.setdefault(name, {})[(spec.epsilon, spec.window)] = cell
+    return results
+
+
+def parallel_sweep(
+    mechanisms: Iterable,
+    dataset: DatasetLike,
+    *,
+    epsilons: Iterable[float] = (1.0,),
+    windows: Iterable[int] = (20,),
+    oracle="grr",
+    seed: SeedLike = None,
+    repeats: int = 1,
+    with_roc: bool = False,
+    jobs: Optional[int] = 1,
+) -> Dict[str, Dict[tuple, CellResult]]:
+    """Grid sweep through the parallel engine (see :func:`runner.sweep`)."""
+    seed = as_seed_sequence(seed)
+    specs = grid_specs(
+        mechanisms,
+        _pin_dataset_seed(dataset, seed, "sweep"),
+        epsilons=epsilons,
+        windows=windows,
+        oracle=oracle,
+        repeats=repeats,
+        with_roc=with_roc,
+    )
+    cells = execute_cells(specs, base_seed=seed, jobs=jobs)
+    return merge_grid(specs, cells)
+
+
+def evaluate_parallel(
+    mechanism,
+    dataset: DatasetLike,
+    epsilon: float,
+    window: int,
+    *,
+    oracle="grr",
+    seed: SeedLike = None,
+    repeats: int = 1,
+    with_roc: bool = False,
+    horizon: Optional[int] = None,
+    jobs: Optional[int] = 1,
+    tag: str = "evaluate",
+) -> CellResult:
+    """One cell, with its repeats optionally split across workers.
+
+    Bit-identical to :func:`repro.experiments.runner.evaluate` on the
+    same coordinates: repeat ``i`` always runs with spawn child ``i`` of
+    the cell seed, and the final average is taken in repeat order.
+    """
+    seed = as_seed_sequence(seed)
+    spec = CellSpec(
+        mechanism=mechanism,
+        dataset=_pin_dataset_seed(dataset, seed, tag),
+        epsilon=float(epsilon),
+        window=int(window),
+        oracle=oracle,
+        repeats=repeats,
+        with_roc=with_roc,
+        horizon=horizon,
+        tag=tag,
+    )
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or repeats <= 1:
+        return run_cell(spec, seed)
+    repeat_specs = [
+        replace(spec, repeats=1, repeat_index=i) for i in range(repeats)
+    ]
+    cells = execute_cells(repeat_specs, base_seed=seed, jobs=jobs)
+    return merge_repeat_cells(cells)

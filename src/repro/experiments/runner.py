@@ -5,12 +5,22 @@ The figure/table generators in :mod:`repro.experiments.figures` and
 which runs one (mechanism, dataset, epsilon, window) cell — optionally
 averaged over repeats with distinct seeds — and returns every metric of
 Section 7.1.4.
+
+Seeding discipline
+------------------
+Per-repeat randomness derives from ``numpy.random.SeedSequence.spawn`` of
+the cell seed, never from sequential draws off a shared generator.  Spawn
+children are prefix-stable (child ``i`` is the same whether 1 or ``n``
+children are spawned), so any single repeat can be re-run in isolation —
+this is what lets :mod:`repro.experiments.parallel` fan a grid out over
+worker processes and still return bit-identical results to the serial
+path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -22,7 +32,7 @@ from ..analysis import (
 )
 from ..engine import SessionResult, run_stream
 from ..exceptions import InvalidParameterError
-from ..rng import SeedLike, ensure_rng
+from ..rng import SeedLike, as_seed_sequence
 from ..streams.base import GenerativeStream, StreamDataset
 
 
@@ -57,6 +67,18 @@ def _fresh_dataset(dataset: StreamDataset) -> StreamDataset:
     if isinstance(dataset, GenerativeStream):
         dataset.reset()
     return dataset
+
+
+def repeat_seed_sequences(
+    seed: SeedLike, repeats: int
+) -> List[np.random.SeedSequence]:
+    """The per-repeat seed sequences :func:`evaluate` uses for ``seed``.
+
+    Children are prefix-stable: ``repeat_seed_sequences(s, n)[i]`` equals
+    ``repeat_seed_sequences(s, m)[i]`` for any ``n, m > i``, so individual
+    repeats can be re-executed (or farmed out to workers) independently.
+    """
+    return as_seed_sequence(seed).spawn(repeats)
 
 
 def run_single(
@@ -94,49 +116,136 @@ def evaluate(
     """Run ``repeats`` sessions and average all metrics."""
     if repeats < 1:
         raise InvalidParameterError(f"repeats must be >= 1, got {repeats}")
-    rng = ensure_rng(seed)
-    mres, maes, mses, cfpus, pub_rates, aucs = [], [], [], [], [], []
-    for _ in range(repeats):
-        run_seed = int(rng.integers(0, 2**31 - 1))
-        result = run_single(
+    children = repeat_seed_sequences(seed, repeats)
+    cells = [
+        _evaluate_one(
             mechanism,
             dataset,
             epsilon,
             window,
             oracle=oracle,
-            seed=run_seed,
+            seed_seq=child,
+            with_roc=with_roc,
             horizon=horizon,
         )
-        mres.append(mean_relative_error(result.releases, result.true_frequencies))
-        maes.append(mean_absolute_error(result.releases, result.true_frequencies))
-        mses.append(mean_squared_error(result.releases, result.true_frequencies))
-        cfpus.append(result.cfpu)
-        pub_rates.append(result.publication_rate)
-        if with_roc:
-            try:
-                aucs.append(
-                    monitoring_roc(result.releases, result.true_frequencies).auc
-                )
-            except InvalidParameterError:
-                pass  # degenerate truth (no events); AUC stays NaN
-    name = result.mechanism
+        for child in children
+    ]
+    return merge_repeat_cells(cells)
+
+
+def evaluate_repeat(
+    mechanism,
+    dataset: StreamDataset,
+    epsilon: float,
+    window: int,
+    index: int,
+    oracle="grr",
+    seed: SeedLike = None,
+    with_roc: bool = False,
+    horizon: Optional[int] = None,
+) -> CellResult:
+    """Run repeat ``index`` of the cell :func:`evaluate` would run.
+
+    Uses exactly the seed sequence repeat ``index`` gets inside
+    :func:`evaluate`, so averaging ``evaluate_repeat(i)`` for
+    ``i = 0..n-1`` with :func:`merge_repeat_cells` is bit-identical to
+    ``evaluate(..., repeats=n)``.
+    """
+    if index < 0:
+        raise InvalidParameterError(f"repeat index must be >= 0, got {index}")
+    child = repeat_seed_sequences(seed, index + 1)[index]
+    return _evaluate_one(
+        mechanism,
+        dataset,
+        epsilon,
+        window,
+        oracle=oracle,
+        seed_seq=child,
+        with_roc=with_roc,
+        horizon=horizon,
+    )
+
+
+def _evaluate_one(
+    mechanism,
+    dataset: StreamDataset,
+    epsilon: float,
+    window: int,
+    *,
+    oracle,
+    seed_seq: np.random.SeedSequence,
+    with_roc: bool,
+    horizon: Optional[int],
+) -> CellResult:
+    """One repeat of a cell, seeded by an explicit SeedSequence."""
+    result = run_single(
+        mechanism,
+        dataset,
+        epsilon,
+        window,
+        oracle=oracle,
+        seed=np.random.default_rng(seed_seq),
+        horizon=horizon,
+    )
+    auc = float("nan")
+    if with_roc:
+        try:
+            auc = monitoring_roc(result.releases, result.true_frequencies).auc
+        except InvalidParameterError:
+            pass  # degenerate truth (no events); AUC stays NaN
     return CellResult(
-        mechanism=name,
+        mechanism=result.mechanism,
         epsilon=float(epsilon),
         window=int(window),
-        mre=float(np.mean(mres)),
-        mae=float(np.mean(maes)),
-        mse=float(np.mean(mses)),
-        cfpu=float(np.mean(cfpus)),
-        publication_rate=float(np.mean(pub_rates)),
+        mre=mean_relative_error(result.releases, result.true_frequencies),
+        mae=mean_absolute_error(result.releases, result.true_frequencies),
+        mse=mean_squared_error(result.releases, result.true_frequencies),
+        cfpu=result.cfpu,
+        publication_rate=result.publication_rate,
+        auc=auc,
+        repeats=1,
+    )
+
+
+def merge_repeat_cells(cells: List[CellResult]) -> CellResult:
+    """Average per-repeat :class:`CellResult`\\ s into one cell.
+
+    The inverse of splitting a cell's repeats across workers; NaN AUCs
+    (ROC disabled or degenerate truth) are excluded from the AUC mean,
+    matching the serial accumulation.
+    """
+    if not cells:
+        raise InvalidParameterError("cannot merge an empty list of cells")
+    first = cells[0]
+    for cell in cells[1:]:
+        if (
+            cell.mechanism != first.mechanism
+            or cell.epsilon != first.epsilon
+            or cell.window != first.window
+        ):
+            raise InvalidParameterError(
+                "merge_repeat_cells needs cells from one grid cell; got "
+                f"{(cell.mechanism, cell.epsilon, cell.window)} vs "
+                f"{(first.mechanism, first.epsilon, first.window)}"
+            )
+    aucs = [c.auc for c in cells if not np.isnan(c.auc)]
+    return CellResult(
+        mechanism=first.mechanism,
+        epsilon=first.epsilon,
+        window=first.window,
+        mre=float(np.mean([c.mre for c in cells])),
+        mae=float(np.mean([c.mae for c in cells])),
+        mse=float(np.mean([c.mse for c in cells])),
+        cfpu=float(np.mean([c.cfpu for c in cells])),
+        publication_rate=float(np.mean([c.publication_rate for c in cells])),
         auc=float(np.mean(aucs)) if aucs else float("nan"),
-        repeats=repeats,
+        repeats=sum(c.repeats for c in cells),
     )
 
 
 def sweep(
     mechanisms: Iterable[str],
-    dataset: StreamDataset,
+    dataset,
     *,
     epsilons: Iterable[float] = (1.0,),
     windows: Iterable[int] = (20,),
@@ -144,26 +253,29 @@ def sweep(
     seed: SeedLike = None,
     repeats: int = 1,
     with_roc: bool = False,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, Dict[tuple, CellResult]]:
     """Full grid: mechanism × epsilon × window → :class:`CellResult`.
 
     Result keys are ``results[mechanism][(epsilon, window)]``.
+
+    ``dataset`` may be a live :class:`~repro.streams.base.StreamDataset`,
+    a registry name (``"LNS"``), or a
+    :class:`~repro.experiments.parallel.DatasetSpec`.  With ``jobs > 1``
+    the grid fans out over worker processes; every cell's randomness is
+    derived from ``seed`` and the cell's coordinates alone, so results
+    are bit-identical to the serial path (and to any other worker count).
     """
-    rng = ensure_rng(seed)
-    results: Dict[str, Dict[tuple, CellResult]] = {}
-    for mechanism in mechanisms:
-        per_cell: Dict[tuple, CellResult] = {}
-        for epsilon in epsilons:
-            for window in windows:
-                per_cell[(epsilon, window)] = evaluate(
-                    mechanism,
-                    dataset,
-                    epsilon,
-                    window,
-                    oracle=oracle,
-                    seed=int(rng.integers(0, 2**31 - 1)),
-                    repeats=repeats,
-                    with_roc=with_roc,
-                )
-        results[str(mechanism)] = per_cell
-    return results
+    from .parallel import parallel_sweep
+
+    return parallel_sweep(
+        mechanisms,
+        dataset,
+        epsilons=epsilons,
+        windows=windows,
+        oracle=oracle,
+        seed=seed,
+        repeats=repeats,
+        with_roc=with_roc,
+        jobs=jobs,
+    )

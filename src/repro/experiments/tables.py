@@ -7,12 +7,11 @@ settings: (eps=1, w=20), (eps=2, w=20), (eps=2, w=40).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..mechanisms import ALL_METHODS
-from ..rng import SeedLike, ensure_rng
-from .datasets import make_dataset
-from .runner import evaluate
+from ..rng import SeedLike, as_seed_sequence, derive_seed
+from .parallel import CellSpec, DatasetSpec, execute_cells
 
 #: Datasets of Table 2 (paper order).
 TABLE2_DATASETS = ("Sin", "Log", "Taxi", "Foursquare", "Taobao")
@@ -93,21 +92,41 @@ def table2_cfpu(
     methods: Sequence[str] = ALL_METHODS,
     size: str = "default",
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[Tuple[float, int], Dict[str, Dict[str, float]]]:
-    """Regenerate Table 2: ``table[(eps, w)][method][dataset] = CFPU``."""
-    rng = ensure_rng(seed)
-    table: Dict[Tuple[float, int], Dict[str, Dict[str, float]]] = {}
+    """Regenerate Table 2: ``table[(eps, w)][method][dataset] = CFPU``.
+
+    The settings × datasets × methods grid runs through the parallel
+    engine; ``jobs=N`` fans it out with results identical to ``jobs=1``.
+    """
+    base = as_seed_sequence(seed)
+    specs: List[CellSpec] = []
+    coords: List[Tuple[Tuple[float, int], str, str]] = []
     for epsilon, window in settings:
-        table[(epsilon, window)] = {m: {} for m in methods}
         for name in datasets:
-            dataset = make_dataset(name, size=size, seed=int(rng.integers(0, 2**31)))
+            dataset = DatasetSpec.of(
+                name,
+                size=size,
+                seed=derive_seed(
+                    base, "table2", name, float(epsilon), int(window)
+                ),
+            )
             for method in methods:
-                cell = evaluate(
-                    method,
-                    dataset,
-                    epsilon,
-                    window,
-                    seed=int(rng.integers(0, 2**31)),
+                specs.append(
+                    CellSpec(
+                        mechanism=method,
+                        dataset=dataset,
+                        epsilon=float(epsilon),
+                        window=int(window),
+                        tag="table2",
+                    )
                 )
-                table[(epsilon, window)][method][name] = cell.cfpu
+                coords.append(((epsilon, window), method, name))
+    cells = execute_cells(specs, base_seed=base, jobs=jobs)
+    table: Dict[Tuple[float, int], Dict[str, Dict[str, float]]] = {
+        (epsilon, window): {m: {} for m in methods}
+        for epsilon, window in settings
+    }
+    for (setting, method, name), cell in zip(coords, cells):
+        table[setting][method][name] = cell.cfpu
     return table

@@ -69,15 +69,19 @@ class GRR(FrequencyOracle):
 
         # Users with true value k keep it with prob p; the liars spread
         # uniformly over the other d-1 values.  Summing the liar multinomials
-        # gives the exact distribution of the perturbed count vector.
+        # gives the exact distribution of the perturbed count vector.  One
+        # batched multinomial draws all d spreads at once: row k of pvals is
+        # uniform over the other values with a zero on the diagonal, so no
+        # liar mass ever lands back on its own value.
         keepers = rng.binomial(true_counts, p)
         liars = true_counts - keepers
         perturbed = keepers.astype(np.float64)
-        uniform_over_others = np.full(domain_size - 1, 1.0 / (domain_size - 1))
-        for k in np.nonzero(liars)[0]:
-            spread = rng.multinomial(liars[k], uniform_over_others)
-            perturbed[:k] += spread[:k]
-            perturbed[k + 1 :] += spread[k:]
+        uniform_over_others = np.full(
+            (domain_size, domain_size), 1.0 / (domain_size - 1)
+        )
+        np.fill_diagonal(uniform_over_others, 0.0)
+        spread = rng.multinomial(liars, uniform_over_others)
+        perturbed += spread.sum(axis=0)
         freqs = self._debias(perturbed, n, p, q)
         return FOEstimate(
             frequencies=freqs,

@@ -3,32 +3,102 @@
 Everything stochastic in this library flows through
 :class:`numpy.random.Generator` instances so that experiments are exactly
 reproducible from a single integer seed.  The helpers here normalise the
-"seed or generator" convention used across the public API.
+"seed or generator" convention used across the public API and provide the
+coordinate-keyed :class:`numpy.random.SeedSequence` derivation that the
+parallel experiment engine relies on: a cell's randomness is a pure
+function of *what* the cell is (its coordinates), never of *when* or
+*where* it runs.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Tuple, Union
 
 import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator]
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+#: Values accepted as seed-material keys (strings/ints/floats are hashed
+#: into stable non-negative integers; see :func:`seed_material`).
+KeyLike = Union[int, float, str]
 
 
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
-    ``None`` gives fresh OS entropy, an ``int`` gives a deterministic
-    generator, and an existing generator is passed through unchanged.
+    ``None`` gives fresh OS entropy, an ``int`` or
+    :class:`~numpy.random.SeedSequence` gives a deterministic generator,
+    and an existing generator is passed through unchanged.
     """
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
 
 
+def as_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Normalise ``seed`` into a :class:`numpy.random.SeedSequence`.
+
+    Integers and ``None`` map the obvious way; a generator is consumed for
+    one integer so legacy generator-valued seeds keep working.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**31 - 1)))
+    return np.random.SeedSequence(seed)
+
+
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``n`` statistically independent child generators."""
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+def seed_material(*keys: KeyLike) -> Tuple[int, ...]:
+    """Map a key path onto stable non-negative integers for SeedSequence.
+
+    Strings hash with a fixed polynomial (no ``PYTHONHASHSEED``
+    dependence), floats contribute their exact IEEE-754 bit pattern, and
+    ints pass through — so the same coordinates always yield the same
+    entropy, across processes and interpreter runs.
+    """
+    material = []
+    for key in keys:
+        if isinstance(key, bool):  # bool is an int subclass; disambiguate
+            material.append(int(key))
+        elif isinstance(key, (int, np.integer)):
+            material.append(int(key) & (2**64 - 1))
+        elif isinstance(key, (float, np.floating)):
+            material.append(int(np.float64(key).view(np.uint64)))
+        elif isinstance(key, str):
+            material.append(_string_to_int(key))
+        else:
+            raise TypeError(f"unsupported seed-material key: {key!r}")
+    return tuple(material)
+
+
+def derive_seed_sequence(
+    seed: SeedLike, *keys: KeyLike
+) -> np.random.SeedSequence:
+    """Deterministic child SeedSequence from ``seed`` and a key path.
+
+    The result depends only on ``seed`` and ``keys`` — not on any other
+    draws — which is what makes experiment cells replayable in isolation
+    (the determinism contract of :mod:`repro.experiments.parallel`).
+    """
+    base = as_seed_sequence(seed)
+    entropy = (
+        tuple(np.atleast_1d(base.entropy).tolist())
+        if base.entropy is not None
+        else ()
+    )
+    # Keep the spawn key so a spawned child never collides with its parent.
+    lineage = tuple(int(k) for k in base.spawn_key)
+    return np.random.SeedSequence([*entropy, *lineage, *seed_material(*keys)])
+
+
+def derive_seed(seed: SeedLike, *keys: KeyLike) -> int:
+    """Deterministic integer seed from ``seed`` and a key path."""
+    return int(derive_seed_sequence(seed, *keys).generate_state(2, np.uint32)[0])
 
 
 def child_rng(seed: SeedLike, *key: Union[int, str]) -> np.random.Generator:
@@ -41,6 +111,8 @@ def child_rng(seed: SeedLike, *key: Union[int, str]) -> np.random.Generator:
     material = [k if isinstance(k, int) else _string_to_int(k) for k in key]
     if isinstance(seed, np.random.Generator):
         base = int(seed.integers(0, 2**31 - 1))
+    elif isinstance(seed, np.random.SeedSequence):
+        base = int(seed.generate_state(1)[0])
     else:
         base = 0 if seed is None else int(seed)
     return np.random.default_rng(np.random.SeedSequence([base, *material]))

@@ -91,6 +91,10 @@ class MarkovValueProcess:
             self._values[movers] = sample_categorical(target, n_movers, self._rng)
         return self._values
 
+    def rng_state(self) -> dict:
+        """Snapshot of the process generator's current bit-level state."""
+        return self._rng.bit_generator.state
+
     def reset(self, seed: SeedLike = None) -> None:
         """Forget all state and reseed (defaults to the original seed)."""
         self._rng = ensure_rng(self._seed if seed is None else seed)

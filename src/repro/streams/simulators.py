@@ -38,6 +38,13 @@ from .markov import MarkovValueProcess
 _SLOTS_PER_DAY = 144
 
 
+def _rng_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator frozen at a previously captured bit state."""
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
 def zipf_weights(domain_size: int, exponent: float = 1.0) -> np.ndarray:
     """Normalised Zipf popularity weights ``1/rank^exponent``."""
     ranks = np.arange(1, domain_size + 1, dtype=np.float64)
@@ -59,13 +66,18 @@ class _MarkovSimulator(GenerativeStream):
         seed: SeedLike,
     ):
         super().__init__(n_users, domain_size, horizon)
-        self._seed = seed
         self._process = MarkovValueProcess(
             n_users=n_users,
             target_distribution=self.target_distribution,
             churn_rate=churn_rate,
             seed=ensure_rng(seed),
         )
+        # Snapshot the process generator *as constructed* (the subclass may
+        # have consumed draws from the shared generator first), so reset()
+        # replays bit-identically to a fresh build with the same seed —
+        # the equivalence the parallel experiment engine relies on when
+        # workers rebuild datasets by registry name.
+        self._initial_process_state = self._process.rng_state()
 
     def target_distribution(self, t: int) -> np.ndarray:
         """Population-level value distribution at timestamp ``t``."""
@@ -75,7 +87,7 @@ class _MarkovSimulator(GenerativeStream):
         return self._process.step(t)
 
     def _reset_state(self) -> None:
-        self._process.reset(ensure_rng(self._seed))
+        self._process.reset(_rng_from_state(self._initial_process_state))
 
 
 class TaxiSimulator(_MarkovSimulator):
@@ -136,8 +148,10 @@ class FoursquareSimulator(_MarkovSimulator):
         rng = ensure_rng(seed)
         base = zipf_weights(domain_size, zipf_exponent)
         self._log_weights = np.log(rng.permutation(base))
+        self._initial_log_weights = self._log_weights.copy()
         self._drift_std = float(drift_std)
         self._drift_rng = ensure_rng(int(rng.integers(0, 2**31 - 1)))
+        self._drift_state = self._drift_rng.bit_generator.state
         self._last_t = -1
         super().__init__(
             n_users=max(2, n_users // scale),
@@ -160,6 +174,8 @@ class FoursquareSimulator(_MarkovSimulator):
 
     def _reset_state(self) -> None:  # re-deterministic drift on replay
         super()._reset_state()
+        self._log_weights = self._initial_log_weights.copy()
+        self._drift_rng = _rng_from_state(self._drift_state)
         self._last_t = -1
 
 
@@ -191,6 +207,7 @@ class TaobaoSimulator(_MarkovSimulator):
         self._burst_boost = float(burst_boost)
         self._burst_length = int(burst_length)
         self._burst_rng = ensure_rng(int(rng.integers(0, 2**31 - 1)))
+        self._burst_state = self._burst_rng.bit_generator.state
         self._burst_category = -1
         self._burst_until = -1
         self._last_t = -1
@@ -225,6 +242,7 @@ class TaobaoSimulator(_MarkovSimulator):
 
     def _reset_state(self) -> None:
         super()._reset_state()
+        self._burst_rng = _rng_from_state(self._burst_state)
         self._burst_category = -1
         self._burst_until = -1
         self._last_t = -1

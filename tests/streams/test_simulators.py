@@ -95,6 +95,24 @@ class TestSimulatorBehaviour:
         values = sim.values(0)
         assert values.shape == (2_000,)
 
+    def test_reset_replays_bit_identically(self, factory):
+        """reset() must replay the exact stream — the equivalence the
+        parallel engine relies on when workers rebuild datasets."""
+        sim = factory()
+        first = [sim.values(t).copy() for t in range(10)]
+        sim.reset()
+        replay = [sim.values(t) for t in range(10)]
+        for a, b in zip(first, replay):
+            assert (a == b).all()
+
+    def test_fresh_build_matches_reset(self, factory):
+        sim = factory()
+        first = [sim.values(t).copy() for t in range(10)]
+        fresh = factory()
+        rebuilt = [fresh.values(t) for t in range(10)]
+        for a, b in zip(first, rebuilt):
+            assert (a == b).all()
+
 
 class TestTaxiDiurnalCycle:
     def test_distribution_shifts_through_day(self):
