@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``       one streaming session; prints metrics, optionally saves JSON/CSV
+``stream``    drive an online session from piped per-timestamp input
 ``figure``    regenerate a paper figure's series and print it as a table
 ``table2``    regenerate Table 2 (CFPU) with the paper's values side by side
 ``campaign``  regenerate every figure and table; write artifacts
@@ -15,12 +16,19 @@ all CPUs).  Results are bit-identical at any worker count: each grid
 cell's randomness is derived from the seed and the cell's coordinates
 (see :mod:`repro.experiments.parallel`).
 
+``stream`` ingests one line per timestamp (whitespace/comma-separated
+user values) and releases the private histogram as each line arrives —
+a true unbounded online session over a
+:class:`~repro.streams.online.OnlineStream`; memory stays constant
+unless ``--trace`` asks for the full trace summary.
+
 Examples
 --------
 ::
 
     python -m repro run --method LPA --dataset LNS --epsilon 1 --window 20
     python -m repro run --method LPA --repeats 8 --jobs 4
+    generator | python -m repro stream --method LBD --domain-size 5 --epsilon 1 --window 20
     python -m repro figure fig4 --size smoke --jobs 4
     python -m repro table2 --size smoke
     python -m repro campaign --size smoke --jobs 0 --out artifacts/
@@ -68,6 +76,46 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(run)
     run.add_argument("--save-json", metavar="PATH", default=None)
     run.add_argument("--save-csv", metavar="PATH", default=None)
+
+    stream = sub.add_parser(
+        "stream", help="drive an online session from piped input"
+    )
+    stream.add_argument("--method", required=True, help="LBU/LSP/LBD/LBA/LPU/LPD/LPA/LPF")
+    stream.add_argument(
+        "--domain-size",
+        type=int,
+        required=True,
+        help="categorical domain size d of the incoming values",
+    )
+    stream.add_argument("--epsilon", type=float, default=1.0)
+    stream.add_argument("--window", type=int, default=20)
+    stream.add_argument("--oracle", default="grr")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--postprocess", default="none")
+    stream.add_argument(
+        "--input",
+        metavar="PATH",
+        default="-",
+        help="file with one timestamp per line ('-' = stdin)",
+    )
+    stream.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help="stop after this many timestamps even if input continues",
+    )
+    stream.add_argument(
+        "--emit",
+        choices=["releases", "none"],
+        default="releases",
+        help="print each released histogram as CSV (default) or stay quiet",
+    )
+    stream.add_argument(
+        "--trace",
+        action="store_true",
+        help="keep the full trace in memory and print error metrics at EOF "
+        "(omit for constant-memory unbounded ingestion)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure series")
     figure.add_argument(
@@ -195,6 +243,90 @@ def _cmd_run_repeats(args) -> int:
     return 0
 
 
+def _parse_snapshot_line(line: str):
+    """One input line -> int value list (comma- or whitespace-separated)."""
+    parts = line.replace(",", " ").split()
+    try:
+        return [int(part) for part in parts]
+    except ValueError:
+        raise InvalidParameterError(
+            f"stream input lines must hold integer values, got {line.strip()!r}"
+        ) from None
+
+
+def _cmd_stream(args) -> int:
+    """Online ingestion: one StreamSession advanced line by line."""
+    import contextlib
+
+    from .engine import StreamSession
+    from .streams import OnlineStream
+
+    if args.max_steps is not None and args.max_steps < 1:
+        raise InvalidParameterError(
+            f"max-steps must be >= 1, got {args.max_steps}"
+        )
+    with contextlib.ExitStack() as stack:
+        if args.input == "-":
+            source = sys.stdin
+        else:
+            source = stack.enter_context(
+                open(args.input, "r", encoding="utf-8")
+            )
+        session: Optional[StreamSession] = None
+        stream: Optional[OnlineStream] = None
+        for line in source:
+            if not line.strip():
+                continue
+            values = _parse_snapshot_line(line)
+            if session is None:
+                # The population size is whatever the first timestamp
+                # carries; the session is created lazily around it.
+                stream = OnlineStream(
+                    n_users=len(values), domain_size=args.domain_size
+                )
+                session = StreamSession(
+                    args.method,
+                    stream,
+                    epsilon=args.epsilon,
+                    window=args.window,
+                    oracle=args.oracle,
+                    seed=args.seed,
+                    postprocess=args.postprocess,
+                    record_trace=args.trace,
+                ).start()
+            t = stream.push(values)
+            record = session.observe(t)
+            if args.emit == "releases":
+                release = ",".join(
+                    f"{v:.6g}" for v in session.postprocessor(record.release)
+                )
+                print(f"{t},{record.strategy},{release}")
+            if args.max_steps is not None and t + 1 >= args.max_steps:
+                break
+        if session is None:
+            print("error: no input timestamps received", file=sys.stderr)
+            return 2
+        summary = session.summary()
+        print(
+            f"{summary['mechanism']} online session: {summary['steps']} steps, "
+            f"{summary['publications']} publications "
+            f"(rate {summary['publication_rate']:.4f}), "
+            f"CFPU {summary['cfpu']:.4f}, "
+            f"max window spend {summary['max_window_spend']:.4f} "
+            f"(<= {args.epsilon:g})",
+            file=sys.stderr,
+        )
+        if args.trace:
+            result = session.finalize()
+            print(
+                f"  MRE  = {mean_relative_error(result.releases, result.true_frequencies):.4f}\n"
+                f"  MAE  = {mean_absolute_error(result.releases, result.true_frequencies):.5f}\n"
+                f"  MSE  = {mean_squared_error(result.releases, result.true_frequencies):.3e}",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def _cmd_figure(args) -> int:
     from .experiments import (
         fig4_utility_vs_epsilon,
@@ -299,6 +431,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "stream": _cmd_stream,
         "figure": _cmd_figure,
         "table2": _cmd_table2,
         "campaign": _cmd_campaign,

@@ -4,11 +4,16 @@
   meter communication.
 * :class:`WEventAccountant` — runtime ``w``-event LDP budget ledger.
 * :class:`UserPool` — disjoint-group sampling with recycling.
-* :func:`run_stream` — session driver returning :class:`SessionResult`.
+* :class:`StreamSession` — incremental standing query
+  (``start``/``observe``/``finalize``) enabling unbounded online runs.
+* :class:`SessionGroup` — many sessions over one shared stream pass.
+* :func:`run_stream` — one-call session driver returning
+  :class:`SessionResult`.
 """
 
 from .accountant import WEventAccountant
 from .collector import Collector, TimestepContext
+from .group import SessionGroup
 from .population import UserPool
 from .records import (
     STRATEGY_APPROXIMATE,
@@ -17,7 +22,7 @@ from .records import (
     SessionResult,
     StepRecord,
 )
-from .session import run_stream
+from .session import StreamSession, run_stream
 
 __all__ = [
     "WEventAccountant",
@@ -29,5 +34,7 @@ __all__ = [
     "STRATEGY_PUBLISH",
     "STRATEGY_APPROXIMATE",
     "STRATEGY_NULLIFIED",
+    "StreamSession",
+    "SessionGroup",
     "run_stream",
 ]

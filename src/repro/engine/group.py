@@ -1,0 +1,182 @@
+"""Shared-pass multi-session engine.
+
+A parameter sweep runs the *same dataset* under many configurations
+(mechanism × epsilon × window × oracle × postprocess).  Executed naively,
+every configuration re-simulates the stream and recomputes the true
+frequencies from scratch — for generative simulators the data generation
+dominates the mechanism work, so a 7-mechanism × 4-epsilon grid pays for
+28 stream passes to do 1 pass worth of data work.
+
+:class:`SessionGroup` runs many :class:`~repro.engine.session.StreamSession`
+standing queries over a **single pass** of one dataset: each timestamp's
+user values are produced once and its true-frequency histogram is computed
+once, then fanned out to every session.
+
+Determinism argument
+--------------------
+Each session's output is bit-identical to a solo
+:func:`~repro.engine.session.run_stream` at the same seed because
+
+* every session owns a private RNG — mechanism randomness and
+  perturbation randomness never cross sessions;
+* user values are a pure function of the dataset seed and the timestamp
+  (generative streams replay bit-identically after ``reset()``), so one
+  shared pass serves every session the exact arrays a solo pass would;
+* true frequencies are a deterministic function of the values, so the
+  group-computed histogram equals what each session would compute itself;
+* sessions are advanced in timestamp order, which is the only order a
+  solo run ever uses.
+
+The per-timestamp truth fan-out goes through the streams' batched
+:meth:`~repro.streams.base.StreamDataset.true_frequencies_range` path for
+random-access datasets, amortising the histogram work over whole chunks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..rng import SeedLike
+from ..streams.base import GenerativeStream, StreamDataset
+from .records import SessionResult
+from .session import StreamSession
+
+#: Timestamps per batched true-frequency fetch on random-access streams.
+_TRUTH_CHUNK = 128
+
+
+class SessionGroup:
+    """Run many streaming sessions over one pass of a shared dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The stream every session observes.
+    horizon:
+        Default horizon for sessions added without one; falls back to
+        the dataset's horizon.
+    truth_chunk:
+        Chunk length for batched true-frequency prefetch on
+        random-access datasets.
+    """
+
+    def __init__(
+        self,
+        dataset: StreamDataset,
+        *,
+        horizon: Optional[int] = None,
+        truth_chunk: int = _TRUTH_CHUNK,
+    ):
+        if truth_chunk <= 0:
+            raise InvalidParameterError(
+                f"truth_chunk must be positive, got {truth_chunk}"
+            )
+        self.dataset = dataset
+        self.horizon = horizon if horizon is not None else dataset.horizon
+        self.truth_chunk = int(truth_chunk)
+        self._sessions: List[StreamSession] = []
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def add_session(
+        self,
+        mechanism,
+        epsilon: float,
+        window: int,
+        *,
+        oracle="grr",
+        seed: SeedLike = None,
+        horizon: Optional[int] = None,
+        fast: bool = True,
+        postprocess: str = "none",
+        enforce_privacy: bool = True,
+    ) -> StreamSession:
+        """Register one session on the shared pass and return it.
+
+        ``seed`` must be session-private (an int, SeedSequence, or a
+        dedicated Generator) — handing several sessions the same live
+        Generator would interleave their draws and break the solo
+        equivalence.
+        """
+        if self._ran:
+            raise InvalidParameterError(
+                "cannot add sessions after the group has run"
+            )
+        steps = horizon if horizon is not None else self.horizon
+        if steps is None:
+            raise InvalidParameterError(
+                "a session horizon is required on unbounded streams"
+            )
+        if steps <= 0:
+            raise InvalidParameterError(
+                f"horizon must be positive, got {steps}"
+            )
+        session = StreamSession(
+            mechanism,
+            self.dataset,
+            epsilon,
+            window,
+            horizon=int(steps),
+            oracle=oracle,
+            seed=seed,
+            fast=fast,
+            postprocess=postprocess,
+            enforce_privacy=enforce_privacy,
+        )
+        self._sessions.append(session)
+        return session
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[SessionResult]:
+        """Execute the single shared pass; results in ``add_session`` order.
+
+        Equivalent to calling :func:`~repro.engine.session.run_stream`
+        once per session (rewinding generative streams in between), but
+        the stream is generated and the truth histograms are computed
+        exactly once.
+        """
+        if self._ran:
+            raise InvalidParameterError("group has already run")
+        self._ran = True
+        if not self._sessions:
+            return []
+        dataset = self.dataset
+        if isinstance(dataset, GenerativeStream):
+            dataset.reset()
+        for session in self._sessions:
+            session.start()
+        steps = max(s.horizon for s in self._sessions)
+        n = dataset.n_users
+        d = dataset.domain_size
+        random_access = getattr(dataset, "random_access", False)
+        truth_block: Optional[np.ndarray] = None
+        block_start = 0
+        for t in range(steps):
+            # One read of the timestamp's user values.  Generative
+            # streams generate here and serve every session's collector
+            # from the cached snapshot; materialized streams hand out
+            # row views.
+            values = dataset.values(t)
+            if random_access:
+                if truth_block is None or t >= block_start + len(truth_block):
+                    block_start = t
+                    truth_block = dataset.true_frequencies_range(
+                        t, min(t + self.truth_chunk, steps)
+                    )
+                freqs = truth_block[t - block_start]
+            else:
+                # Same arithmetic as StreamDataset.true_frequencies, on
+                # the values array already in hand.
+                freqs = np.bincount(values, minlength=d).astype(
+                    np.float64
+                ) / n
+            for session in self._sessions:
+                if t < session.horizon:
+                    session.observe(t, true_frequencies=freqs)
+        return [session.finalize() for session in self._sessions]

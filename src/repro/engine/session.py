@@ -1,9 +1,29 @@
-"""Session driver: run a mechanism over a stream under the accountant.
+"""Incremental session core: standing ``w``-event LDP stream queries.
 
-:func:`run_stream` is the library's main entry point — it wires a dataset,
-a frequency oracle, a privacy accountant and a mechanism together and
-produces a :class:`~repro.engine.records.SessionResult` with everything the
-paper's metrics need.
+:class:`StreamSession` is the library's execution primitive — a *standing
+query* over a value stream.  It wires a dataset, a frequency oracle, a
+privacy accountant and a mechanism together and advances them one
+timestamp at a time:
+
+* :meth:`StreamSession.start` initialises all per-session state;
+* :meth:`StreamSession.observe` ingests one timestamp (mechanism step,
+  accounting, postprocessing, trace bookkeeping);
+* :meth:`StreamSession.finalize` closes the session and returns the
+  :class:`~repro.engine.records.SessionResult` with everything the
+  paper's metrics need.
+
+Because the session owns no loop, it supports true unbounded online
+ingestion (the "infinite" in LDP-IDS): callers may push timestamps
+forever — e.g. the ``repro stream`` CLI feeding an
+:class:`~repro.streams.online.OnlineStream` from a pipe — and disable
+trace recording to keep memory constant.  Many sessions can also share a
+single pass over one dataset via
+:class:`~repro.engine.group.SessionGroup`.
+
+:func:`run_stream` remains the one-call entry point: it builds a session,
+observes ``horizon`` timestamps and finalizes.  Its results are
+bit-identical to the historical monolithic loop — the session performs
+the same operations on the same RNG in the same order.
 """
 
 from __future__ import annotations
@@ -20,7 +40,233 @@ from ..rng import SeedLike, ensure_rng
 from ..streams.base import StreamDataset
 from .accountant import WEventAccountant
 from .collector import Collector, TimestepContext
-from .records import SessionResult
+from .records import STRATEGY_PUBLISH, SessionResult, StepRecord
+
+
+class StreamSession:
+    """One incremental ``w``-event LDP streaming session.
+
+    Parameters mirror :func:`run_stream`; in addition:
+
+    horizon:
+        Optional number of timestamps the session intends to run.  Unlike
+        :func:`run_stream` this may stay ``None`` even on unbounded
+        streams — an online session simply keeps observing.
+    record_trace:
+        Keep per-timestamp releases / truths / records for
+        :meth:`finalize` (default).  Disable for unbounded online
+        sessions so memory stays O(1); running counters and
+        :meth:`summary` remain available.
+
+    Lifecycle: ``start()`` → ``observe(t)`` for t = 0, 1, 2, ... →
+    ``finalize()``.  Timestamps must be observed in order, exactly once.
+    """
+
+    def __init__(
+        self,
+        mechanism,
+        dataset: StreamDataset,
+        epsilon: float,
+        window: int,
+        *,
+        horizon: Optional[int] = None,
+        oracle="grr",
+        seed: SeedLike = None,
+        fast: bool = True,
+        postprocess: str = "none",
+        enforce_privacy: bool = True,
+        record_trace: bool = True,
+    ):
+        if horizon is not None and horizon <= 0:
+            raise InvalidParameterError(
+                f"horizon must be positive, got {horizon}"
+            )
+        # Resolution order matches the historical run_stream loop exactly;
+        # nothing here draws from the RNG, but keeping the order frozen
+        # makes the bit-identity argument a pure refactoring one.
+        self.rng = ensure_rng(seed)
+        self.oracle = get_oracle(oracle)
+        self.mechanism: StreamMechanism = get_mechanism(mechanism)
+        self.postprocessor = get_postprocessor(postprocess)
+        self.dataset = dataset
+        self.epsilon = float(epsilon)
+        self.window = int(window)
+        self.horizon = None if horizon is None else int(horizon)
+        self.fast = bool(fast)
+        self.enforce_privacy = bool(enforce_privacy)
+        self.record_trace = bool(record_trace)
+
+        self.accountant: Optional[WEventAccountant] = None
+        self.collector: Optional[Collector] = None
+        self._releases: list = []
+        self._true_frequencies: list = []
+        self._records: list = []
+        self._next_t = 0
+        self._publications = 0
+        self._started = False
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    @property
+    def steps_observed(self) -> int:
+        """Number of timestamps ingested so far."""
+        return self._next_t
+
+    @property
+    def publication_count(self) -> int:
+        """Fresh publications so far (running counter, trace-free)."""
+        return self._publications
+
+    @property
+    def total_reports(self) -> int:
+        """LDP reports collected so far."""
+        return 0 if self.collector is None else self.collector.total_reports
+
+    @property
+    def max_window_spend(self) -> float:
+        """Largest per-user window spend the accountant has observed."""
+        return 0.0 if self.accountant is None else self.accountant.max_window_spend
+
+    # ------------------------------------------------------------------
+    def start(self) -> "StreamSession":
+        """Initialise mechanism, accountant and collector state."""
+        if self._started:
+            raise InvalidParameterError("session already started")
+        self.mechanism.setup(
+            n_users=self.dataset.n_users,
+            domain_size=self.dataset.domain_size,
+            epsilon=self.epsilon,
+            window=self.window,
+            oracle=self.oracle,
+            rng=self.rng,
+        )
+        self.accountant = WEventAccountant(
+            n_users=self.dataset.n_users,
+            epsilon=self.epsilon,
+            window=self.window,
+            enforce=self.enforce_privacy,
+        )
+        self.collector = Collector(
+            dataset=self.dataset,
+            oracle=self.oracle,
+            accountant=self.accountant,
+            rng=self.rng,
+            fast=self.fast,
+        )
+        self._started = True
+        return self
+
+    def observe(
+        self,
+        t: Optional[int] = None,
+        true_frequencies: Optional[np.ndarray] = None,
+    ) -> StepRecord:
+        """Ingest one timestamp and return the mechanism's step record.
+
+        ``t`` defaults to the next expected timestamp; passing it
+        explicitly asserts in-order ingestion.  ``true_frequencies``
+        lets a shared-pass driver hand over the truth histogram it
+        already computed for this timestamp (it must equal
+        ``dataset.true_frequencies(t)``); otherwise the session asks the
+        dataset itself.
+        """
+        if not self._started:
+            raise InvalidParameterError("call start() before observe()")
+        if self._finalized:
+            raise InvalidParameterError("session already finalized")
+        if t is None:
+            t = self._next_t
+        elif t != self._next_t:
+            raise InvalidParameterError(
+                f"timestamps must be observed in order: expected "
+                f"t={self._next_t}, got t={t}"
+            )
+        if self.horizon is not None and t >= self.horizon:
+            raise InvalidParameterError(
+                f"timestamp {t} beyond session horizon {self.horizon}"
+            )
+        ctx = TimestepContext(self.collector, t)
+        record = self.mechanism.step(ctx)
+        if record.t != t:
+            raise InvalidParameterError(
+                f"{self.mechanism.name} returned record for t={record.t} "
+                f"at t={t}"
+            )
+        if record.strategy == STRATEGY_PUBLISH:
+            self._publications += 1
+        if self.record_trace:
+            # Postprocessing and the truth histogram only feed the trace;
+            # trace-free online sessions skip both so each step is O(1)
+            # beyond the mechanism's own work.
+            release = np.asarray(
+                self.postprocessor(record.release), dtype=np.float64
+            )
+            if true_frequencies is None:
+                true_frequencies = self.dataset.true_frequencies(t)
+            self._releases.append(release.copy())
+            self._true_frequencies.append(
+                np.asarray(true_frequencies, dtype=np.float64).copy()
+            )
+            self._records.append(record)
+        self._next_t = t + 1
+        return record
+
+    def finalize(self) -> SessionResult:
+        """Close the session and assemble its :class:`SessionResult`.
+
+        Requires ``record_trace=True``; online sessions that disabled
+        the trace should read :meth:`summary` instead.
+        """
+        if not self._started:
+            raise InvalidParameterError("call start() before finalize()")
+        if self._finalized:
+            raise InvalidParameterError("session already finalized")
+        if not self.record_trace:
+            raise InvalidParameterError(
+                "finalize() needs record_trace=True; use summary() for "
+                "trace-free online sessions"
+            )
+        self._finalized = True
+        d = self.dataset.domain_size
+        if self._releases:
+            releases = np.stack(self._releases)
+            true_freqs = np.stack(self._true_frequencies)
+        else:
+            releases = np.empty((0, d), dtype=np.float64)
+            true_freqs = np.empty((0, d), dtype=np.float64)
+        return SessionResult(
+            mechanism=self.mechanism.name,
+            oracle=self.oracle.name,
+            epsilon=self.epsilon,
+            window=self.window,
+            n_users=self.dataset.n_users,
+            domain_size=d,
+            releases=releases,
+            true_frequencies=true_freqs,
+            records=self._records,
+            total_reports=self.collector.total_reports,
+            max_window_spend=self.accountant.max_window_spend,
+        )
+
+    def summary(self) -> dict:
+        """Running counters, available with or without a trace."""
+        steps = self.steps_observed
+        return {
+            "mechanism": self.mechanism.name,
+            "oracle": self.oracle.name,
+            "epsilon": self.epsilon,
+            "window": self.window,
+            "steps": steps,
+            "publications": self._publications,
+            "publication_rate": self._publications / max(1, steps),
+            "total_reports": self.total_reports,
+            "cfpu": (
+                self.total_reports / (self.dataset.n_users * steps)
+                if steps
+                else 0.0
+            ),
+            "max_window_spend": self.max_window_spend,
+        }
 
 
 def run_stream(
@@ -35,7 +281,7 @@ def run_stream(
     postprocess: str = "none",
     enforce_privacy: bool = True,
 ) -> SessionResult:
-    """Run one ``w``-event LDP streaming session.
+    """Run one ``w``-event LDP streaming session start-to-finish.
 
     Parameters
     ----------
@@ -47,7 +293,8 @@ def run_stream(
         The ``w``-event LDP parameters (total window budget and ``w``).
     horizon:
         Number of timestamps to run; defaults to the dataset's horizon
-        (required for unbounded streams).
+        (required for unbounded streams — drive a :class:`StreamSession`
+        directly for open-ended online ingestion).
     oracle:
         Frequency oracle name or instance (default GRR, as in the paper).
     seed:
@@ -74,54 +321,19 @@ def run_stream(
         )
     if steps <= 0:
         raise InvalidParameterError(f"horizon must be positive, got {steps}")
-
-    rng = ensure_rng(seed)
-    oracle = get_oracle(oracle)
-    mechanism = get_mechanism(mechanism)
-    postprocessor = get_postprocessor(postprocess)
-
-    mechanism.setup(
-        n_users=dataset.n_users,
-        domain_size=dataset.domain_size,
-        epsilon=epsilon,
-        window=window,
+    session = StreamSession(
+        mechanism,
+        dataset,
+        epsilon,
+        window,
+        horizon=steps,
         oracle=oracle,
-        rng=rng,
+        seed=seed,
+        fast=fast,
+        postprocess=postprocess,
+        enforce_privacy=enforce_privacy,
     )
-    accountant = WEventAccountant(
-        n_users=dataset.n_users,
-        epsilon=epsilon,
-        window=window,
-        enforce=enforce_privacy,
-    )
-    collector = Collector(
-        dataset=dataset, oracle=oracle, accountant=accountant, rng=rng, fast=fast
-    )
-
-    releases = np.empty((steps, dataset.domain_size), dtype=np.float64)
-    true_freqs = np.empty((steps, dataset.domain_size), dtype=np.float64)
-    records = []
+    session.start()
     for t in range(steps):
-        ctx = TimestepContext(collector, t)
-        record = mechanism.step(ctx)
-        if record.t != t:
-            raise InvalidParameterError(
-                f"{mechanism.name} returned record for t={record.t} at t={t}"
-            )
-        releases[t] = postprocessor(record.release)
-        true_freqs[t] = dataset.true_frequencies(t)
-        records.append(record)
-
-    return SessionResult(
-        mechanism=mechanism.name,
-        oracle=oracle.name,
-        epsilon=float(epsilon),
-        window=int(window),
-        n_users=dataset.n_users,
-        domain_size=dataset.domain_size,
-        releases=releases,
-        true_frequencies=true_freqs,
-        records=records,
-        total_reports=collector.total_reports,
-        max_window_spend=accountant.max_window_spend,
-    )
+        session.observe(t)
+    return session.finalize()

@@ -38,12 +38,14 @@ from .reporting import (
 from .parallel import (
     CellSpec,
     DatasetSpec,
+    coalesce_specs,
     evaluate_parallel,
     execute_cells,
     grid_specs,
     merge_grid,
     parallel_sweep,
     run_cell,
+    run_shared_pass,
 )
 from .runner import (
     CellResult,
@@ -67,6 +69,8 @@ __all__ = [
     "CellResult",
     "CellSpec",
     "DatasetSpec",
+    "coalesce_specs",
+    "run_shared_pass",
     "evaluate",
     "evaluate_parallel",
     "evaluate_repeat",

@@ -27,11 +27,24 @@ size/overrides + seed) rather than receiving pickled value matrices, so
 fanning out a paper-tier grid ships a few hundred bytes per job instead
 of gigabytes.  Passing a live :class:`~repro.streams.base.StreamDataset`
 still works — it is pickled to the workers — but specs are the fast path.
+
+Shared-pass coalescing
+----------------------
+Cells that target the same dataset no longer each re-simulate the stream:
+:func:`coalesce_specs` groups them and :func:`run_shared_pass` executes a
+group as one :class:`~repro.engine.SessionGroup` — a single pass over the
+stream whose per-timestamp values and true frequencies fan out to one
+:class:`~repro.engine.StreamSession` per (cell, repeat).  Each session is
+seeded with the exact coordinate-derived SeedSequence the solo path
+uses, so coalescing changes wall-clock only, never results.  A
+7-mechanism × 4-epsilon grid over one simulator-backed dataset becomes 1
+stream pass instead of 28 (see ``benchmarks/bench_shared_pass.py``).
 """
 
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -39,15 +52,18 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..analysis import ROCCurve, monitoring_roc
+from ..engine import SessionGroup
 from ..exceptions import InvalidParameterError
 from ..rng import SeedLike, as_seed_sequence, derive_seed, derive_seed_sequence
 from ..streams.base import StreamDataset
 from .datasets import make_dataset
 from .runner import (
     CellResult,
+    cell_from_session,
     evaluate,
     evaluate_repeat,
     merge_repeat_cells,
+    repeat_seed_sequences,
     run_single,
 )
 
@@ -214,21 +230,54 @@ def _oracle_key(oracle) -> str:
 # --------------------------------------------------------------------------
 # Cell execution
 
-#: Per-process cache of materialised DatasetSpec streams.  Bounded so a
-#: long campaign cannot pin every paper-tier value matrix in worker RAM.
-_DATASET_CACHE: Dict[DatasetSpec, StreamDataset] = {}
-_DATASET_CACHE_MAX = 4
+
+class _DatasetLRU:
+    """Small per-process LRU of materialised DatasetSpec streams.
+
+    Long campaigns visit many distinct datasets; an unbounded cache would
+    pin every paper-tier value matrix in worker RAM for the lifetime of
+    the pool.  The LRU keeps the handful of streams a figure's cells
+    revisit while letting cold ones be garbage collected.  Size is
+    tunable via ``REPRO_DATASET_CACHE`` (0 disables caching).
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[DatasetSpec, StreamDataset]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, spec: DatasetSpec) -> StreamDataset:
+        if self.maxsize <= 0:
+            self.misses += 1
+            return spec.build()
+        cached = self._entries.get(spec)
+        if cached is not None:
+            self._entries.move_to_end(spec)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        built = spec.build()
+        self._entries[spec] = built
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return built
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_DATASET_CACHE = _DatasetLRU(
+    maxsize=int(os.environ.get("REPRO_DATASET_CACHE", "4"))
+)
 
 
 def _materialize(dataset: Union[DatasetSpec, StreamDataset]) -> StreamDataset:
     if not isinstance(dataset, DatasetSpec):
         return dataset
-    cached = _DATASET_CACHE.get(dataset)
-    if cached is None:
-        if len(_DATASET_CACHE) >= _DATASET_CACHE_MAX:
-            _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
-        cached = _DATASET_CACHE[dataset] = dataset.build()
-    return cached
+    return _DATASET_CACHE.get_or_build(dataset)
 
 
 def run_cell(
@@ -290,34 +339,210 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return int(jobs)
 
 
+# --------------------------------------------------------------------------
+# Shared-pass coalescing
+#
+# Cells that target the same dataset re-simulate the same stream and
+# recompute the same true frequencies.  The coalescer folds such cells
+# into one job executed as a SessionGroup — a single pass over the stream
+# fanned out to one StreamSession per (cell, repeat), each with the exact
+# SeedSequence the solo path would derive.  Results are therefore
+# bit-identical to per-cell execution; only the wall-clock changes.
+
+def _dataset_key(spec: CellSpec):
+    """Hashable identity under which cells may share a stream pass."""
+    if isinstance(spec.dataset, DatasetSpec):
+        return spec.dataset
+    return id(spec.dataset)  # live stream: share only the same object
+
+
+def coalesce_specs(specs: Sequence[CellSpec]) -> List[List[int]]:
+    """Group spec indices by shared dataset, in first-seen order."""
+    groups: Dict[object, List[int]] = {}
+    order: List[object] = []
+    for index, spec in enumerate(specs):
+        key = _dataset_key(spec)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(index)
+    return [groups[key] for key in order]
+
+
+def _split_for_workers(groups: List[List[int]], jobs: int) -> List[List[int]]:
+    """Split the largest shared-pass groups until every worker has a job.
+
+    Sessions are seeded by coordinates, and stream replay is
+    bit-identical, so chunking a group re-runs the pass for the chunk
+    without changing any result — it only trades generation time for
+    parallelism when the grid has fewer datasets than workers.
+    """
+    groups = [list(group) for group in groups]
+    target = min(jobs, sum(len(group) for group in groups))
+    while len(groups) < target:
+        largest = max(range(len(groups)), key=lambda i: len(groups[i]))
+        group = groups[largest]
+        if len(group) <= 1:
+            break
+        mid = (len(group) + 1) // 2
+        groups[largest : largest + 1] = [group[:mid], group[mid:]]
+    return groups
+
+
+def run_shared_pass(
+    specs: Sequence[CellSpec], base_seed: SeedLike = 0
+) -> List[Union[CellResult, ROCCurve]]:
+    """Execute cells sharing one dataset over a single stream pass.
+
+    Every (cell, repeat) becomes one :class:`~repro.engine.SessionGroup`
+    session seeded with the exact SeedSequence the solo path derives
+    (``spec.seed_sequence(base)`` and its prefix-stable spawn children),
+    so each returned result is bit-identical to :func:`run_cell` on the
+    same spec.
+    """
+    if not specs:
+        return []
+    if len(specs) == 1 and specs[0].kind == "cell" and specs[0].repeats == 1:
+        # Nothing to share; keep the battle-tested solo path.
+        return [run_cell(specs[0], base_seed)]
+    base = as_seed_sequence(base_seed)
+    dataset = _materialize(specs[0].dataset)
+    group = SessionGroup(dataset)
+    plan: List[Tuple[CellSpec, int]] = []
+    for spec in specs:
+        seed = spec.seed_sequence(base)
+        if spec.kind == "roc":
+            group.add_session(
+                spec.mechanism,
+                spec.epsilon,
+                spec.window,
+                oracle=spec.oracle,
+                seed=np.random.default_rng(seed),
+                horizon=spec.horizon,
+            )
+            plan.append((spec, 1))
+        elif spec.kind != "cell":
+            raise InvalidParameterError(f"unknown cell kind {spec.kind!r}")
+        elif spec.repeat_index is not None:
+            if spec.repeat_index < 0:
+                raise InvalidParameterError(
+                    f"repeat index must be >= 0, got {spec.repeat_index}"
+                )
+            child = repeat_seed_sequences(seed, spec.repeat_index + 1)[
+                spec.repeat_index
+            ]
+            group.add_session(
+                spec.mechanism,
+                spec.epsilon,
+                spec.window,
+                oracle=spec.oracle,
+                seed=np.random.default_rng(child),
+                horizon=spec.horizon,
+            )
+            plan.append((spec, 1))
+        else:
+            if spec.repeats < 1:
+                raise InvalidParameterError(
+                    f"repeats must be >= 1, got {spec.repeats}"
+                )
+            for child in repeat_seed_sequences(seed, spec.repeats):
+                group.add_session(
+                    spec.mechanism,
+                    spec.epsilon,
+                    spec.window,
+                    oracle=spec.oracle,
+                    seed=np.random.default_rng(child),
+                    horizon=spec.horizon,
+                )
+            plan.append((spec, spec.repeats))
+    sessions = group.run()
+    results: List[Union[CellResult, ROCCurve]] = []
+    cursor = 0
+    for spec, count in plan:
+        chunk = sessions[cursor : cursor + count]
+        cursor += count
+        if spec.kind == "roc":
+            results.append(
+                monitoring_roc(chunk[0].releases, chunk[0].true_frequencies)
+            )
+        elif spec.repeat_index is not None:
+            results.append(
+                cell_from_session(
+                    chunk[0], spec.epsilon, spec.window, with_roc=spec.with_roc
+                )
+            )
+        else:
+            results.append(
+                merge_repeat_cells(
+                    [
+                        cell_from_session(
+                            result,
+                            spec.epsilon,
+                            spec.window,
+                            with_roc=spec.with_roc,
+                        )
+                        for result in chunk
+                    ]
+                )
+            )
+    return results
+
+
+def _run_group_job(job: Tuple[List[CellSpec], np.random.SeedSequence]):
+    """Top-level shared-pass worker entry point (must be picklable)."""
+    specs, base = job
+    return run_shared_pass(specs, base)
+
+
 def execute_cells(
     specs: Sequence[CellSpec],
     *,
     base_seed: SeedLike = 0,
     jobs: Optional[int] = 1,
+    coalesce: bool = True,
 ) -> List[Union[CellResult, ROCCurve]]:
     """Run every spec, returning results in spec order.
 
-    ``jobs <= 1`` runs inline; anything larger fans out over a process
-    pool.  Both paths call the same :func:`run_cell`, and each cell's
-    seed depends only on its coordinates, so the outputs are identical.
+    By default cells that share a dataset are coalesced into shared-pass
+    :class:`~repro.engine.SessionGroup` jobs (one stream pass fanned out
+    to every cell) — pass ``coalesce=False`` to force the historical
+    one-process-call-per-cell execution.  ``jobs <= 1`` runs inline;
+    anything larger fans the jobs out over a process pool.  All paths
+    derive each session's randomness from the cell's coordinates alone,
+    so the outputs are bit-identical regardless of worker count or
+    coalescing.
     """
     # Normalise entropy once in the parent so seed=None still gives every
     # cell a distinct (if irreproducible) stream under any worker count.
     base = as_seed_sequence(base_seed)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(specs) <= 1:
-        return [run_cell(spec, base) for spec in specs]
-    workers = min(jobs, len(specs))
-    chunksize = max(1, len(specs) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(
-            pool.map(
-                _run_cell_job,
-                [(spec, base) for spec in specs],
-                chunksize=chunksize,
+    if coalesce:
+        groups = coalesce_specs(specs)
+        if jobs > 1:
+            groups = _split_for_workers(groups, jobs)
+    else:
+        groups = [[index] for index in range(len(specs))]
+    results: List[Optional[Union[CellResult, ROCCurve]]] = [None] * len(specs)
+    if jobs <= 1 or len(groups) <= 1:
+        for group_indices in groups:
+            outputs = run_shared_pass(
+                [specs[index] for index in group_indices], base
             )
-        )
+            for index, output in zip(group_indices, outputs):
+                results[index] = output
+        return results
+    workers = min(jobs, len(groups))
+    payloads = [
+        ([specs[index] for index in group_indices], base)
+        for group_indices in groups
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for group_indices, outputs in zip(
+            groups, pool.map(_run_group_job, payloads, chunksize=1)
+        ):
+            for index, output in zip(group_indices, outputs):
+                results[index] = output
+    return results
 
 
 # --------------------------------------------------------------------------

@@ -187,6 +187,18 @@ def _evaluate_one(
         seed=np.random.default_rng(seed_seq),
         horizon=horizon,
     )
+    return cell_from_session(result, epsilon, window, with_roc=with_roc)
+
+
+def cell_from_session(
+    result: SessionResult, epsilon: float, window: int, *, with_roc: bool
+) -> CellResult:
+    """Compute one repeat's :class:`CellResult` from a finished session.
+
+    This is the single place session traces turn into cell metrics; the
+    serial evaluator and the shared-pass group executor both call it, so
+    their outputs cannot drift apart.
+    """
     auc = float("nan")
     if with_roc:
         try:

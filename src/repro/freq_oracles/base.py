@@ -119,6 +119,46 @@ class FrequencyOracle(abc.ABC):
         estimate is distributed exactly as ``aggregate(perturb(...))``.
         """
 
+    def sample_aggregate_batch(
+        self,
+        true_counts: np.ndarray,
+        epsilon: float,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """Sample many aggregation outcomes at once from a count matrix.
+
+        ``true_counts`` is a ``(B, d)`` matrix — one exact value
+        histogram per round (rows may have different totals).  Returns
+        the ``(B, d)`` matrix of unbiased frequency estimates, row ``b``
+        distributed exactly as ``sample_aggregate(true_counts[b], ...)``.
+
+        The base implementation loops row by row; OUE/SUE/GRR override
+        it with single batched binomial/multinomial draws.  This is a
+        standalone offline/replay API — e.g. for sampling estimates over
+        whole count blocks in analysis or benchmarking code — the
+        streaming engine itself still samples one collection round at a
+        time, because mechanisms decide each round adaptively.
+        """
+        counts = self._check_batch_counts(true_counts)
+        rng = ensure_rng(rng)
+        return np.stack(
+            [
+                self.sample_aggregate(row, epsilon, rng=rng).frequencies
+                for row in counts
+            ]
+        )
+
+    @staticmethod
+    def _check_batch_counts(true_counts: np.ndarray) -> np.ndarray:
+        counts = np.asarray(true_counts, dtype=np.int64)
+        if counts.ndim != 2:
+            raise InvalidParameterError(
+                f"true_counts must be a (B, d) matrix, got shape {counts.shape}"
+            )
+        if counts.size and counts.min() < 0:
+            raise InvalidParameterError("true_counts must be non-negative")
+        return counts
+
     # ------------------------------------------------------------------
     # Closed-form error model
     # ------------------------------------------------------------------

@@ -11,6 +11,7 @@ import math
 
 import numpy as np
 
+from ..exceptions import InvalidParameterError
 from ..rng import SeedLike, ensure_rng
 from .base import FOEstimate, FrequencyOracle, register_oracle
 from .variance import grr_mean_variance
@@ -89,6 +90,29 @@ class GRR(FrequencyOracle):
             epsilon=epsilon,
             variance=self.variance(epsilon, n, domain_size),
         )
+
+    def sample_aggregate_batch(self, true_counts, epsilon, rng: SeedLike = None):
+        epsilon = self._check_epsilon(epsilon)
+        counts = self._check_batch_counts(true_counts)
+        domain_size = self._check_domain(counts.shape[1])
+        rng = ensure_rng(rng)
+        n = counts.sum(axis=1, keepdims=True)
+        if counts.size and int(n.min()) <= 0:
+            raise InvalidParameterError("cannot aggregate zero reports")
+        p, q = grr_probabilities(epsilon, domain_size)
+        # Batched form of the single-round fast path: keeper binomials
+        # over the whole (B, d) matrix, then one broadcast multinomial —
+        # liars (B, d) against the (d, d) spread rows gives (B, d, d);
+        # summing over the source axis yields each round's liar spread.
+        keepers = rng.binomial(counts, p)
+        liars = counts - keepers
+        uniform_over_others = np.full(
+            (domain_size, domain_size), 1.0 / (domain_size - 1)
+        )
+        np.fill_diagonal(uniform_over_others, 0.0)
+        spread = rng.multinomial(liars, uniform_over_others)
+        perturbed = keepers + spread.sum(axis=1)
+        return (perturbed / n - q) / (p - q)
 
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         return grr_mean_variance(epsilon, n, domain_size)

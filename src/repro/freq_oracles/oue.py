@@ -13,6 +13,7 @@ import math
 
 import numpy as np
 
+from ..exceptions import InvalidParameterError
 from ..rng import SeedLike, ensure_rng
 from .base import FOEstimate, FrequencyOracle, register_oracle
 from .variance import oue_mean_variance
@@ -78,6 +79,21 @@ class OUE(FrequencyOracle):
             epsilon=epsilon,
             variance=self.variance(epsilon, n, domain_size),
         )
+
+    def sample_aggregate_batch(self, true_counts, epsilon, rng: SeedLike = None):
+        epsilon = self._check_epsilon(epsilon)
+        counts = self._check_batch_counts(true_counts)
+        self._check_domain(counts.shape[1])
+        rng = ensure_rng(rng)
+        n = counts.sum(axis=1, keepdims=True)
+        if counts.size and int(n.min()) <= 0:
+            raise InvalidParameterError("cannot aggregate zero reports")
+        p, q = oue_probabilities(epsilon)
+        # The single-round sampler is two binomials per histogram; bits
+        # are independent across rounds too, so one batched draw over the
+        # whole (B, d) matrix is exact.
+        ones = rng.binomial(counts, p) + rng.binomial(n - counts, q)
+        return (ones / n - q) / (p - q)
 
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         return oue_mean_variance(epsilon, n, domain_size)

@@ -27,12 +27,14 @@ from .traces import (
     save_value_matrix,
     stream_from_events,
 )
+from .online import OnlineStream
 from .windows import SlidingWindowSum
 
 __all__ = [
     "StreamDataset",
     "MaterializedStream",
     "GenerativeStream",
+    "OnlineStream",
     "MarkovValueProcess",
     "sample_categorical",
     "BinaryStream",

@@ -31,6 +31,10 @@ from ..exceptions import InvalidParameterError, StreamAccessError
 class StreamDataset(abc.ABC):
     """Interface shared by all stream datasets."""
 
+    #: Whether arbitrary timestamps can be read in any order (and hence
+    #: whether batched range queries can skip sequential generation).
+    random_access: bool = False
+
     def __init__(self, n_users: int, domain_size: int, horizon: Optional[int]):
         if n_users <= 0:
             raise InvalidParameterError(f"n_users must be positive, got {n_users}")
@@ -80,6 +84,26 @@ class StreamDataset(abc.ABC):
             np.int64
         )
 
+    def true_frequencies_range(self, t0: int, t1: int) -> np.ndarray:
+        """True frequency histograms for ``t0 <= t < t1``, shape (t1-t0, d).
+
+        Row ``i`` is bit-identical to ``true_frequencies(t0 + i)``.  The
+        base implementation walks timestamps one by one (the only legal
+        order for sequential generative streams); random-access datasets
+        override it with a vectorized batch, which is the fast path the
+        shared-pass :class:`~repro.engine.group.SessionGroup` driver and
+        chunked replay consumers use.
+        """
+        if t1 < t0:
+            raise StreamAccessError(
+                f"invalid range [{t0}, {t1}): end before start"
+            )
+        if t1 == t0:
+            return np.empty((0, self.domain_size), dtype=np.float64)
+        return np.stack(
+            [self.true_frequencies(t) for t in range(t0, t1)]
+        )
+
     def frequency_matrix(self, horizon: Optional[int] = None) -> np.ndarray:
         """Stack ``true_frequencies`` for ``t = 0..horizon-1`` into (T, d)."""
         steps = horizon if horizon is not None else self.horizon
@@ -87,7 +111,7 @@ class StreamDataset(abc.ABC):
             raise StreamAccessError(
                 "frequency_matrix needs an explicit horizon for unbounded streams"
             )
-        return np.stack([self.true_frequencies(t) for t in range(steps)])
+        return self.true_frequencies_range(0, steps)
 
     def _check_t(self, t: int) -> int:
         if t < 0:
@@ -101,6 +125,8 @@ class StreamDataset(abc.ABC):
 
 class MaterializedStream(StreamDataset):
     """A stream fully stored in memory as a ``(T, n_users)`` value matrix."""
+
+    random_access = True
 
     def __init__(self, values: np.ndarray, domain_size: Optional[int] = None):
         values = np.asarray(values)
@@ -118,6 +144,29 @@ class MaterializedStream(StreamDataset):
     def values(self, t: int) -> np.ndarray:
         t = self._check_t(t)
         return self._values[t]
+
+    def true_frequencies_range(self, t0: int, t1: int) -> np.ndarray:
+        """Vectorized batch histogram: one bincount for the whole range.
+
+        Each row's integer counts match the per-timestamp bincount
+        exactly, so dividing by ``n_users`` reproduces
+        :meth:`StreamDataset.true_frequencies` bit for bit.
+        """
+        if t1 < t0:
+            raise StreamAccessError(
+                f"invalid range [{t0}, {t1}): end before start"
+            )
+        if t1 == t0:
+            return np.empty((0, self.domain_size), dtype=np.float64)
+        self._check_t(t0)
+        self._check_t(t1 - 1)
+        d = self.domain_size
+        block = self._values[t0:t1]
+        offsets = np.arange(t1 - t0, dtype=np.int64)[:, None] * d
+        counts = np.bincount(
+            (block + offsets).ravel(), minlength=(t1 - t0) * d
+        ).reshape(t1 - t0, d)
+        return counts.astype(np.float64) / self.n_users
 
 
 class GenerativeStream(StreamDataset):

@@ -1,0 +1,92 @@
+"""Push-based stream for true online ingestion.
+
+:class:`OnlineStream` inverts the pull model of the other datasets: the
+engine does not *generate* timestamps, an external producer *pushes* them
+— a socket, a pipe into the ``repro stream`` CLI, a message queue.  The
+stream is unbounded (``horizon=None``) and retains only a small ring of
+recent snapshots, so an infinitely long session runs in constant memory.
+
+The retained window exists because the two-round adaptive mechanisms read
+the current timestamp's values more than once (M1 and M2), and a
+shared-pass driver may fan one snapshot out to many sessions; nothing in
+the engine ever looks further back than the current timestamp.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError, StreamAccessError
+from .base import StreamDataset
+
+
+class OnlineStream(StreamDataset):
+    """An unbounded stream fed one snapshot at a time via :meth:`push`.
+
+    Parameters
+    ----------
+    n_users:
+        Population size; every pushed snapshot must have this length.
+    domain_size:
+        Size of the categorical domain; pushed values must lie in
+        ``[0, domain_size)``.
+    retain:
+        Number of most recent snapshots kept readable (>= 1).
+    """
+
+    def __init__(self, n_users: int, domain_size: int, retain: int = 4):
+        super().__init__(n_users, domain_size, horizon=None)
+        if retain < 1:
+            raise InvalidParameterError(f"retain must be >= 1, got {retain}")
+        self._retain = int(retain)
+        self._snapshots: Deque[Tuple[int, np.ndarray]] = deque()
+        self._next_t = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pushed(self) -> int:
+        """Number of snapshots ingested so far (== next timestamp)."""
+        return self._next_t
+
+    def push(self, values) -> int:
+        """Ingest the next timestamp's user values; return its timestamp."""
+        values = np.asarray(values)
+        if values.ndim != 1 or values.shape[0] != self.n_users:
+            raise InvalidParameterError(
+                f"snapshot must be a ({self.n_users},) value array, got "
+                f"shape {values.shape}"
+            )
+        if values.size and (
+            values.min() < 0 or values.max() >= self.domain_size
+        ):
+            raise InvalidParameterError(
+                "snapshot values outside [0, domain_size)"
+            )
+        t = self._next_t
+        self._snapshots.append((t, values.astype(np.int64, copy=False)))
+        while len(self._snapshots) > self._retain:
+            self._snapshots.popleft()
+        self._next_t = t + 1
+        return t
+
+    # ------------------------------------------------------------------
+    def values(self, t: int) -> np.ndarray:
+        t = self._check_t(t)
+        for ts, snapshot in reversed(self._snapshots):
+            if ts == t:
+                return snapshot
+            if ts < t:
+                break
+        if t >= self._next_t:
+            raise StreamAccessError(
+                f"timestamp {t} has not been pushed yet (next is "
+                f"{self._next_t})"
+            )
+        raise StreamAccessError(
+            f"timestamp {t} was evicted from the online retention window "
+            f"(oldest retained: "
+            f"{self._snapshots[0][0] if self._snapshots else 'none'})"
+        )

@@ -122,3 +122,80 @@ class TestValidation:
     def test_bad_constructor_args(self, kwargs):
         with pytest.raises(InvalidParameterError):
             WEventAccountant(**kwargs)
+
+
+class TestWindowEdgeCases:
+    """Boundary regimes: w larger than the run, w == 1, and re-release
+    spend accounting exactly at the window boundary."""
+
+    def test_window_larger_than_horizon_never_evicts(self):
+        # w = 100 over a 10-step run: nothing ever leaves the window, so
+        # the whole run must fit inside one epsilon.
+        acc = WEventAccountant(n_users=5, epsilon=1.0, window=100)
+        for t in range(10):
+            acc.charge(t, None, 0.1)
+        assert acc.max_window_spend == pytest.approx(1.0)
+        acc2 = WEventAccountant(n_users=5, epsilon=1.0, window=100)
+        for t in range(10):
+            acc2.charge(t, None, 0.1)
+        with pytest.raises(PrivacyViolationError):
+            acc2.charge(10, None, 0.1)
+
+    def test_window_larger_than_horizon_via_mechanism(self):
+        """Uniform methods stay private even when w exceeds the horizon."""
+        from repro.engine import run_stream
+        from repro.streams import make_lns
+
+        dataset = make_lns(n_users=200, horizon=6, seed=1)
+        result = run_stream("LBU", dataset, epsilon=1.0, window=50, seed=0)
+        assert result.horizon == 6
+        assert result.max_window_spend <= 1.0 + 1e-9
+
+    def test_window_one_full_budget_every_timestamp(self):
+        # w = 1: each timestamp is its own window; full epsilon every t.
+        acc = WEventAccountant(n_users=5, epsilon=1.0, window=1)
+        for t in range(20):
+            acc.charge(t, None, 1.0)
+        assert acc.max_window_spend == pytest.approx(1.0)
+
+    def test_window_one_two_charges_same_timestamp_violate(self):
+        acc = WEventAccountant(n_users=5, epsilon=1.0, window=1)
+        acc.charge(0, None, 0.6)
+        with pytest.raises(PrivacyViolationError):
+            acc.charge(0, None, 0.6)
+
+    def test_window_one_via_mechanism(self):
+        from repro.engine import run_stream
+        from repro.streams import make_lns
+
+        dataset = make_lns(n_users=200, horizon=8, seed=1)
+        result = run_stream("LBU", dataset, epsilon=1.0, window=1, seed=0)
+        assert result.max_window_spend <= 1.0 + 1e-9
+
+    def test_re_release_exactly_at_window_boundary(self):
+        # A full-budget release at t may be repeated no earlier than
+        # t + w: at t + w - 1 the old charge is still inside the window.
+        acc = WEventAccountant(n_users=5, epsilon=1.0, window=4)
+        acc.charge(0, None, 1.0)
+        with pytest.raises(PrivacyViolationError):
+            acc.charge(3, None, 1.0)  # window [0..3] still holds t=0
+        acc = WEventAccountant(n_users=5, epsilon=1.0, window=4)
+        acc.charge(0, None, 1.0)
+        acc.charge(4, None, 1.0)  # window [1..4]: t=0 spend evicted
+        assert acc.max_window_spend == pytest.approx(1.0)
+        assert acc.window_spend(0) == pytest.approx(1.0)
+
+    def test_boundary_spend_recovers_incrementally(self):
+        # Partial spends expire charge by charge, not all at once.
+        acc = WEventAccountant(n_users=3, epsilon=1.0, window=3)
+        acc.charge(0, None, 0.5)
+        acc.charge(1, None, 0.5)  # window [/-1..1] holds 1.0 exactly
+        with pytest.raises(PrivacyViolationError):
+            acc.charge(2, None, 0.5)
+        acc = WEventAccountant(n_users=3, epsilon=1.0, window=3)
+        acc.charge(0, None, 0.5)
+        acc.charge(1, None, 0.5)
+        acc.charge(3, None, 0.5)  # t=0 expired, 1.0 in window [1..3]
+        assert acc.max_window_spend == pytest.approx(1.0)
+        with pytest.raises(PrivacyViolationError):
+            acc.charge(3, None, 0.1)  # anything more at t=3 violates

@@ -1,0 +1,211 @@
+"""Tests for shared-pass coalescing in the parallel experiment engine.
+
+Contract: coalescing cells that share a dataset into one SessionGroup
+pass changes wall-clock only — every result is bit-identical to per-cell
+execution (and hence to the serial pre-coalescing engine) at any worker
+count and any group split.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import (
+    CellSpec,
+    DatasetSpec,
+    coalesce_specs,
+    execute_cells,
+    grid_specs,
+    run_cell,
+    run_shared_pass,
+    sweep,
+)
+from repro.experiments.parallel import (
+    _DatasetLRU,
+    _split_for_workers,
+)
+from repro.streams import make_lns
+
+ALL_MECHANISMS = ("LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA")
+
+TINY = DatasetSpec.of("LNS", n_users=500, horizon=20, seed=11)
+TINY_SIM = DatasetSpec.of("Taxi", n_users=400, horizon=15, seed=11)
+
+CELL_FIELDS = (
+    "mechanism",
+    "epsilon",
+    "window",
+    "mre",
+    "mae",
+    "mse",
+    "cfpu",
+    "publication_rate",
+    "auc",
+    "repeats",
+)
+
+
+def assert_cells_identical(a, b):
+    for name in CELL_FIELDS:
+        x, y = getattr(a, name), getattr(b, name)
+        if isinstance(x, float) and math.isnan(x):
+            assert isinstance(y, float) and math.isnan(y), name
+        else:
+            assert x == y, f"{name}: {x!r} != {y!r}"
+
+
+class TestCoalescer:
+    def test_groups_by_dataset_spec(self):
+        other = DatasetSpec.of("LNS", n_users=500, horizon=20, seed=12)
+        specs = grid_specs(["LBU", "LPU"], TINY, epsilons=(1.0,)) + grid_specs(
+            ["LBU"], other, epsilons=(1.0,)
+        )
+        groups = coalesce_specs(specs)
+        assert [len(g) for g in groups] == [2, 1]
+        assert groups[0] == [0, 1]
+
+    def test_live_datasets_group_by_identity(self):
+        a = make_lns(n_users=100, horizon=10, seed=1)
+        b = make_lns(n_users=100, horizon=10, seed=1)
+        specs = [
+            CellSpec(mechanism="LBU", dataset=a, epsilon=1.0, window=5),
+            CellSpec(mechanism="LPU", dataset=a, epsilon=1.0, window=5),
+            CellSpec(mechanism="LBU", dataset=b, epsilon=1.0, window=5),
+        ]
+        assert [len(g) for g in coalesce_specs(specs)] == [2, 1]
+
+    def test_split_for_workers_balances(self):
+        groups = _split_for_workers([[0, 1, 2, 3, 4, 5, 6, 7]], 4)
+        assert len(groups) == 4
+        assert sorted(i for g in groups for i in g) == list(range(8))
+
+    def test_split_stops_at_singletons(self):
+        groups = _split_for_workers([[0], [1]], 8)
+        assert [len(g) for g in groups] == [1, 1]
+
+
+class TestSharedPassIdentity:
+    @pytest.mark.parametrize("mechanism", ALL_MECHANISMS)
+    def test_every_mechanism_matches_solo_cell(self, mechanism):
+        """Shared pass == per-cell run_cell, per mechanism, sim-backed."""
+        specs = grid_specs(
+            [mechanism], TINY_SIM, epsilons=(1.0,), windows=(5,), repeats=2
+        )
+        solo = [run_cell(spec, 3) for spec in specs]
+        shared = run_shared_pass(specs, 3)
+        for a, b in zip(solo, shared):
+            assert_cells_identical(a, b)
+
+    def test_full_grid_coalesced_vs_percell(self):
+        specs = grid_specs(
+            ALL_MECHANISMS, TINY_SIM, epsilons=(0.5, 1.0), windows=(5,)
+        )
+        per_cell = execute_cells(specs, base_seed=7, jobs=1, coalesce=False)
+        shared = execute_cells(specs, base_seed=7, jobs=1, coalesce=True)
+        workers = execute_cells(specs, base_seed=7, jobs=2, coalesce=True)
+        for a, b, c in zip(per_cell, shared, workers):
+            assert_cells_identical(a, b)
+            assert_cells_identical(a, c)
+
+    def test_roc_cells_in_shared_pass(self):
+        specs = [
+            CellSpec(
+                mechanism=m,
+                dataset=TINY,
+                epsilon=1.0,
+                window=5,
+                kind="roc",
+                tag="fig7",
+            )
+            for m in ("LBA", "LPA")
+        ]
+        solo = [run_cell(spec, 5) for spec in specs]
+        shared = run_shared_pass(specs, 5)
+        for a, b in zip(solo, shared):
+            assert a.auc == b.auc
+            assert np.array_equal(a.true_positive_rate, b.true_positive_rate)
+            assert np.array_equal(a.false_positive_rate, b.false_positive_rate)
+
+    def test_repeat_index_cells_in_shared_pass(self):
+        spec = CellSpec(
+            mechanism="LPD",
+            dataset=TINY,
+            epsilon=1.0,
+            window=5,
+            repeats=1,
+            repeat_index=2,
+            tag="evaluate",
+        )
+        assert_cells_identical(run_cell(spec, 9), run_shared_pass([spec, spec], 9)[0])
+
+    def test_mixed_kinds_one_pass(self):
+        cell = CellSpec(
+            mechanism="LBU", dataset=TINY, epsilon=1.0, window=5, repeats=2
+        )
+        roc = CellSpec(
+            mechanism="LBA", dataset=TINY, epsilon=1.0, window=5, kind="roc"
+        )
+        solo = [run_cell(cell, 2), run_cell(roc, 2)]
+        shared = run_shared_pass([cell, roc], 2)
+        assert_cells_identical(solo[0], shared[0])
+        assert solo[1].auc == shared[1].auc
+
+    def test_unknown_kind_rejected(self):
+        spec = CellSpec(
+            mechanism="LBU", dataset=TINY, epsilon=1.0, window=5, kind="nope"
+        )
+        with pytest.raises(InvalidParameterError):
+            run_shared_pass([spec, spec], 0)
+
+    def test_sweep_coalesced_matches_historical(self):
+        """End-to-end: sweep() (now coalesced) == forced per-cell grid."""
+        kwargs = dict(epsilons=(0.5, 1.0), windows=(5,), seed=3, repeats=2)
+        coalesced = sweep(["LBU", "LPA"], TINY, jobs=1, **kwargs)
+        specs = grid_specs(
+            ["LBU", "LPA"],
+            TINY,
+            epsilons=kwargs["epsilons"],
+            windows=kwargs["windows"],
+            repeats=2,
+        )
+        per_cell = execute_cells(specs, base_seed=3, jobs=1, coalesce=False)
+        for spec, cell in zip(specs, per_cell):
+            assert_cells_identical(
+                coalesced[str(spec.mechanism)][(spec.epsilon, spec.window)],
+                cell,
+            )
+
+
+class TestDatasetLRU:
+    def test_hit_refreshes_recency(self):
+        cache = _DatasetLRU(maxsize=2)
+        a = DatasetSpec.of("LNS", n_users=50, horizon=5, seed=1)
+        b = DatasetSpec.of("LNS", n_users=50, horizon=5, seed=2)
+        c = DatasetSpec.of("LNS", n_users=50, horizon=5, seed=3)
+        built_a = cache.get_or_build(a)
+        cache.get_or_build(b)
+        assert cache.get_or_build(a) is built_a  # hit refreshes a
+        cache.get_or_build(c)  # evicts b (least recently used), not a
+        assert cache.get_or_build(a) is built_a
+        assert cache.hits == 2
+
+    def test_bounded_size(self):
+        cache = _DatasetLRU(maxsize=2)
+        specs = [
+            DatasetSpec.of("LNS", n_users=50, horizon=5, seed=i)
+            for i in range(6)
+        ]
+        for spec in specs:
+            cache.get_or_build(spec)
+        assert len(cache._entries) == 2
+        assert cache.misses == 6
+
+    def test_zero_size_disables_caching(self):
+        cache = _DatasetLRU(maxsize=0)
+        spec = DatasetSpec.of("LNS", n_users=50, horizon=5, seed=1)
+        first = cache.get_or_build(spec)
+        second = cache.get_or_build(spec)
+        assert first is not second
+        assert len(cache._entries) == 0

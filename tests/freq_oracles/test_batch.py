@@ -1,0 +1,99 @@
+"""Tests for the batched count-level samplers (sample_aggregate_batch)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.freq_oracles import available_oracles, get_oracle
+
+VECTORIZED = ("grr", "oue", "sue")
+
+
+def _batch_counts(rng, batch=64, domain=6, n=4000):
+    probs = rng.dirichlet(np.ones(domain))
+    return rng.multinomial(n, probs, size=batch), probs
+
+
+class TestShapesAndErrors:
+    @pytest.mark.parametrize("name", sorted(available_oracles()))
+    def test_batch_shape(self, name, rng):
+        counts, _ = _batch_counts(rng, batch=8)
+        out = get_oracle(name).sample_aggregate_batch(counts, 1.0, rng=rng)
+        assert out.shape == counts.shape
+        assert out.dtype == np.float64
+
+    @pytest.mark.parametrize("name", VECTORIZED)
+    def test_rejects_non_matrix(self, name, rng):
+        oracle = get_oracle(name)
+        with pytest.raises(InvalidParameterError):
+            oracle.sample_aggregate_batch(np.array([1, 2, 3]), 1.0, rng=rng)
+
+    @pytest.mark.parametrize("name", VECTORIZED)
+    def test_rejects_zero_report_row(self, name, rng):
+        oracle = get_oracle(name)
+        counts = np.array([[2, 3], [0, 0]])
+        with pytest.raises(InvalidParameterError):
+            oracle.sample_aggregate_batch(counts, 1.0, rng=rng)
+
+    @pytest.mark.parametrize("name", VECTORIZED)
+    def test_rejects_negative_counts(self, name, rng):
+        oracle = get_oracle(name)
+        with pytest.raises(InvalidParameterError):
+            oracle.sample_aggregate_batch(np.array([[3, -1]]), 1.0, rng=rng)
+
+
+class TestStatisticalEquivalence:
+    @pytest.mark.parametrize("name", VECTORIZED)
+    def test_rows_unbiased(self, name, rng):
+        """Mean of the batch estimates converges to the true frequencies."""
+        counts, probs = _batch_counts(rng, batch=400, n=5000)
+        out = get_oracle(name).sample_aggregate_batch(counts, 1.0, rng=rng)
+        truth = counts / counts.sum(axis=1, keepdims=True)
+        assert np.abs(out.mean(axis=0) - truth.mean(axis=0)).max() < 0.02
+
+    @pytest.mark.parametrize("name", VECTORIZED)
+    def test_row_variance_matches_single_round(self, name, rng):
+        """Batch rows fluctuate like independent sample_aggregate calls."""
+        oracle = get_oracle(name)
+        row = np.full(4, 1000)
+        counts = np.tile(row, (300, 1))
+        batch = oracle.sample_aggregate_batch(counts, 1.0, rng=rng)
+        singles = np.stack(
+            [
+                oracle.sample_aggregate(row, 1.0, rng=rng).frequencies
+                for _ in range(300)
+            ]
+        )
+        batch_std = batch.std(axis=0)
+        single_std = singles.std(axis=0)
+        assert np.all(batch_std < 2.0 * single_std)
+        assert np.all(single_std < 2.0 * batch_std)
+
+    @pytest.mark.parametrize("name", VECTORIZED)
+    def test_mixed_row_totals(self, name, rng):
+        """Rows with different report counts debias independently."""
+        counts = np.array([[50, 25, 25], [5000, 2500, 2500]])
+        reps = np.stack(
+            [
+                get_oracle(name).sample_aggregate_batch(counts, 2.0, rng=rng)
+                for _ in range(200)
+            ]
+        )
+        means = reps.mean(axis=0)
+        assert np.abs(means - [0.5, 0.25, 0.25]).max() < 0.1
+
+    def test_base_fallback_matches_sequential_calls(self, rng):
+        """The base-class loop is literally sequential sample_aggregate."""
+        oracle = get_oracle("olh")
+        counts = np.array([[100, 50, 25], [10, 10, 10]])
+        a = oracle.sample_aggregate_batch(
+            counts, 1.0, rng=np.random.default_rng(7)
+        )
+        loop_rng = np.random.default_rng(7)
+        b = np.stack(
+            [
+                oracle.sample_aggregate(row, 1.0, rng=loop_rng).frequencies
+                for row in counts
+            ]
+        )
+        assert np.array_equal(a, b)

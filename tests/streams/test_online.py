@@ -1,0 +1,62 @@
+"""Unit tests for the push-based OnlineStream."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, StreamAccessError
+from repro.streams import OnlineStream
+
+
+class TestPush:
+    def test_push_assigns_sequential_timestamps(self):
+        stream = OnlineStream(n_users=4, domain_size=3)
+        assert stream.push([0, 1, 2, 0]) == 0
+        assert stream.push([1, 1, 1, 1]) == 1
+        assert stream.pushed == 2
+        assert stream.horizon is None
+
+    def test_values_roundtrip(self):
+        stream = OnlineStream(n_users=3, domain_size=5)
+        stream.push([4, 0, 2])
+        assert np.array_equal(stream.values(0), [4, 0, 2])
+        assert stream.values(0).dtype == np.int64
+
+    def test_wrong_shape_rejected(self):
+        stream = OnlineStream(n_users=3, domain_size=5)
+        with pytest.raises(InvalidParameterError):
+            stream.push([1, 2])
+        with pytest.raises(InvalidParameterError):
+            stream.push([[1, 2, 3]])
+
+    def test_out_of_domain_rejected(self):
+        stream = OnlineStream(n_users=2, domain_size=3)
+        with pytest.raises(InvalidParameterError):
+            stream.push([0, 3])
+        with pytest.raises(InvalidParameterError):
+            stream.push([-1, 0])
+
+    def test_true_frequencies_from_snapshot(self):
+        stream = OnlineStream(n_users=4, domain_size=2)
+        stream.push([0, 0, 1, 1])
+        assert np.allclose(stream.true_frequencies(0), [0.5, 0.5])
+
+
+class TestRetention:
+    def test_old_snapshots_evicted(self):
+        stream = OnlineStream(n_users=2, domain_size=2, retain=2)
+        for t in range(5):
+            stream.push([t % 2, t % 2])
+        assert np.array_equal(stream.values(4), [0, 0])
+        assert np.array_equal(stream.values(3), [1, 1])
+        with pytest.raises(StreamAccessError):
+            stream.values(2)
+
+    def test_future_access_rejected(self):
+        stream = OnlineStream(n_users=2, domain_size=2)
+        stream.push([0, 1])
+        with pytest.raises(StreamAccessError):
+            stream.values(1)
+
+    def test_retain_validated(self):
+        with pytest.raises(InvalidParameterError):
+            OnlineStream(n_users=2, domain_size=2, retain=0)

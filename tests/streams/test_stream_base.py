@@ -121,3 +121,48 @@ class TestGenerativeStream:
         with pytest.raises(StreamAccessError):
             stream.frequency_matrix()
         assert stream.frequency_matrix(horizon=3).shape == (3, 2)
+
+
+class TestTrueFrequenciesRange:
+    def test_materialized_matches_per_timestamp(self, rng):
+        values = rng.integers(0, 6, size=(15, 80))
+        stream = MaterializedStream(values, domain_size=6)
+        block = stream.true_frequencies_range(3, 11)
+        assert block.shape == (8, 6)
+        for i, t in enumerate(range(3, 11)):
+            assert np.array_equal(block[i], stream.true_frequencies(t))
+
+    def test_generative_fallback_matches_per_timestamp(self):
+        from repro.streams import TaxiSimulator
+
+        a = TaxiSimulator(n_users=100, horizon=10, seed=3)
+        block = a.true_frequencies_range(0, 10)
+        b = TaxiSimulator(n_users=100, horizon=10, seed=3)
+        for t in range(10):
+            assert np.array_equal(block[t], b.true_frequencies(t))
+
+    def test_empty_range(self, rng):
+        stream = MaterializedStream(rng.integers(0, 3, size=(5, 10)), 3)
+        assert stream.true_frequencies_range(2, 2).shape == (0, 3)
+
+    def test_invalid_range_rejected(self, rng):
+        stream = MaterializedStream(rng.integers(0, 3, size=(5, 10)), 3)
+        with pytest.raises(StreamAccessError):
+            stream.true_frequencies_range(3, 1)
+        with pytest.raises(StreamAccessError):
+            stream.true_frequencies_range(0, 6)
+
+    def test_frequency_matrix_uses_range(self, rng):
+        values = rng.integers(0, 4, size=(6, 30))
+        stream = MaterializedStream(values, domain_size=4)
+        assert np.array_equal(
+            stream.frequency_matrix(),
+            np.stack([stream.true_frequencies(t) for t in range(6)]),
+        )
+
+    def test_random_access_flags(self, rng):
+        from repro.streams import OnlineStream, TaxiSimulator
+
+        assert MaterializedStream(rng.integers(0, 3, size=(5, 10)), 3).random_access
+        assert not TaxiSimulator(n_users=10, horizon=5, seed=0).random_access
+        assert not OnlineStream(n_users=10, domain_size=3).random_access

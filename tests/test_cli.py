@@ -89,3 +89,133 @@ class TestFigureAndTable:
         out = capsys.readouterr().out
         assert "eps=1, w=20" in out
         assert "measured/paper" in out
+
+
+class TestStream:
+    @staticmethod
+    def _feed(monkeypatch, lines):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+
+    @staticmethod
+    def _snapshot_lines(n_lines=12, n_users=60, domain=3, sep=" "):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        return [
+            sep.join(str(v) for v in rng.integers(0, domain, size=n_users))
+            for _ in range(n_lines)
+        ]
+
+    def test_online_session_from_stdin(self, capsys, monkeypatch):
+        self._feed(monkeypatch, self._snapshot_lines())
+        code = main(
+            [
+                "stream",
+                "--method",
+                "LBD",
+                "--domain-size",
+                "3",
+                "--epsilon",
+                "1",
+                "--window",
+                "4",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        rows = [line for line in captured.out.splitlines() if line]
+        assert len(rows) == 12
+        first = rows[0].split(",")
+        assert first[0] == "0"
+        assert first[1] in ("publish", "approximate", "nullified")
+        assert len(first) == 2 + 3  # t, strategy, d release values
+        assert "online session: 12 steps" in captured.err
+        assert "max window spend" in captured.err
+
+    def test_trace_metrics_and_comma_input(self, capsys, monkeypatch):
+        self._feed(monkeypatch, self._snapshot_lines(sep=","))
+        code = main(
+            [
+                "stream",
+                "--method",
+                "LBU",
+                "--domain-size",
+                "3",
+                "--trace",
+                "--emit",
+                "none",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == ""
+        assert "MRE" in captured.err
+        assert "MSE" in captured.err
+
+    def test_max_steps_truncates(self, capsys, monkeypatch):
+        self._feed(monkeypatch, self._snapshot_lines(n_lines=20))
+        code = main(
+            [
+                "stream",
+                "--method",
+                "LPU",
+                "--domain-size",
+                "3",
+                "--max-steps",
+                "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len([line for line in captured.out.splitlines() if line]) == 5
+        assert "5 steps" in captured.err
+
+    def test_file_input(self, capsys, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("\n".join(self._snapshot_lines(n_lines=4)) + "\n")
+        code = main(
+            [
+                "stream",
+                "--method",
+                "LBU",
+                "--domain-size",
+                "3",
+                "--input",
+                str(path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len([line for line in captured.out.splitlines() if line]) == 4
+
+    def test_empty_input_is_error(self, capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(""))
+        code = main(["stream", "--method", "LBU", "--domain-size", "3"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no input" in captured.err
+
+    def test_bad_values_are_graceful(self, capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("0 1 9\n"))
+        code = main(["stream", "--method", "LBU", "--domain-size", "3"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("line", ["not a number", "0.5 1 2", "1 2 x"])
+    def test_non_integer_input_is_graceful(self, capsys, monkeypatch, line):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(line + "\n"))
+        code = main(["stream", "--method", "LBU", "--domain-size", "3"])
+        assert code == 2
+        assert "integer values" in capsys.readouterr().err
