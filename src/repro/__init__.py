@@ -29,12 +29,15 @@ Quickstart
 """
 
 from .engine import (
+    SessionGroup,
     SessionResult,
     StepRecord,
+    StreamSession,
     UserPool,
     WEventAccountant,
     run_stream,
 )
+from .query import IntervalEstimate, QueryEngine, ReleaseStore, TopKEntry
 from .extensions import LPF
 from .related import THRESH
 from .exceptions import (
@@ -81,10 +84,17 @@ __all__ = [
     "__version__",
     # engine
     "run_stream",
+    "StreamSession",
+    "SessionGroup",
     "SessionResult",
     "StepRecord",
     "WEventAccountant",
     "UserPool",
+    # query layer
+    "ReleaseStore",
+    "QueryEngine",
+    "IntervalEstimate",
+    "TopKEntry",
     # errors
     "ReproError",
     "InvalidParameterError",

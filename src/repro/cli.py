@@ -4,6 +4,8 @@ Commands
 --------
 ``run``       one streaming session; prints metrics, optionally saves JSON/CSV
 ``stream``    drive an online session from piped per-timestamp input
+``serve``     keep a session hot; answer JSON queries over a piped stream
+``query``     one-shot top-k/point/range/sliding queries on a finalized run
 ``figure``    regenerate a paper figure's series and print it as a table
 ``table2``    regenerate Table 2 (CFPU) with the paper's values side by side
 ``campaign``  regenerate every figure and table; write artifacts
@@ -22,6 +24,13 @@ a true unbounded online session over a
 :class:`~repro.streams.online.OnlineStream`; memory stays constant
 unless ``--trace`` asks for the full trace summary.
 
+``serve`` speaks line-delimited JSON on stdin/stdout: ``ingest``
+requests push timestamps into a hot session, query requests (``point``
+/ ``topk`` / ``range`` / ``sliding`` / ``summary``) are answered from a
+capacity-bounded :class:`~repro.query.ReleaseStore` — an unbounded
+standing query server in O(capacity · d) memory.  ``query`` answers the
+same queries one-shot against a run saved with ``run --save-json``.
+
 Examples
 --------
 ::
@@ -29,6 +38,8 @@ Examples
     python -m repro run --method LPA --dataset LNS --epsilon 1 --window 20
     python -m repro run --method LPA --repeats 8 --jobs 4
     generator | python -m repro stream --method LBD --domain-size 5 --epsilon 1 --window 20
+    mixed_feed | python -m repro serve --method LBD --domain-size 5 --epsilon 1 --window 20
+    python -m repro query session.json topk --k 3 --t 40
     python -m repro figure fig4 --size smoke --jobs 4
     python -m repro table2 --size smoke
     python -m repro campaign --size smoke --jobs 0 --out artifacts/
@@ -116,6 +127,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keep the full trace in memory and print error metrics at EOF "
         "(omit for constant-memory unbounded ingestion)",
     )
+
+    serve = sub.add_parser(
+        "serve", help="standing query server over a piped online stream"
+    )
+    serve.add_argument("--method", required=True, help="LBU/LSP/LBD/LBA/LPU/LPD/LPA/LPF")
+    serve.add_argument(
+        "--domain-size",
+        type=int,
+        required=True,
+        help="categorical domain size d of the incoming values",
+    )
+    serve.add_argument("--epsilon", type=float, default=1.0)
+    serve.add_argument("--window", type=int, default=20)
+    serve.add_argument("--oracle", default="grr")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--postprocess", default="none")
+    serve.add_argument(
+        "--capacity",
+        type=int,
+        default=256,
+        help="release ring-buffer size (0 = retain full history)",
+    )
+    serve.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence mass of every reported interval",
+    )
+    serve.add_argument(
+        "--input",
+        metavar="PATH",
+        default="-",
+        help="file with one JSON request per line ('-' = stdin)",
+    )
+
+    query = sub.add_parser(
+        "query", help="one-shot queries against a saved session JSON"
+    )
+    query.add_argument(
+        "run", metavar="RUN_JSON", help="session saved by `run --save-json`"
+    )
+    query.add_argument(
+        "op", choices=["point", "topk", "range", "sliding", "info"]
+    )
+    query.add_argument("--t", type=int, default=None, help="timestamp (default: last)")
+    query.add_argument("--item", type=int, default=None)
+    query.add_argument("--k", type=int, default=5)
+    query.add_argument("--lo", type=int, default=None)
+    query.add_argument("--hi", type=int, default=None)
+    query.add_argument("--t0", type=int, default=None)
+    query.add_argument("--t1", type=int, default=None)
+    query.add_argument(
+        "--agg", choices=["sum", "mean", "max"], default="mean"
+    )
+    query.add_argument("--confidence", type=float, default=0.95)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure series")
     figure.add_argument(
@@ -327,6 +393,234 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _serve_answer(engine, session, request: dict) -> dict:
+    """Answer one parsed ``serve`` request against the live engine."""
+    op = request.get("op")
+    t = request.get("t")
+    if op == "point":
+        answer = engine.point(request["item"], t=t).as_dict()
+        return {"op": op, "item": request["item"], **answer}
+    if op == "topk":
+        entries = engine.topk(request.get("k", 5), t=t)
+        return {"op": op, "items": [e.as_dict() for e in entries]}
+    if op == "range":
+        answer = engine.range_count(request["lo"], request["hi"], t=t)
+        return {
+            "op": op,
+            "lo": request["lo"],
+            "hi": request["hi"],
+            **answer.as_dict(),
+        }
+    if op == "sliding":
+        answer = engine.sliding(
+            request["t0"],
+            request["t1"],
+            request.get("agg", "sum"),
+            item=request["item"],
+        )
+        return {"op": op, "item": request["item"], **answer.as_dict()}
+    if op == "summary":
+        store = engine.store
+        return {
+            "op": op,
+            **session.summary(),
+            "retained": len(store),
+            "oldest_t": store.oldest_t,
+            "latest_t": store.latest_t,
+            "evicted": store.evicted,
+        }
+    raise InvalidParameterError(
+        f"unknown op {op!r}; expected ingest/point/topk/range/sliding/summary"
+    )
+
+
+def _cmd_serve(args) -> int:
+    """Standing query server: JSONL requests in, JSONL answers out."""
+    import contextlib
+    import json
+
+    from .engine import StreamSession
+    from .query import QueryEngine, ReleaseStore
+    from .streams import OnlineStream
+
+    from .freq_oracles import get_oracle
+    from .freq_oracles.postprocess import get_postprocessor
+    from .mechanisms import get_mechanism
+
+    if args.capacity < 0:
+        raise InvalidParameterError(
+            f"capacity must be >= 0, got {args.capacity}"
+        )
+    if args.domain_size < 2:
+        raise InvalidParameterError(
+            f"domain-size must be >= 2, got {args.domain_size}"
+        )
+    if args.epsilon <= 0:
+        raise InvalidParameterError(
+            f"epsilon must be positive, got {args.epsilon}"
+        )
+    if args.window < 1:
+        raise InvalidParameterError(
+            f"window must be >= 1, got {args.window}"
+        )
+    if not 0.0 < args.confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {args.confidence}"
+        )
+    # Fail fast on every configuration error (typo'd method/oracle/
+    # postprocess, out-of-range numerics) instead of emitting an error
+    # line per request and exiting 0.
+    get_mechanism(args.method)
+    get_oracle(args.oracle)
+    get_postprocessor(args.postprocess)
+    capacity = None if args.capacity == 0 else args.capacity
+    with contextlib.ExitStack() as stack:
+        if args.input == "-":
+            source = sys.stdin
+        else:
+            source = stack.enter_context(
+                open(args.input, "r", encoding="utf-8")
+            )
+        session: Optional[StreamSession] = None
+        stream: Optional[OnlineStream] = None
+        engine: Optional[QueryEngine] = None
+        handled = 0
+        for line in source:
+            if not line.strip():
+                continue
+            handled += 1
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise InvalidParameterError(
+                        "each request must be a JSON object"
+                    )
+                if request.get("op") == "ingest":
+                    values = [int(v) for v in request["values"]]
+                    if session is None:
+                        # Population size = whatever the first timestamp
+                        # carries, exactly like `repro stream`.
+                        stream = OnlineStream(
+                            n_users=len(values),
+                            domain_size=args.domain_size,
+                        )
+                        store = ReleaseStore(
+                            args.domain_size, capacity=capacity
+                        )
+                        session = StreamSession(
+                            args.method,
+                            stream,
+                            epsilon=args.epsilon,
+                            window=args.window,
+                            oracle=args.oracle,
+                            seed=args.seed,
+                            postprocess=args.postprocess,
+                            record_trace=False,
+                            store=store,
+                        ).start()
+                        engine = QueryEngine(
+                            store, confidence=args.confidence
+                        )
+                    t = stream.push(values)
+                    try:
+                        record = session.observe(t)
+                    except ReproError as error:
+                        # The stream advanced but the session did not (and
+                        # may have been left mid-step): the pair is
+                        # permanently desynchronized, so unlike bad
+                        # requests this is fatal.
+                        print(
+                            json.dumps(
+                                {
+                                    "error": f"{type(error).__name__}: "
+                                    f"{error}",
+                                    "fatal": True,
+                                }
+                            ),
+                            flush=True,
+                        )
+                        print(
+                            f"error: ingestion failed at t={t}; session "
+                            f"state is no longer consistent with the "
+                            f"stream: {error}",
+                            file=sys.stderr,
+                        )
+                        return 2
+                    answer = {
+                        "op": "ingest",
+                        "t": t,
+                        "strategy": record.strategy,
+                    }
+                elif session is None:
+                    raise InvalidParameterError(
+                        "no timestamps ingested yet; send an ingest "
+                        "request first"
+                    )
+                else:
+                    answer = _serve_answer(engine, session, request)
+            except (ReproError, KeyError, ValueError, TypeError) as error:
+                answer = {"error": f"{type(error).__name__}: {error}"}
+            print(json.dumps(answer), flush=True)
+        if not handled:
+            print("error: no requests received", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _cmd_query(args) -> int:
+    """One-shot queries over a finalized run saved with --save-json."""
+    import json
+
+    from .io import load_session
+    from .query import QueryEngine
+
+    result = load_session(args.run)
+    engine = QueryEngine.from_result(result, confidence=args.confidence)
+    if args.op == "info":
+        answer = {
+            "mechanism": result.mechanism,
+            "oracle": result.oracle,
+            "epsilon": result.epsilon,
+            "window": result.window,
+            "n_users": result.n_users,
+            "domain_size": result.domain_size,
+            "horizon": result.horizon,
+        }
+    elif args.op == "point":
+        if args.item is None:
+            raise InvalidParameterError("point queries need --item")
+        answer = {
+            "item": args.item,
+            **engine.point(args.item, t=args.t).as_dict(),
+        }
+    elif args.op == "topk":
+        answer = {
+            "items": [e.as_dict() for e in engine.topk(args.k, t=args.t)]
+        }
+    elif args.op == "range":
+        if args.lo is None or args.hi is None:
+            raise InvalidParameterError("range queries need --lo and --hi")
+        answer = {
+            "lo": args.lo,
+            "hi": args.hi,
+            **engine.range_count(args.lo, args.hi, t=args.t).as_dict(),
+        }
+    else:  # sliding
+        if args.item is None:
+            raise InvalidParameterError("sliding queries need --item")
+        t0 = 0 if args.t0 is None else args.t0
+        t1 = result.horizon - 1 if args.t1 is None else args.t1
+        answer = {
+            "item": args.item,
+            "t0": t0,
+            "t1": t1,
+            "agg": args.agg,
+            **engine.sliding(t0, t1, args.agg, item=args.item).as_dict(),
+        }
+    print(json.dumps(answer))
+    return 0
+
+
 def _cmd_figure(args) -> int:
     from .experiments import (
         fig4_utility_vs_epsilon,
@@ -432,6 +726,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "figure": _cmd_figure,
         "table2": _cmd_table2,
         "campaign": _cmd_campaign,

@@ -39,6 +39,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..query.store import ReleaseStore
 from ..rng import SeedLike
 from ..streams.base import GenerativeStream, StreamDataset
 from .records import SessionResult
@@ -93,13 +94,17 @@ class SessionGroup:
         fast: bool = True,
         postprocess: str = "none",
         enforce_privacy: bool = True,
+        store: Optional[ReleaseStore] = None,
     ) -> StreamSession:
         """Register one session on the shared pass and return it.
 
         ``seed`` must be session-private (an int, SeedSequence, or a
         dedicated Generator) — handing several sessions the same live
         Generator would interleave their draws and break the solo
-        equivalence.
+        equivalence.  ``store`` attaches a session-private
+        :class:`~repro.query.ReleaseStore` the session publishes into
+        during the pass (one store per session — stores track a single
+        release sequence).
         """
         if self._ran:
             raise InvalidParameterError(
@@ -125,9 +130,30 @@ class SessionGroup:
             fast=fast,
             postprocess=postprocess,
             enforce_privacy=enforce_privacy,
+            store=store,
         )
         self._sessions.append(session)
         return session
+
+    def attach_stores(
+        self, capacity: Optional[int] = None
+    ) -> List[ReleaseStore]:
+        """Fan one release store out to every registered session.
+
+        Sessions that already own a store keep it; the returned list has
+        one store per session, in ``add_session`` order, so callers can
+        stand a :class:`~repro.query.QueryEngine` over each.
+        """
+        if self._ran:
+            raise InvalidParameterError(
+                "cannot attach stores after the group has run"
+            )
+        stores: List[ReleaseStore] = []
+        for session in self._sessions:
+            if session.store is None:
+                session.attach_store(capacity)
+            stores.append(session.store)
+        return stores
 
     def __len__(self) -> int:
         return len(self._sessions)

@@ -36,6 +36,8 @@ from ..exceptions import InvalidParameterError
 from ..freq_oracles import get_oracle
 from ..freq_oracles.postprocess import get_postprocessor
 from ..mechanisms.base import StreamMechanism, get_mechanism
+from ..query.propagation import PRIOR_VARIANCE, next_release_variance
+from ..query.store import ReleaseStore
 from ..rng import SeedLike, ensure_rng
 from ..streams.base import StreamDataset
 from .accountant import WEventAccountant
@@ -57,6 +59,13 @@ class StreamSession:
         :meth:`finalize` (default).  Disable for unbounded online
         sessions so memory stays O(1); running counters and
         :meth:`summary` remain available.
+    store:
+        Optional :class:`~repro.query.ReleaseStore` the session
+        publishes every (postprocessed) release into, along with its
+        variance-propagation metadata — the substrate for live
+        :class:`~repro.query.QueryEngine` queries.  A capacity-bounded
+        store plus ``record_trace=False`` serves standing queries over
+        an unbounded stream in O(capacity · d) memory.
 
     Lifecycle: ``start()`` → ``observe(t)`` for t = 0, 1, 2, ... →
     ``finalize()``.  Timestamps must be observed in order, exactly once.
@@ -76,10 +85,16 @@ class StreamSession:
         postprocess: str = "none",
         enforce_privacy: bool = True,
         record_trace: bool = True,
+        store: Optional[ReleaseStore] = None,
     ):
         if horizon is not None and horizon <= 0:
             raise InvalidParameterError(
                 f"horizon must be positive, got {horizon}"
+            )
+        if store is not None and store.domain_size != dataset.domain_size:
+            raise InvalidParameterError(
+                f"store domain_size {store.domain_size} != dataset "
+                f"domain_size {dataset.domain_size}"
             )
         # Resolution order matches the historical run_stream loop exactly;
         # nothing here draws from the RNG, but keeping the order frozen
@@ -95,6 +110,8 @@ class StreamSession:
         self.fast = bool(fast)
         self.enforce_privacy = bool(enforce_privacy)
         self.record_trace = bool(record_trace)
+        self.store = store
+        self._release_variance = PRIOR_VARIANCE
 
         self.accountant: Optional[WEventAccountant] = None
         self.collector: Optional[Collector] = None
@@ -128,6 +145,22 @@ class StreamSession:
         return 0.0 if self.accountant is None else self.accountant.max_window_spend
 
     # ------------------------------------------------------------------
+    def attach_store(self, capacity: Optional[int] = None) -> ReleaseStore:
+        """Create, attach and return a release store for this session.
+
+        Must run before the first :meth:`observe` so the store sees the
+        whole stream (ring eviction then bounds what it *retains*, not
+        what it saw).  ``capacity=None`` retains the full history.
+        """
+        if self.store is not None:
+            raise InvalidParameterError("session already has a store")
+        if self._next_t:
+            raise InvalidParameterError(
+                "attach_store() must run before the first observe()"
+            )
+        self.store = ReleaseStore(self.dataset.domain_size, capacity=capacity)
+        return self.store
+
     def start(self) -> "StreamSession":
         """Initialise mechanism, accountant and collector state."""
         if self._started:
@@ -194,13 +227,26 @@ class StreamSession:
             )
         if record.strategy == STRATEGY_PUBLISH:
             self._publications += 1
-        if self.record_trace:
-            # Postprocessing and the truth histogram only feed the trace;
-            # trace-free online sessions skip both so each step is O(1)
-            # beyond the mechanism's own work.
+        if self.record_trace or self.store is not None:
+            # Postprocessing and the truth histogram only feed the trace
+            # and the query store; trace-free, store-free online sessions
+            # skip both so each step is O(1) beyond the mechanism's work.
             release = np.asarray(
                 self.postprocessor(record.release), dtype=np.float64
             )
+        if self.store is not None:
+            self._release_variance = next_release_variance(
+                self.oracle,
+                record.strategy,
+                record.publication_epsilon,
+                record.publication_users,
+                self.dataset.domain_size,
+                self._release_variance,
+            )
+            self.store.append(
+                t, release, self._release_variance, record.strategy
+            )
+        if self.record_trace:
             if true_frequencies is None:
                 true_frequencies = self.dataset.true_frequencies(t)
             self._releases.append(release.copy())

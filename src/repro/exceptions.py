@@ -31,3 +31,16 @@ class PopulationExhaustedError(ReproError):
 
 class StreamAccessError(ReproError):
     """A stream was accessed out of order or outside its valid horizon."""
+
+
+class EvictedSpanError(ReproError):
+    """A query touched timestamps already evicted from a bounded
+    :class:`repro.query.ReleaseStore` ring buffer.
+
+    Carries ``oldest`` (the oldest timestamp still retained, or ``None``
+    for an empty store) so callers can clamp and retry.
+    """
+
+    def __init__(self, message: str, oldest=None):
+        super().__init__(message)
+        self.oldest = oldest

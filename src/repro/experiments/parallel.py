@@ -184,9 +184,14 @@ class CellSpec:
     kind: str = "cell"
     tag: str = ""
     repeat_index: Optional[int] = None
+    #: Record top-k heavy-hitter precision alongside full-vector error.
+    #: Pure trace post-processing: deliberately excluded from
+    #: ``seed_keys`` so toggling it never changes any random draw.
+    query_k: Optional[int] = None
 
     def seed_keys(self) -> Tuple[Union[int, float, str], ...]:
-        """The cell's seeding coordinates (excludes ``repeat_index``)."""
+        """The cell's seeding coordinates (excludes ``repeat_index``
+        and ``query_k``)."""
         if isinstance(self.dataset, DatasetSpec):
             dataset_keys = self.dataset.seed_keys()
         else:  # live dataset: identify by its observable shape
@@ -310,6 +315,7 @@ def run_cell(
             seed=seed,
             with_roc=spec.with_roc,
             horizon=spec.horizon,
+            query_k=spec.query_k,
         )
     return evaluate(
         spec.mechanism,
@@ -321,6 +327,7 @@ def run_cell(
         repeats=spec.repeats,
         with_roc=spec.with_roc,
         horizon=spec.horizon,
+        query_k=spec.query_k,
     )
 
 
@@ -468,7 +475,11 @@ def run_shared_pass(
         elif spec.repeat_index is not None:
             results.append(
                 cell_from_session(
-                    chunk[0], spec.epsilon, spec.window, with_roc=spec.with_roc
+                    chunk[0],
+                    spec.epsilon,
+                    spec.window,
+                    with_roc=spec.with_roc,
+                    query_k=spec.query_k,
                 )
             )
         else:
@@ -480,6 +491,7 @@ def run_shared_pass(
                             spec.epsilon,
                             spec.window,
                             with_roc=spec.with_roc,
+                            query_k=spec.query_k,
                         )
                         for result in chunk
                     ]
@@ -559,6 +571,7 @@ def grid_specs(
     with_roc: bool = False,
     horizon: Optional[int] = None,
     tag: str = "sweep",
+    query_k: Optional[int] = None,
 ) -> List[CellSpec]:
     """Decompose a sweep grid into its cell jobs (row-major order)."""
     dataset = as_dataset_spec(dataset)
@@ -573,6 +586,7 @@ def grid_specs(
             with_roc=with_roc,
             horizon=horizon,
             tag=tag,
+            query_k=query_k,
         )
         for mechanism in mechanisms
         for epsilon in epsilons
@@ -602,6 +616,7 @@ def parallel_sweep(
     repeats: int = 1,
     with_roc: bool = False,
     jobs: Optional[int] = 1,
+    query_k: Optional[int] = None,
 ) -> Dict[str, Dict[tuple, CellResult]]:
     """Grid sweep through the parallel engine (see :func:`runner.sweep`)."""
     seed = as_seed_sequence(seed)
@@ -613,6 +628,7 @@ def parallel_sweep(
         oracle=oracle,
         repeats=repeats,
         with_roc=with_roc,
+        query_k=query_k,
     )
     cells = execute_cells(specs, base_seed=seed, jobs=jobs)
     return merge_grid(specs, cells)
@@ -631,6 +647,7 @@ def evaluate_parallel(
     horizon: Optional[int] = None,
     jobs: Optional[int] = 1,
     tag: str = "evaluate",
+    query_k: Optional[int] = None,
 ) -> CellResult:
     """One cell, with its repeats optionally split across workers.
 
@@ -649,6 +666,7 @@ def evaluate_parallel(
         with_roc=with_roc,
         horizon=horizon,
         tag=tag,
+        query_k=query_k,
     )
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or repeats <= 1:

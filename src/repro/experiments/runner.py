@@ -30,6 +30,7 @@ from ..analysis import (
     mean_squared_error,
     monitoring_roc,
 )
+from ..analysis.topk import topk_precision as _topk_precision
 from ..engine import SessionResult, run_stream
 from ..exceptions import InvalidParameterError
 from ..rng import SeedLike, as_seed_sequence
@@ -38,7 +39,15 @@ from ..streams.base import GenerativeStream, StreamDataset
 
 @dataclass
 class CellResult:
-    """Averaged metrics for one experiment grid cell."""
+    """Averaged metrics for one experiment grid cell.
+
+    ``topk_precision`` is the query-level utility of the released stream
+    — mean per-timestamp overlap between the released and true top-k
+    heavy-hitter sets — populated when the cell ran with a ``query_k``
+    (NaN otherwise).  Full-vector error (MRE/MAE/MSE) measures the whole
+    histogram; top-k precision measures what a dashboard consumer of the
+    query layer actually sees.
+    """
 
     mechanism: str
     epsilon: float
@@ -49,6 +58,7 @@ class CellResult:
     cfpu: float
     publication_rate: float
     auc: float = float("nan")
+    topk_precision: float = float("nan")
     repeats: int = 1
 
     def as_dict(self) -> Dict[str, float]:
@@ -59,6 +69,7 @@ class CellResult:
             "cfpu": self.cfpu,
             "publication_rate": self.publication_rate,
             "auc": self.auc,
+            "topk_precision": self.topk_precision,
         }
 
 
@@ -112,8 +123,15 @@ def evaluate(
     repeats: int = 1,
     with_roc: bool = False,
     horizon: Optional[int] = None,
+    query_k: Optional[int] = None,
 ) -> CellResult:
-    """Run ``repeats`` sessions and average all metrics."""
+    """Run ``repeats`` sessions and average all metrics.
+
+    ``query_k`` additionally scores the released stream's top-``k``
+    heavy-hitter precision (query-level utility); it is pure
+    post-processing of the trace, so setting it never changes any other
+    metric or any random draw.
+    """
     if repeats < 1:
         raise InvalidParameterError(f"repeats must be >= 1, got {repeats}")
     children = repeat_seed_sequences(seed, repeats)
@@ -127,6 +145,7 @@ def evaluate(
             seed_seq=child,
             with_roc=with_roc,
             horizon=horizon,
+            query_k=query_k,
         )
         for child in children
     ]
@@ -143,6 +162,7 @@ def evaluate_repeat(
     seed: SeedLike = None,
     with_roc: bool = False,
     horizon: Optional[int] = None,
+    query_k: Optional[int] = None,
 ) -> CellResult:
     """Run repeat ``index`` of the cell :func:`evaluate` would run.
 
@@ -163,6 +183,7 @@ def evaluate_repeat(
         seed_seq=child,
         with_roc=with_roc,
         horizon=horizon,
+        query_k=query_k,
     )
 
 
@@ -176,6 +197,7 @@ def _evaluate_one(
     seed_seq: np.random.SeedSequence,
     with_roc: bool,
     horizon: Optional[int],
+    query_k: Optional[int] = None,
 ) -> CellResult:
     """One repeat of a cell, seeded by an explicit SeedSequence."""
     result = run_single(
@@ -187,11 +209,18 @@ def _evaluate_one(
         seed=np.random.default_rng(seed_seq),
         horizon=horizon,
     )
-    return cell_from_session(result, epsilon, window, with_roc=with_roc)
+    return cell_from_session(
+        result, epsilon, window, with_roc=with_roc, query_k=query_k
+    )
 
 
 def cell_from_session(
-    result: SessionResult, epsilon: float, window: int, *, with_roc: bool
+    result: SessionResult,
+    epsilon: float,
+    window: int,
+    *,
+    with_roc: bool,
+    query_k: Optional[int] = None,
 ) -> CellResult:
     """Compute one repeat's :class:`CellResult` from a finished session.
 
@@ -205,6 +234,11 @@ def cell_from_session(
             auc = monitoring_roc(result.releases, result.true_frequencies).auc
         except InvalidParameterError:
             pass  # degenerate truth (no events); AUC stays NaN
+    topk = float("nan")
+    if query_k is not None:
+        topk = _topk_precision(
+            result.releases, result.true_frequencies, query_k
+        )
     return CellResult(
         mechanism=result.mechanism,
         epsilon=float(epsilon),
@@ -215,6 +249,7 @@ def cell_from_session(
         cfpu=result.cfpu,
         publication_rate=result.publication_rate,
         auc=auc,
+        topk_precision=topk,
         repeats=1,
     )
 
@@ -241,6 +276,9 @@ def merge_repeat_cells(cells: List[CellResult]) -> CellResult:
                 f"{(first.mechanism, first.epsilon, first.window)}"
             )
     aucs = [c.auc for c in cells if not np.isnan(c.auc)]
+    topks = [
+        c.topk_precision for c in cells if not np.isnan(c.topk_precision)
+    ]
     return CellResult(
         mechanism=first.mechanism,
         epsilon=first.epsilon,
@@ -251,6 +289,7 @@ def merge_repeat_cells(cells: List[CellResult]) -> CellResult:
         cfpu=float(np.mean([c.cfpu for c in cells])),
         publication_rate=float(np.mean([c.publication_rate for c in cells])),
         auc=float(np.mean(aucs)) if aucs else float("nan"),
+        topk_precision=float(np.mean(topks)) if topks else float("nan"),
         repeats=sum(c.repeats for c in cells),
     )
 
@@ -266,6 +305,7 @@ def sweep(
     repeats: int = 1,
     with_roc: bool = False,
     jobs: Optional[int] = 1,
+    query_k: Optional[int] = None,
 ) -> Dict[str, Dict[tuple, CellResult]]:
     """Full grid: mechanism × epsilon × window → :class:`CellResult`.
 
@@ -277,6 +317,8 @@ def sweep(
     the grid fans out over worker processes; every cell's randomness is
     derived from ``seed`` and the cell's coordinates alone, so results
     are bit-identical to the serial path (and to any other worker count).
+    ``query_k`` records per-cell top-k heavy-hitter precision (a pure
+    trace post-processing step — it changes no random draw).
     """
     from .parallel import parallel_sweep
 
@@ -290,4 +332,5 @@ def sweep(
         repeats=repeats,
         with_roc=with_roc,
         jobs=jobs,
+        query_k=query_k,
     )

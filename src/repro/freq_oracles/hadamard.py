@@ -23,6 +23,7 @@ import math
 
 import numpy as np
 
+from ..exceptions import InvalidParameterError
 from ..rng import SeedLike, ensure_rng
 from .base import FOEstimate, FrequencyOracle, register_oracle
 
@@ -126,6 +127,28 @@ class HadamardResponse(FrequencyOracle):
             epsilon=epsilon,
             variance=self.variance(epsilon, n, domain_size),
         )
+
+    def sample_aggregate_batch(self, true_counts, epsilon, rng: SeedLike = None):
+        epsilon = self._check_epsilon(epsilon)
+        counts = self._check_batch_counts(true_counts)
+        self._check_domain(counts.shape[1])
+        rng = ensure_rng(rng)
+        n = counts.sum(axis=1, keepdims=True)
+        if counts.size and int(n.min()) <= 0:
+            raise InvalidParameterError("cannot aggregate zero reports")
+        p = hr_probability(epsilon)
+        # Interleaved (B, 2, d) stack replays the single-round draw order
+        # (own-support p-draws, then other-support 1/2-draws, per row in
+        # C order), making the batch bit-identical to sequential
+        # sample_aggregate calls on the same generator — same trick as
+        # OLH.sample_aggregate_batch.
+        trials = np.stack([counts, n - counts], axis=1)
+        probs = np.broadcast_to(
+            np.array([p, 0.5]).reshape(1, 2, 1), trials.shape
+        )
+        draws = rng.binomial(trials, probs)
+        supports = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
+        return (supports / n - 0.5) / (p - 0.5)
 
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         p = hr_probability(epsilon)

@@ -17,6 +17,7 @@ import math
 
 import numpy as np
 
+from ..exceptions import InvalidParameterError
 from ..rng import SeedLike, ensure_rng
 from .base import FOEstimate, FrequencyOracle, register_oracle
 from .variance import olh_mean_variance
@@ -111,6 +112,32 @@ class OLH(FrequencyOracle):
             epsilon=epsilon,
             variance=self.variance(epsilon, n, domain_size),
         )
+
+    def sample_aggregate_batch(self, true_counts, epsilon, rng: SeedLike = None):
+        epsilon = self._check_epsilon(epsilon)
+        counts = self._check_batch_counts(true_counts)
+        self._check_domain(counts.shape[1])
+        rng = ensure_rng(rng)
+        n = counts.sum(axis=1, keepdims=True)
+        if counts.size and int(n.min()) <= 0:
+            raise InvalidParameterError("cannot aggregate zero reports")
+        g = olh_hash_range(epsilon)
+        e = math.exp(epsilon)
+        p = e / (e + g - 1)
+        q = 1.0 / g
+        # One element-wise binomial over a (B, 2, d) stack replays the
+        # single-round sampler's draw order exactly — row b's own-support
+        # draws (prob p) come right before its other-support draws
+        # (prob q), in C order — so this is *bit-identical* to calling
+        # sample_aggregate per row on the same generator, not merely
+        # distributionally equal.
+        trials = np.stack([counts, n - counts], axis=1)
+        probs = np.broadcast_to(
+            np.array([p, q]).reshape(1, 2, 1), trials.shape
+        )
+        draws = rng.binomial(trials, probs)
+        supports = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
+        return (supports / n - q) / (p - q)
 
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         return olh_mean_variance(epsilon, n, domain_size)

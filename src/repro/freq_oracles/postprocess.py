@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..exceptions import InvalidParameterError
+
 
 def clip(frequencies: np.ndarray) -> np.ndarray:
     """Clamp estimated frequencies into [0, 1]."""
@@ -90,6 +92,9 @@ def get_postprocessor(name: str):
     try:
         return _POSTPROCESSORS[name]
     except KeyError:
-        raise ValueError(
+        # InvalidParameterError subclasses ValueError, so existing
+        # ``except ValueError`` callers keep working while the CLI's
+        # ReproError handler reports it gracefully.
+        raise InvalidParameterError(
             f"unknown postprocessor {name!r}; available: {sorted(_POSTPROCESSORS)}"
         ) from None

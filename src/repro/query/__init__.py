@@ -1,0 +1,32 @@
+"""Online query layer over released estimates.
+
+The mechanisms exist to *answer queries* over private streams; this
+package is the serving surface that makes that real:
+
+* :class:`ReleaseStore` — memory-bounded ring buffer of released
+  histograms that sessions publish into (prefix sums, publication-group
+  correlation tracking, optional full-history retention);
+* :class:`QueryEngine` — point frequency, top-k heavy hitters,
+  categorical range counts, and sliding-window aggregates, each with a
+  variance-propagated confidence interval from the closed-form oracle
+  variances.
+
+Attach a store to a live :class:`~repro.engine.session.StreamSession`
+(``store=`` argument, or ``SessionGroup.add_session(..., store=...)``)
+or rebuild one from a finalized run with
+:meth:`QueryEngine.from_result`.  The ``repro serve`` and ``repro
+query`` CLI commands expose both paths; see ``docs/QUERIES.md``.
+"""
+
+from .engine import IntervalEstimate, QueryEngine, TopKEntry
+from .propagation import PRIOR_VARIANCE, next_release_variance
+from .store import ReleaseStore
+
+__all__ = [
+    "ReleaseStore",
+    "QueryEngine",
+    "IntervalEstimate",
+    "TopKEntry",
+    "PRIOR_VARIANCE",
+    "next_release_variance",
+]

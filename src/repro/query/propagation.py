@@ -1,0 +1,49 @@
+"""Variance bookkeeping rules shared by live sessions and replayed runs.
+
+The query layer attaches one scalar to every stored release: the mean
+per-cell estimation variance ``V(eps, n)`` of the oracle round that
+produced it (:mod:`repro.freq_oracles.variance`).  The rule for deriving
+it from a step record lives here — in one place — so a live
+:class:`~repro.engine.session.StreamSession` publishing into a store and
+:meth:`~repro.query.engine.QueryEngine.from_result` rebuilding one from a
+saved run produce bit-identical variance tracks.
+
+The recorded variance is always the *raw estimator's* ``V(eps, n)``;
+postprocessing consistency steps (clip / normalise / norm-sub /
+simplex projection) are variance-reducing projections with no closed
+form, so sessions running ``postprocess != "none"`` store conservative
+(wide) variances for their projected releases.  Documented in
+``docs/QUERIES.md``.
+"""
+
+from __future__ import annotations
+
+from ..freq_oracles.base import FrequencyOracle
+
+#: Variance of the deterministic zero prior released before any
+#: publication (Algorithms 1-4 set r_0 = <0, ..., 0>).
+PRIOR_VARIANCE = 0.0
+
+
+def next_release_variance(
+    oracle: FrequencyOracle,
+    strategy: str,
+    publication_epsilon: float,
+    publication_users: int,
+    domain_size: int,
+    last_variance: float,
+) -> float:
+    """Variance of the release produced by one mechanism step.
+
+    A fresh publication's variance is the oracle's closed-form
+    ``V(eps_pub, n_pub)``.  Approximations and nullified steps re-release
+    the previous histogram — the *same* realised noise — so they carry
+    the previous variance forward unchanged (and stay in the previous
+    publication's correlation group; see
+    :meth:`repro.query.store.ReleaseStore.span_publication_groups`).
+    """
+    if strategy == "publish" and publication_users > 0 and publication_epsilon > 0:
+        return oracle.variance(
+            publication_epsilon, publication_users, domain_size
+        )
+    return last_variance

@@ -1,0 +1,274 @@
+"""Memory-bounded store of released estimates, the substrate of queries.
+
+A streaming session *releases* one histogram per timestamp; the query
+layer needs those releases organised for random access, window
+arithmetic, and error propagation — without forcing an unbounded online
+session to hoard its whole history.  :class:`ReleaseStore` is that
+substrate:
+
+* a **ring buffer** of the last ``capacity`` releases (``capacity=None``
+  retains the full history, for offline / finalized-run queries);
+* per-timestamp **prefix sums** of the release vectors, stored inside
+  each slot, so any in-retention span's *sum/mean estimate* is O(d)
+  regardless of span length;
+* per-timestamp **publication ids**: re-released (approximate /
+  nullified) timestamps repeat the *same* noisy histogram as the last
+  publication, so their errors are perfectly correlated — the engine
+  uses the ids to propagate variance correctly across spans (a single
+  O(span-length) scan of the grouping, see
+  :meth:`ReleaseStore.span_publication_groups`).
+
+Sessions publish into a store from
+:meth:`repro.engine.session.StreamSession.observe`; nothing in here
+imports the engine, so the store is equally usable standalone (e.g.
+rebuilt from a saved :class:`~repro.engine.records.SessionResult` by
+:meth:`repro.query.engine.QueryEngine.from_result`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import islice
+from typing import Deque, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import EvictedSpanError, InvalidParameterError
+
+
+class _Slot:
+    """One retained timestamp: release row + running accumulators."""
+
+    __slots__ = ("t", "release", "variance", "strategy", "publication_id",
+                 "cum_release")
+
+    def __init__(self, t, release, variance, strategy, publication_id,
+                 cum_release):
+        self.t = t
+        self.release = release
+        self.variance = variance
+        self.strategy = strategy
+        self.publication_id = publication_id
+        self.cum_release = cum_release
+
+
+class ReleaseStore:
+    """Ring buffer of released estimates with prefix-sum accumulators.
+
+    Parameters
+    ----------
+    domain_size:
+        Length ``d`` of every released histogram.
+    capacity:
+        Maximum number of timestamps retained (``>= 1``).  ``None``
+        retains everything — use for finalized runs; bounded online
+        sessions should set a ring size so memory stays O(capacity · d).
+
+    Timestamps must be appended in order starting at 0, mirroring the
+    session's ``observe`` contract.  Queries may address any retained
+    timestamp; touching an evicted one raises
+    :class:`~repro.exceptions.EvictedSpanError`.
+    """
+
+    def __init__(self, domain_size: int, capacity: Optional[int] = None):
+        if domain_size < 2:
+            raise InvalidParameterError(
+                f"domain_size must be >= 2, got {domain_size}"
+            )
+        if capacity is not None and capacity < 1:
+            raise InvalidParameterError(
+                f"capacity must be >= 1 or None, got {capacity}"
+            )
+        self.domain_size = int(domain_size)
+        self.capacity = None if capacity is None else int(capacity)
+        self._slots: Deque[_Slot] = deque()
+        self._next_t = 0
+        self._evicted = 0
+        self._publications = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        t: int,
+        release: np.ndarray,
+        variance: float,
+        strategy: str,
+        *,
+        fresh_publication: Optional[bool] = None,
+    ) -> None:
+        """Publish timestamp ``t``'s released histogram into the store.
+
+        ``variance`` is the mean per-cell estimation variance of this
+        release (the oracle's ``V(eps, n)``; ``nan`` if unknown).
+        ``fresh_publication`` defaults to ``strategy == "publish"`` and
+        controls the publication-id grouping used for correlated error
+        propagation.
+        """
+        if t != self._next_t:
+            raise InvalidParameterError(
+                f"releases must be appended in order: expected t="
+                f"{self._next_t}, got t={t}"
+            )
+        release = np.asarray(release, dtype=np.float64)
+        if release.shape != (self.domain_size,):
+            raise InvalidParameterError(
+                f"release must have shape ({self.domain_size},), got "
+                f"{release.shape}"
+            )
+        if fresh_publication is None:
+            fresh_publication = strategy == "publish"
+        if fresh_publication:
+            self._publications += 1
+        if self._slots:
+            cum_release = self._slots[-1].cum_release + release
+        else:
+            cum_release = release.copy()
+        self._slots.append(
+            _Slot(
+                t=t,
+                release=release.copy(),
+                variance=float(variance),
+                strategy=str(strategy),
+                # id 0 = the zero prior before any publication.
+                publication_id=self._publications,
+                cum_release=cum_release,
+            )
+        )
+        if self.capacity is not None:
+            while len(self._slots) > self.capacity:
+                self._slots.popleft()
+                self._evicted += 1
+        self._next_t = t + 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def latest_t(self) -> Optional[int]:
+        """Most recent retained timestamp (``None`` if empty)."""
+        return self._slots[-1].t if self._slots else None
+
+    @property
+    def oldest_t(self) -> Optional[int]:
+        """Oldest retained timestamp (``None`` if empty)."""
+        return self._slots[0].t if self._slots else None
+
+    @property
+    def evicted(self) -> int:
+        """Number of timestamps dropped off the ring so far."""
+        return self._evicted
+
+    @property
+    def publication_count(self) -> int:
+        """Fresh publications seen over the whole stream (not just retained)."""
+        return self._publications
+
+    # ------------------------------------------------------------------
+    # Slot access
+    # ------------------------------------------------------------------
+    def _slot(self, t: int) -> _Slot:
+        if not isinstance(t, (int, np.integer)):
+            raise InvalidParameterError(f"timestamp must be an int, got {t!r}")
+        t = int(t)
+        if t < 0 or t >= self._next_t:
+            raise InvalidParameterError(
+                f"timestamp {t} outside the observed range "
+                f"[0, {self._next_t})"
+            )
+        oldest = self.oldest_t
+        if oldest is None or t < oldest:
+            raise EvictedSpanError(
+                f"timestamp {t} was evicted from the release ring "
+                f"(oldest retained: {oldest})",
+                oldest=oldest,
+            )
+        return self._slots[t - oldest]
+
+    def release_at(self, t: int) -> np.ndarray:
+        """The released histogram ``r_t`` (a copy)."""
+        return self._slot(t).release.copy()
+
+    def variance_at(self, t: int) -> float:
+        """Mean per-cell estimation variance of the release at ``t``."""
+        return self._slot(t).variance
+
+    def strategy_at(self, t: int) -> str:
+        """``publish`` / ``approximate`` / ``nullified`` at ``t``."""
+        return self._slot(t).strategy
+
+    def publication_id_at(self, t: int) -> int:
+        """Correlation group of ``t``'s release (shared by re-releases)."""
+        return self._slot(t).publication_id
+
+    # ------------------------------------------------------------------
+    # Span access
+    # ------------------------------------------------------------------
+    def _check_span(self, t0: int, t1: int) -> Tuple[int, int]:
+        if not (
+            isinstance(t0, (int, np.integer))
+            and isinstance(t1, (int, np.integer))
+        ):
+            raise InvalidParameterError(
+                f"span bounds must be ints, got ({t0!r}, {t1!r})"
+            )
+        t0, t1 = int(t0), int(t1)
+        if t0 > t1:
+            raise InvalidParameterError(
+                f"span must satisfy t0 <= t1, got [{t0}, {t1}]"
+            )
+        self._slot(t0)  # raises EvictedSpanError / range errors
+        self._slot(t1)
+        return t0, t1
+
+    def _iter_span(self, t0: int, t1: int) -> Iterator[_Slot]:
+        """Slots for a checked span, one O(span) pass (no per-t indexing —
+        ``deque[i]`` costs O(distance-from-end), which would make long
+        spans quadratic)."""
+        oldest = self.oldest_t
+        return islice(self._slots, t0 - oldest, t1 - oldest + 1)
+
+    def window_sum(self, t0: int, t1: int) -> np.ndarray:
+        """``Σ_{t0 <= t <= t1} r_t`` via prefix sums — O(d), any span length."""
+        t0, t1 = self._check_span(t0, t1)
+        first = self._slot(t0)
+        last = self._slot(t1)
+        return last.cum_release - first.cum_release + first.release
+
+    def span_releases(self, t0: int, t1: int) -> np.ndarray:
+        """The ``(t1 - t0 + 1, d)`` release block (copies, retained only)."""
+        t0, t1 = self._check_span(t0, t1)
+        return np.stack([slot.release for slot in self._iter_span(t0, t1)])
+
+    def span_variances(self, t0: int, t1: int) -> np.ndarray:
+        """Per-timestamp variances over the span, one O(span) pass."""
+        t0, t1 = self._check_span(t0, t1)
+        return np.array(
+            [slot.variance for slot in self._iter_span(t0, t1)]
+        )
+
+    def span_publication_groups(
+        self, t0: int, t1: int
+    ) -> List[Tuple[int, int, float]]:
+        """``(publication_id, n_timestamps, variance)`` per group in span.
+
+        Re-released timestamps repeat the same noisy histogram, so the
+        span decomposes into runs sharing one publication's noise.  The
+        query engine turns this into the exact correlated variance
+        ``Σ_groups n² · var`` of a span sum.  One O(span-length) scan;
+        the group count is bounded by the publication count, which the
+        adaptive mechanisms keep low by design.
+        """
+        t0, t1 = self._check_span(t0, t1)
+        groups: List[Tuple[int, int, float]] = []
+        for slot in self._iter_span(t0, t1):
+            if groups and groups[-1][0] == slot.publication_id:
+                pid, count, var = groups[-1]
+                groups[-1] = (pid, count + 1, var)
+            else:
+                groups.append((slot.publication_id, 1, slot.variance))
+        return groups

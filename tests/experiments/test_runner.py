@@ -43,7 +43,15 @@ class TestEvaluate:
     def test_as_dict(self, small_binary_stream):
         cell = evaluate("LPU", small_binary_stream, 1.0, 5, seed=0)
         d = cell.as_dict()
-        assert set(d) == {"mre", "mae", "mse", "cfpu", "publication_rate", "auc"}
+        assert set(d) == {
+            "mre",
+            "mae",
+            "mse",
+            "cfpu",
+            "publication_rate",
+            "auc",
+            "topk_precision",
+        }
 
 
 class TestSweep:

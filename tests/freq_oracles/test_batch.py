@@ -5,8 +5,11 @@ import pytest
 
 from repro.exceptions import InvalidParameterError
 from repro.freq_oracles import available_oracles, get_oracle
+from repro.freq_oracles.base import FrequencyOracle
 
-VECTORIZED = ("grr", "oue", "sue")
+VECTORIZED = ("grr", "oue", "sue", "olh", "hr")
+#: Oracles whose batch sampler replays the per-round draw order exactly.
+BIT_IDENTICAL = ("olh", "hr")
 
 
 def _batch_counts(rng, batch=64, domain=6, n=4000):
@@ -84,7 +87,28 @@ class TestStatisticalEquivalence:
 
     def test_base_fallback_matches_sequential_calls(self, rng):
         """The base-class loop is literally sequential sample_aggregate."""
-        oracle = get_oracle("olh")
+
+        class LoopOnly(FrequencyOracle):
+            """GRR facade that only inherits the base batch fallback."""
+
+            name = "loop-only"
+
+            def __init__(self):
+                self._grr = get_oracle("grr")
+
+            def perturb(self, values, domain_size, epsilon, rng=None):
+                return self._grr.perturb(values, domain_size, epsilon, rng)
+
+            def aggregate(self, reports, domain_size, epsilon):
+                return self._grr.aggregate(reports, domain_size, epsilon)
+
+            def sample_aggregate(self, true_counts, epsilon, rng=None):
+                return self._grr.sample_aggregate(true_counts, epsilon, rng)
+
+            def variance(self, epsilon, n, domain_size):
+                return self._grr.variance(epsilon, n, domain_size)
+
+        oracle = LoopOnly()
         counts = np.array([[100, 50, 25], [10, 10, 10]])
         a = oracle.sample_aggregate_batch(
             counts, 1.0, rng=np.random.default_rng(7)
@@ -97,3 +121,49 @@ class TestStatisticalEquivalence:
             ]
         )
         assert np.array_equal(a, b)
+
+
+class TestBitIdentity:
+    """OLH/HR batch samplers replay the per-timestamp path exactly.
+
+    Their interleaved (B, 2, d) binomial stack consumes the generator in
+    the same element order as row-by-row sample_aggregate calls, so the
+    outputs are bit-identical — replaying a stream range through the
+    batch API gives byte-for-byte the estimates the streaming engine
+    would have produced round by round.
+    """
+
+    @pytest.mark.parametrize("name", BIT_IDENTICAL)
+    @pytest.mark.parametrize("epsilon", [0.4, 1.0, 2.7])
+    def test_batch_equals_per_round_path(self, name, epsilon, rng):
+        oracle = get_oracle(name)
+        counts = rng.multinomial(4000, rng.dirichlet(np.ones(9)), size=32)
+        batch = oracle.sample_aggregate_batch(
+            counts, epsilon, rng=np.random.default_rng(123)
+        )
+        loop_rng = np.random.default_rng(123)
+        rounds = np.stack(
+            [
+                oracle.sample_aggregate(
+                    row, epsilon, rng=loop_rng
+                ).frequencies
+                for row in counts
+            ]
+        )
+        assert np.array_equal(batch, rounds)
+
+    @pytest.mark.parametrize("name", BIT_IDENTICAL)
+    def test_mixed_row_totals_stay_identical(self, name):
+        oracle = get_oracle(name)
+        counts = np.array([[50, 25, 25], [5000, 2500, 2500], [1, 1, 1]])
+        batch = oracle.sample_aggregate_batch(
+            counts, 1.0, rng=np.random.default_rng(9)
+        )
+        loop_rng = np.random.default_rng(9)
+        rounds = np.stack(
+            [
+                oracle.sample_aggregate(row, 1.0, rng=loop_rng).frequencies
+                for row in counts
+            ]
+        )
+        assert np.array_equal(batch, rounds)

@@ -1,0 +1,215 @@
+"""QueryEngine math: interval propagation, ties, ranges, sliding spans."""
+
+import numpy as np
+import pytest
+from statistics import NormalDist
+
+from repro.exceptions import EvictedSpanError, InvalidParameterError
+from repro.query import IntervalEstimate, QueryEngine, ReleaseStore
+
+Z95 = NormalDist().inv_cdf(0.975)
+
+
+def _store(rows, variances, strategies=None):
+    store = ReleaseStore(rows.shape[1])
+    for t, row in enumerate(rows):
+        strat = "publish" if strategies is None else strategies[t]
+        store.append(t, row, variances[t], strat)
+    return store
+
+
+@pytest.fixture
+def simple_engine(rng):
+    rows = rng.random((20, 6))
+    variances = np.full(20, 0.04)
+    return QueryEngine(_store(rows, variances)), rows, variances
+
+
+class TestPoint:
+    def test_estimate_and_interval(self, simple_engine):
+        engine, rows, variances = simple_engine
+        answer = engine.point(3, t=7)
+        assert answer.estimate == rows[7, 3]
+        assert answer.stderr == pytest.approx(np.sqrt(variances[7]))
+        half = Z95 * answer.stderr
+        assert answer.ci_low == pytest.approx(answer.estimate - half)
+        assert answer.ci_high == pytest.approx(answer.estimate + half)
+
+    def test_defaults_to_latest(self, simple_engine):
+        engine, rows, _ = simple_engine
+        assert engine.point(0).estimate == rows[19, 0]
+
+    def test_item_bounds(self, simple_engine):
+        engine, _, _ = simple_engine
+        with pytest.raises(InvalidParameterError):
+            engine.point(6)
+        with pytest.raises(InvalidParameterError):
+            engine.point(-1)
+
+    def test_confidence_scales_interval(self, rng):
+        rows = rng.random((5, 4))
+        store = _store(rows, np.full(5, 0.09))
+        wide = QueryEngine(store, confidence=0.99).point(1)
+        narrow = QueryEngine(store, confidence=0.5).point(1)
+        assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
+
+    def test_invalid_confidence_rejected(self, rng):
+        store = _store(rng.random((2, 4)), np.full(2, 0.1))
+        with pytest.raises(InvalidParameterError):
+            QueryEngine(store, confidence=1.0)
+
+
+class TestTopK:
+    def test_ranked_descending(self, simple_engine):
+        engine, rows, _ = simple_engine
+        entries = engine.topk(3, t=5)
+        assert [e.rank for e in entries] == [1, 2, 3]
+        values = [e.interval.estimate for e in entries]
+        assert values == sorted(values, reverse=True)
+        assert entries[0].item == int(np.argmax(rows[5]))
+
+    def test_ties_break_toward_smaller_item(self):
+        rows = np.array([[0.25, 0.5, 0.5, 0.25, 0.5]])
+        engine = QueryEngine(_store(rows, [0.01]))
+        items = [e.item for e in engine.topk(3, t=0)]
+        assert items == [1, 2, 4]
+
+    def test_k_bounds(self, simple_engine):
+        engine, _, _ = simple_engine
+        with pytest.raises(InvalidParameterError):
+            engine.topk(0)
+        with pytest.raises(InvalidParameterError):
+            engine.topk(7)
+
+    def test_k_equals_domain_is_full_ranking(self, simple_engine):
+        engine, rows, _ = simple_engine
+        items = [e.item for e in engine.topk(6, t=0)]
+        assert sorted(items) == list(range(6))
+
+
+class TestRange:
+    def test_sum_and_variance_scale(self, simple_engine):
+        engine, rows, variances = simple_engine
+        answer = engine.range_count(1, 4, t=3)
+        assert answer.estimate == pytest.approx(rows[3, 1:4].sum())
+        assert answer.stderr == pytest.approx(np.sqrt(3 * variances[3]))
+
+    def test_empty_range_is_zero_with_zero_width(self, simple_engine):
+        engine, _, _ = simple_engine
+        answer = engine.range_count(2, 2)
+        assert answer.estimate == 0.0
+        assert answer.stderr == 0.0
+        assert answer.ci_low == answer.ci_high == 0.0
+
+    def test_full_domain_range(self, simple_engine):
+        engine, rows, _ = simple_engine
+        assert engine.range_count(0, 6, t=0).estimate == pytest.approx(
+            rows[0].sum()
+        )
+
+    def test_invalid_bounds(self, simple_engine):
+        engine, _, _ = simple_engine
+        for lo, hi in [(-1, 3), (2, 7), (4, 2)]:
+            with pytest.raises(InvalidParameterError):
+                engine.range_count(lo, hi)
+
+
+class TestSliding:
+    def test_sum_mean_match_naive(self, rng):
+        rows = rng.random((25, 4))
+        engine = QueryEngine(_store(rows, np.full(25, 0.01)))
+        total = engine.sliding(4, 18, "sum", item=2)
+        mean = engine.sliding(4, 18, "mean", item=2)
+        assert total.estimate == pytest.approx(rows[4:19, 2].sum())
+        assert mean.estimate == pytest.approx(rows[4:19, 2].mean())
+        assert mean.stderr == pytest.approx(total.stderr / 15)
+
+    def test_max_picks_cellwise_max_and_its_variance(self, rng):
+        rows = rng.random((10, 3))
+        variances = np.linspace(0.01, 0.1, 10)
+        engine = QueryEngine(_store(rows, variances))
+        answer = engine.sliding(2, 9, "max", item=1)
+        arg = 2 + int(np.argmax(rows[2:10, 1]))
+        assert answer.estimate == rows[arg, 1]
+        assert answer.stderr == pytest.approx(np.sqrt(variances[arg]))
+
+    def test_independent_publications_variance_adds(self):
+        rows = np.ones((4, 3))
+        variances = [0.1, 0.2, 0.3, 0.4]
+        engine = QueryEngine(_store(rows, variances))  # all fresh publishes
+        answer = engine.sliding(0, 3, "sum", item=0)
+        assert answer.stderr == pytest.approx(np.sqrt(sum(variances)))
+
+    def test_rerelease_correlation_squares_run_length(self):
+        # One publication repeated 4 times: the same realised noise is
+        # summed 4x, so sd(sum) = 4·sd, not sqrt(4)·sd.
+        rows = np.ones((4, 3))
+        strategies = ["publish"] + ["approximate"] * 3
+        variances = [0.09] * 4
+        engine = QueryEngine(_store(rows, variances, strategies))
+        answer = engine.sliding(0, 3, "sum", item=0)
+        assert answer.stderr == pytest.approx(4 * 0.3)
+        # Against the (wrong) independence figure sqrt(4)*0.3:
+        assert answer.stderr > np.sqrt(4) * 0.3
+
+    def test_mixed_groups(self):
+        strategies = ["publish", "approximate", "publish", "approximate"]
+        variances = [0.04, 0.04, 0.01, 0.01]
+        engine = QueryEngine(_store(np.ones((4, 3)), variances, strategies))
+        answer = engine.sliding(0, 3, "sum", item=0)
+        assert answer.stderr == pytest.approx(
+            np.sqrt(4 * 0.04 + 4 * 0.01)  # 2²·v1 + 2²·v2
+        )
+
+    def test_single_timestamp_span(self, rng):
+        rows = rng.random((5, 3))
+        engine = QueryEngine(_store(rows, np.full(5, 0.25)))
+        answer = engine.sliding(2, 2, "mean", item=0)
+        assert answer.estimate == rows[2, 0]
+        assert answer.stderr == pytest.approx(0.5)
+
+    def test_span_crossing_eviction_raises(self, rng):
+        rows = rng.random((30, 3))
+        store = ReleaseStore(3, capacity=5)
+        for t, row in enumerate(rows):
+            store.append(t, row, 0.1, "publish")
+        engine = QueryEngine(store)
+        for agg in ("sum", "mean", "max"):
+            with pytest.raises(EvictedSpanError):
+                engine.sliding(0, 29, agg, item=0)
+        # Clamped to the ring it works.
+        assert engine.sliding(25, 29, "sum", item=0).estimate == pytest.approx(
+            rows[25:, 0].sum()
+        )
+
+    def test_requires_item_and_valid_agg(self, simple_engine):
+        engine, _, _ = simple_engine
+        with pytest.raises(InvalidParameterError):
+            engine.sliding(0, 5, "sum")
+        with pytest.raises(InvalidParameterError):
+            engine.sliding(0, 5, "median", item=0)
+
+    def test_vector_form_matches_scalar(self, rng):
+        rows = rng.random((12, 4))
+        engine = QueryEngine(_store(rows, np.full(12, 0.02)))
+        estimates, stderrs = engine.sliding_vector(1, 9, "mean")
+        for item in range(4):
+            scalar = engine.sliding(1, 9, "mean", item=item)
+            assert estimates[item] == pytest.approx(scalar.estimate)
+            assert stderrs[item] == pytest.approx(scalar.stderr)
+
+
+class TestEmptyStore:
+    def test_latest_resolution_fails_gracefully(self):
+        engine = QueryEngine(ReleaseStore(4))
+        with pytest.raises(InvalidParameterError):
+            engine.point(0)
+
+
+class TestIntervalEstimate:
+    def test_as_dict_roundtrip(self):
+        iv = IntervalEstimate(estimate=0.4, stderr=0.1, confidence=0.95)
+        payload = iv.as_dict()
+        assert payload["estimate"] == 0.4
+        assert payload["ci"] == [iv.ci_low, iv.ci_high]
+        assert iv.ci_low == pytest.approx(0.4 - Z95 * 0.1)

@@ -1,0 +1,162 @@
+"""The query layer wired through live sessions, groups, and saved runs."""
+
+import numpy as np
+import pytest
+
+from repro.engine import SessionGroup, StreamSession, run_stream
+from repro.exceptions import InvalidParameterError
+from repro.mechanisms import available_mechanisms
+from repro.query import PRIOR_VARIANCE, QueryEngine, ReleaseStore
+from repro.streams import OnlineStream
+
+
+def _run_with_store(stream, mechanism="LBD", seed=3, capacity=None, horizon=40):
+    session = StreamSession(
+        mechanism, stream, epsilon=1.0, window=10, seed=seed, horizon=horizon
+    )
+    store = session.attach_store(capacity)
+    session.start()
+    for t in range(horizon):
+        session.observe(t)
+    return session, store
+
+
+class TestSessionStore:
+    def test_store_matches_finalized_trace(self, small_binary_stream):
+        session, store = _run_with_store(small_binary_stream)
+        result = session.finalize()
+        assert len(store) == result.horizon
+        for t in range(result.horizon):
+            np.testing.assert_array_equal(
+                store.release_at(t), result.releases[t]
+            )
+            assert store.strategy_at(t) == result.records[t].strategy
+
+    def test_from_result_is_bit_identical_to_live_store(
+        self, small_binary_stream
+    ):
+        session, store = _run_with_store(small_binary_stream)
+        replay = QueryEngine.from_result(session.finalize())
+        live = QueryEngine(store)
+        for t in range(40):
+            assert replay.store.variance_at(t) == store.variance_at(t)
+            assert replay.store.publication_id_at(
+                t
+            ) == store.publication_id_at(t)
+        assert [e.as_dict() for e in live.topk(2, t=39)] == [
+            e.as_dict() for e in replay.topk(2, t=39)
+        ]
+        assert (
+            live.sliding(0, 39, "mean", item=1).as_dict()
+            == replay.sliding(0, 39, "mean", item=1).as_dict()
+        )
+
+    def test_variance_track_publishes_and_carries(self, small_binary_stream):
+        session, store = _run_with_store(small_binary_stream, mechanism="LSP")
+        result = session.finalize()
+        last = PRIOR_VARIANCE
+        for t, record in enumerate(result.records):
+            if record.strategy == "publish":
+                assert store.variance_at(t) > 0
+                last = store.variance_at(t)
+            else:
+                assert store.variance_at(t) == last
+
+    def test_attach_store_guards(self, small_binary_stream):
+        session = StreamSession(
+            "LBU", small_binary_stream, epsilon=1.0, window=10, seed=0
+        )
+        session.attach_store()
+        with pytest.raises(InvalidParameterError):
+            session.attach_store()
+        session.start()
+        session.observe(0)
+        late = StreamSession(
+            "LBU", small_binary_stream, epsilon=1.0, window=10, seed=0
+        )
+        late.start()
+        late.observe(0)
+        with pytest.raises(InvalidParameterError):
+            late.attach_store()
+
+    def test_domain_mismatch_rejected(self, small_binary_stream):
+        with pytest.raises(InvalidParameterError):
+            StreamSession(
+                "LBU",
+                small_binary_stream,
+                epsilon=1.0,
+                window=10,
+                store=ReleaseStore(5),
+            )
+
+    def test_trace_free_session_with_ring_is_bounded(self):
+        stream = OnlineStream(n_users=300, domain_size=4)
+        session = StreamSession(
+            "LBD", stream, epsilon=1.0, window=8, seed=1, record_trace=False
+        )
+        store = session.attach_store(capacity=16)
+        session.start()
+        rng = np.random.default_rng(0)
+        for t in range(100):
+            stream.push(rng.integers(0, 4, size=300))
+            session.observe(t)
+        assert len(store) == 16
+        assert store.oldest_t == 84
+        assert store.evicted == 84
+        engine = QueryEngine(store)
+        assert len(engine.topk(2)) == 2
+        # The session itself kept no trace.
+        with pytest.raises(InvalidParameterError):
+            session.finalize()
+
+
+class TestGroupSoloBitIdentity:
+    """Acceptance: query answers identical between group and solo paths."""
+
+    @pytest.mark.parametrize("mechanism", sorted(available_mechanisms()))
+    def test_all_mechanisms(self, mechanism, small_binary_stream):
+        horizon = 40
+        solo_session, solo_store = _run_with_store(
+            small_binary_stream, mechanism=mechanism, seed=11, horizon=horizon
+        )
+        group = SessionGroup(small_binary_stream, horizon=horizon)
+        group.add_session(mechanism, 1.0, 10, seed=11)
+        group_store = group.attach_stores()[0]
+        group.run()
+        solo = QueryEngine(solo_store)
+        grouped = QueryEngine(group_store)
+        for t in (0, horizon // 2, horizon - 1):
+            np.testing.assert_array_equal(
+                group_store.release_at(t), solo_store.release_at(t)
+            )
+            assert [e.as_dict() for e in grouped.topk(2, t=t)] == [
+                e.as_dict() for e in solo.topk(2, t=t)
+            ]
+        assert (
+            grouped.sliding(0, horizon - 1, "sum", item=0).as_dict()
+            == solo.sliding(0, horizon - 1, "sum", item=0).as_dict()
+        )
+        assert (
+            grouped.range_count(0, 2, t=horizon - 1).as_dict()
+            == solo.range_count(0, 2, t=horizon - 1).as_dict()
+        )
+
+    def test_attach_stores_respects_existing(self, small_binary_stream):
+        group = SessionGroup(small_binary_stream, horizon=10)
+        own = ReleaseStore(small_binary_stream.domain_size, capacity=4)
+        group.add_session("LBU", 1.0, 5, seed=0, store=own)
+        group.add_session("LBU", 1.0, 5, seed=1)
+        stores = group.attach_stores(capacity=8)
+        assert stores[0] is own
+        assert stores[0].capacity == 4
+        assert stores[1].capacity == 8
+
+
+class TestFromResultGuards:
+    def test_requires_trace_records(self, small_binary_stream):
+        result = run_stream(
+            "LBU", small_binary_stream, epsilon=1.0, window=10, seed=0
+        )
+        result.records = []  # simulate a trace-free artifact
+        with pytest.raises(InvalidParameterError):
+            QueryEngine.from_result(result)

@@ -1,0 +1,150 @@
+"""ReleaseStore: ring semantics, prefix sums, publication grouping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvictedSpanError, InvalidParameterError
+from repro.query import ReleaseStore
+
+
+def _fill(store, rows, variances=None, strategies=None):
+    for t, row in enumerate(rows):
+        var = 0.5 if variances is None else variances[t]
+        strat = "publish" if strategies is None else strategies[t]
+        store.append(t, row, var, strat)
+
+
+class TestAppend:
+    def test_in_order_only(self):
+        store = ReleaseStore(3)
+        store.append(0, np.zeros(3), 0.1, "publish")
+        with pytest.raises(InvalidParameterError):
+            store.append(2, np.zeros(3), 0.1, "publish")
+        with pytest.raises(InvalidParameterError):
+            store.append(0, np.zeros(3), 0.1, "publish")
+
+    def test_shape_checked(self):
+        store = ReleaseStore(3)
+        with pytest.raises(InvalidParameterError):
+            store.append(0, np.zeros(4), 0.1, "publish")
+
+    def test_bad_construction(self):
+        with pytest.raises(InvalidParameterError):
+            ReleaseStore(1)
+        with pytest.raises(InvalidParameterError):
+            ReleaseStore(3, capacity=0)
+
+    def test_store_copies_its_rows(self):
+        store = ReleaseStore(2)
+        row = np.array([0.25, 0.75])
+        store.append(0, row, 0.1, "publish")
+        row[0] = 99.0
+        assert store.release_at(0)[0] == 0.25
+
+
+class TestRing:
+    def test_eviction_bounds_memory(self):
+        store = ReleaseStore(4, capacity=8)
+        _fill(store, [np.full(4, float(t)) for t in range(50)])
+        assert len(store) == 8
+        assert store.oldest_t == 42
+        assert store.latest_t == 49
+        assert store.evicted == 42
+
+    def test_evicted_access_raises_with_oldest(self):
+        store = ReleaseStore(4, capacity=4)
+        _fill(store, [np.full(4, float(t)) for t in range(10)])
+        with pytest.raises(EvictedSpanError) as info:
+            store.release_at(2)
+        assert info.value.oldest == 6
+
+    def test_unbounded_retains_everything(self):
+        store = ReleaseStore(4)
+        _fill(store, [np.full(4, float(t)) for t in range(50)])
+        assert len(store) == 50
+        assert store.oldest_t == 0
+        assert store.evicted == 0
+
+    def test_future_access_is_range_error_not_eviction(self):
+        store = ReleaseStore(4, capacity=4)
+        _fill(store, [np.zeros(4) for _ in range(3)])
+        with pytest.raises(InvalidParameterError):
+            store.release_at(3)
+
+
+class TestPrefixSums:
+    def test_window_sum_matches_naive(self, rng):
+        rows = rng.random((30, 5))
+        store = ReleaseStore(5)
+        _fill(store, rows)
+        for t0, t1 in [(0, 29), (0, 0), (7, 7), (3, 17), (29, 29)]:
+            np.testing.assert_allclose(
+                store.window_sum(t0, t1), rows[t0 : t1 + 1].sum(axis=0)
+            )
+
+    def test_window_sum_within_ring_after_eviction(self, rng):
+        rows = rng.random((40, 3))
+        store = ReleaseStore(3, capacity=10)
+        _fill(store, rows)
+        np.testing.assert_allclose(
+            store.window_sum(32, 39), rows[32:40].sum(axis=0)
+        )
+
+    def test_span_crossing_eviction_horizon_raises(self, rng):
+        rows = rng.random((40, 3))
+        store = ReleaseStore(3, capacity=10)
+        _fill(store, rows)
+        # t0 evicted, t1 retained: the classic "window longer than ring".
+        with pytest.raises(EvictedSpanError):
+            store.window_sum(20, 39)
+        with pytest.raises(EvictedSpanError):
+            store.span_releases(29, 35)
+
+    def test_reversed_span_rejected(self):
+        store = ReleaseStore(3)
+        _fill(store, [np.zeros(3) for _ in range(5)])
+        with pytest.raises(InvalidParameterError):
+            store.window_sum(4, 2)
+
+    def test_long_span_groups_match_per_slot_metadata(self, rng):
+        """The O(span) group scan agrees with per-timestamp reads."""
+        strategies = rng.choice(["publish", "approximate"], size=200).tolist()
+        strategies[0] = "publish"
+        variances = rng.random(200)
+        store = ReleaseStore(3)
+        _fill(store, [np.zeros(3)] * 200, variances, strategies)
+        groups = store.span_publication_groups(0, 199)
+        assert sum(count for _, count, _ in groups) == 200
+        flat = [
+            (pid, var) for pid, count, var in groups for _ in range(count)
+        ]
+        for t in (0, 57, 199):
+            assert flat[t] == (
+                store.publication_id_at(t),
+                store.variance_at(t),
+            )
+
+
+class TestPublicationGroups:
+    def test_groups_follow_publish_runs(self):
+        strategies = [
+            "publish", "approximate", "approximate",
+            "publish", "nullified", "publish",
+        ]
+        variances = [0.4, 0.4, 0.4, 0.2, 0.2, 0.1]
+        store = ReleaseStore(3)
+        _fill(store, [np.zeros(3)] * 6, variances, strategies)
+        groups = store.span_publication_groups(0, 5)
+        assert groups == [(1, 3, 0.4), (2, 2, 0.2), (3, 1, 0.1)]
+        # Sub-span splits the first group but keeps its variance.
+        assert store.span_publication_groups(1, 4) == [(1, 2, 0.4), (2, 2, 0.2)]
+
+    def test_prior_before_first_publication_is_group_zero(self):
+        store = ReleaseStore(3)
+        store.append(0, np.zeros(3), 0.0, "approximate")
+        store.append(1, np.zeros(3), 0.0, "nullified")
+        store.append(2, np.ones(3), 0.3, "publish")
+        assert store.publication_id_at(0) == 0
+        assert store.publication_id_at(1) == 0
+        assert store.publication_id_at(2) == 1
+        assert store.publication_count == 1

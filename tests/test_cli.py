@@ -219,3 +219,220 @@ class TestStream:
         code = main(["stream", "--method", "LBU", "--domain-size", "3"])
         assert code == 2
         assert "integer values" in capsys.readouterr().err
+
+
+class TestServe:
+    @staticmethod
+    def _feed(monkeypatch, requests):
+        import io
+        import sys as _sys
+
+        payload = "\n".join(json.dumps(r) for r in requests) + "\n"
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(payload))
+
+    @staticmethod
+    def _requests(n_steps=12, n_users=80, domain=4):
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        return [
+            {"op": "ingest", "values": rng.integers(0, domain, n_users).tolist()}
+            for _ in range(n_steps)
+        ]
+
+    @staticmethod
+    def _serve(extra=()):
+        return [
+            "serve", "--method", "LBD", "--domain-size", "4",
+            "--epsilon", "1", "--window", "4", *extra,
+        ]
+
+    def test_ingest_and_queries(self, capsys, monkeypatch):
+        requests = self._requests() + [
+            {"op": "topk", "k": 2},
+            {"op": "point", "item": 1},
+            {"op": "range", "lo": 0, "hi": 2},
+            {"op": "sliding", "t0": 4, "t1": 11, "agg": "mean", "item": 0},
+            {"op": "summary"},
+        ]
+        self._feed(monkeypatch, requests)
+        assert main(self._serve()) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert len(lines) == len(requests)
+        ingests = [l for l in lines if l.get("op") == "ingest"]
+        assert [l["t"] for l in ingests] == list(range(12))
+        topk = lines[12]
+        assert topk["op"] == "topk" and len(topk["items"]) == 2
+        assert topk["items"][0]["rank"] == 1
+        assert "ci" in topk["items"][0]
+        point = lines[13]
+        assert point["item"] == 1 and point["ci"][0] < point["ci"][1]
+        summary = lines[16]
+        assert summary["steps"] == 12 and summary["retained"] == 12
+
+    def test_ring_capacity_bounds_and_reports_eviction(
+        self, capsys, monkeypatch
+    ):
+        requests = self._requests(n_steps=20) + [
+            {"op": "summary"},
+            {"op": "sliding", "t0": 0, "t1": 19, "agg": "sum", "item": 0},
+        ]
+        self._feed(monkeypatch, requests)
+        assert main(self._serve(["--capacity", "8"])) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        summary = lines[20]
+        assert summary["retained"] == 8
+        assert summary["oldest_t"] == 12
+        assert summary["evicted"] == 12
+        assert "EvictedSpanError" in lines[21]["error"]
+
+    def test_query_before_ingest_is_error_line(self, capsys, monkeypatch):
+        self._feed(monkeypatch, [{"op": "topk", "k": 2}])
+        assert main(self._serve()) == 0
+        line = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert "ingest" in line["error"]
+
+    def test_malformed_json_keeps_serving(self, capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        good = json.dumps(self._requests(1)[0])
+        monkeypatch.setattr(
+            _sys, "stdin", io.StringIO("{not json}\n" + good + "\n")
+        )
+        assert main(self._serve()) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert "error" in lines[0]
+        assert lines[1]["op"] == "ingest"
+
+    def test_empty_input_is_error(self, capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(""))
+        assert main(self._serve()) == 2
+        assert "no requests" in capsys.readouterr().err
+
+
+class TestQuery:
+    @pytest.fixture()
+    def saved_run(self, tmp_path):
+        path = tmp_path / "session.json"
+        code = main(
+            [
+                "run", "--method", "LPA", "--dataset", "LNS", "--size",
+                "smoke", "--seed", "1", "--save-json", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_topk(self, capsys, saved_run):
+        capsys.readouterr()
+        assert main(["query", str(saved_run), "topk", "--k", "2"]) == 0
+        answer = json.loads(capsys.readouterr().out)
+        assert len(answer["items"]) == 2
+        assert answer["items"][0]["estimate"] >= answer["items"][1]["estimate"]
+
+    def test_point_range_sliding_info(self, capsys, saved_run):
+        capsys.readouterr()
+        assert main(
+            ["query", str(saved_run), "point", "--item", "0", "--t", "5"]
+        ) == 0
+        point = json.loads(capsys.readouterr().out)
+        assert point["ci"][0] <= point["estimate"] <= point["ci"][1]
+        assert main(
+            ["query", str(saved_run), "range", "--lo", "0", "--hi", "2"]
+        ) == 0
+        assert "estimate" in json.loads(capsys.readouterr().out)
+        assert main(
+            [
+                "query", str(saved_run), "sliding", "--item", "1",
+                "--agg", "mean",
+            ]
+        ) == 0
+        sliding = json.loads(capsys.readouterr().out)
+        assert sliding["t0"] == 0 and sliding["agg"] == "mean"
+        assert main(["query", str(saved_run), "info"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["mechanism"] == "LPA" and info["domain_size"] == 2
+
+    def test_missing_args_are_graceful(self, capsys, saved_run):
+        capsys.readouterr()
+        assert main(["query", str(saved_run), "point"]) == 2
+        assert "item" in capsys.readouterr().err
+
+    def test_missing_file_is_graceful(self, capsys, tmp_path):
+        with pytest.raises((SystemExit, OSError)):
+            main(["query", str(tmp_path / "nope.json"), "info"])
+
+class TestServeRobustness:
+    _feed = staticmethod(TestServe._feed)
+    _requests = staticmethod(TestServe._requests)
+    _serve = staticmethod(TestServe._serve)
+
+    def test_bad_method_fails_fast_before_any_request(self, capsys, monkeypatch):
+        self._feed(monkeypatch, self._requests(2))
+        assert main(self._serve()[:1] + [
+            "--method", "NOPE", "--domain-size", "4",
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "unknown mechanism" in captured.err
+        assert captured.out == ""  # no per-request error lines
+
+    @pytest.mark.parametrize(
+        "flags, fragment",
+        [
+            (["--epsilon", "-1"], "epsilon"),
+            (["--window", "0"], "window"),
+            (["--confidence", "1.5"], "confidence"),
+            (["--oracle", "nope"], "oracle"),
+            (["--postprocess", "nope"], "postprocess"),
+            (["--capacity", "-3"], "capacity"),
+        ],
+    )
+    def test_bad_numeric_config_fails_fast(
+        self, capsys, monkeypatch, flags, fragment
+    ):
+        self._feed(monkeypatch, self._requests(2))
+        assert main(self._serve(flags)) == 2
+        captured = capsys.readouterr()
+        assert fragment in captured.err
+        assert captured.out == ""  # never one-error-line-per-request
+
+    def test_observe_failure_is_fatal_not_silent(self, capsys, monkeypatch):
+        # An error raised inside observe() lands *after* stream.push has
+        # advanced the stream, leaving the pair desynchronized — the
+        # server must stop with rc 2 instead of emitting error lines
+        # forever and exiting 0.
+        from repro.engine.session import StreamSession
+        from repro.exceptions import PopulationExhaustedError
+
+        real_observe = StreamSession.observe
+
+        def flaky_observe(self, t=None, **kwargs):
+            if t == 1:
+                raise PopulationExhaustedError("no users left")
+            return real_observe(self, t, **kwargs)
+
+        monkeypatch.setattr(StreamSession, "observe", flaky_observe)
+        self._feed(monkeypatch, self._requests(3))
+        code = main(self._serve())
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no longer consistent" in captured.err
+        lines = [json.loads(l) for l in captured.out.splitlines()]
+        assert lines[0]["t"] == 0                 # first ingest fine
+        assert lines[1]["fatal"] is True          # then fatal, then stop
+        assert len(lines) == 2
+
+    def test_wrong_length_snapshot_is_recoverable(self, capsys, monkeypatch):
+        requests = self._requests(2)
+        requests.insert(1, {"op": "ingest", "values": [0, 1]})  # wrong n
+        requests.append({"op": "summary"})
+        self._feed(monkeypatch, requests)
+        assert main(self._serve()) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert "error" in lines[1]            # rejected before any advance
+        assert lines[2]["t"] == 1             # ingestion continues in sync
+        assert lines[3]["steps"] == 2

@@ -1,0 +1,136 @@
+"""Docs CI: link checker + doctest runner for fenced quickstart snippets.
+
+Two checks keep the documentation from rotting:
+
+* **Links** — every relative markdown link (``[text](path)``) in the
+  repo's top-level and ``docs/`` markdown files must point at a file or
+  directory that exists.  External (``http(s)://``, ``mailto:``) and
+  in-page (``#anchor``) links are skipped.
+* **Doctests** — every fenced ```` ```python ```` block whose first
+  non-blank line starts with ``>>>`` is executed with :mod:`doctest`.
+  Blocks without ``>>>`` prompts are illustrative pseudo-code and are
+  not executed, so keep runnable quickstarts in doctest form and sized
+  for seconds.
+
+Run as a script (CI does) or through ``tests/docs/test_docs.py``::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+if str(REPO_SRC) not in sys.path:  # script mode without an installed package
+    sys.path.insert(0, str(REPO_SRC))
+
+#: Markdown sources covered by both checks.
+DOC_DIRS = (REPO_ROOT, REPO_ROOT / "docs")
+
+#: ``[text](target)`` — target captured without surrounding whitespace.
+_LINK = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)\s*\)")
+
+#: Fenced python blocks (``python`` info string, any indentation of the fence).
+_FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _rel(path: Path) -> str:
+    """Repo-relative display path (absolute when outside the repo)."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def markdown_files() -> List[Path]:
+    """Top-level and docs/ markdown files, sorted for stable reports."""
+    files: List[Path] = []
+    for directory in DOC_DIRS:
+        if directory.is_dir():
+            files.extend(sorted(directory.glob("*.md")))
+    return files
+
+
+def check_links(files: Iterable[Path]) -> List[str]:
+    """Return one problem string per broken relative link."""
+    problems: List[str] = []
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{_rel(path)}: broken link -> {target}"
+                )
+    return problems
+
+
+def doctest_blocks(path: Path) -> List[Tuple[int, str]]:
+    """``(line_number, source)`` for each runnable fenced block in a file."""
+    text = path.read_text(encoding="utf-8")
+    blocks: List[Tuple[int, str]] = []
+    for match in _FENCE.finditer(text):
+        body = match.group(1)
+        stripped = body.lstrip("\n")
+        if not stripped.startswith(">>>"):
+            continue  # illustrative snippet, not a doctest
+        line = text.count("\n", 0, match.start()) + 1
+        blocks.append((line, body))
+    return blocks
+
+
+def run_doctests(files: Iterable[Path]) -> Tuple[List[str], int]:
+    """Execute every runnable block; return (problems, blocks_run)."""
+    parser = doctest.DocTestParser()
+    problems: List[str] = []
+    total = 0
+    for path in files:
+        for line, source in doctest_blocks(path):
+            total += 1
+            name = f"{_rel(path)}:{line}"
+            test = parser.get_doctest(
+                source, {"__name__": "__docs__"}, name, str(path), line
+            )
+            runner = doctest.DocTestRunner(
+                optionflags=doctest.ELLIPSIS, verbose=False
+            )
+            report = []
+            runner.run(test, out=report.append)
+            if runner.failures:
+                problems.append(
+                    f"{name}: {runner.failures} doctest failure(s)\n"
+                    + "".join(report)
+                )
+    return problems, total
+
+
+def main() -> int:
+    files = markdown_files()
+    link_problems = check_links(files)
+    doctest_problems, blocks = run_doctests(files)
+    for problem in link_problems + doctest_problems:
+        print(problem, file=sys.stderr)
+    checked_links = sum(
+        1 for f in files for _ in _LINK.finditer(f.read_text(encoding="utf-8"))
+    )
+    print(
+        f"docs check: {len(files)} files, {checked_links} links, "
+        f"{blocks} doctest blocks -> "
+        f"{len(link_problems) + len(doctest_problems)} problem(s)"
+    )
+    return 1 if (link_problems or doctest_problems) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
