@@ -1,0 +1,239 @@
+"""Bulk-ingestion throughput — steps/sec, looped vs chunked sessions.
+
+A trace-free "unbounded" :class:`~repro.engine.StreamSession` advanced
+one :meth:`observe` at a time pays Python-level overhead at every
+timestamp: context objects, per-step accounting, one oracle draw per
+round.  :meth:`observe_many` ingests a whole chunk per call — mechanism
+chunk kernels batch their collection rounds through the oracles'
+order-preserving run samplers, the accountant charges spans in one
+scalar loop, and truth histograms amortise — while staying bit-identical
+to the loop (verified here per configuration before timing).
+
+This bench measures steps/sec for the looped and chunked paths over a
+small (mechanism × oracle) matrix, trace-free and traced, prints the
+table, and (as a script) writes a JSON record CI uploads so the perf
+trajectory is tracked per PR.  The headline ``speedup`` is the
+worst chunk>=64 trace-free speedup across the *vectorized* rows —
+mechanisms with a chunk kernel on oracles whose run sampler is a single
+batched draw (OUE/SUE/OLH/HR).  GRR rows are reported too but excluded
+from the floor: GRR's per-round binomial→multinomial interleaving
+cannot be reordered into one draw without breaking bit-identity, so its
+chunked path only sheds the engine overhead around the draws.
+
+Run as a script::
+
+    python benchmarks/bench_ingest_throughput.py --size smoke --out bench_ingest.json
+
+or under pytest (sizes via BENCH_SIZE, like every other bench)::
+
+    pytest benchmarks/bench_ingest_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if REPO_SRC not in sys.path:  # script mode without an installed package
+    sys.path.insert(0, REPO_SRC)
+
+from repro.engine import StreamSession  # noqa: E402
+from repro.streams import MaterializedStream  # noqa: E402
+
+#: Workload per size tier: (horizon, n_users, domain_size).
+_SIZES = {
+    "smoke": (1_500, 2_048, 32),
+    "default": (6_000, 8_192, 32),
+    "paper": (20_000, 50_000, 32),
+}
+
+#: (mechanism, oracle, vectorized) rows; ``vectorized`` rows carry the
+#: speedup floor (chunk kernel + single-draw run sampler).
+_CONFIGS = (
+    ("LBU", "oue", True),
+    ("LBU", "olh", True),
+    ("LPU", "olh", True),
+    ("LBU", "grr", False),
+    ("LBD", "grr", False),  # adaptive: per-step fallback inside the chunk
+)
+
+_CHUNKS = (64, 256)
+_SEED = 23
+_WINDOW = 10
+_EPSILON = 1.0
+
+
+def _dataset(size: str) -> MaterializedStream:
+    horizon, n_users, domain = _SIZES[size]
+    values = np.random.default_rng(_SEED).integers(
+        0, domain, size=(horizon, n_users)
+    )
+    return MaterializedStream(values, domain_size=domain)
+
+
+def _session(dataset, mechanism, oracle, record_trace):
+    return StreamSession(
+        mechanism,
+        dataset,
+        _EPSILON,
+        _WINDOW,
+        oracle=oracle,
+        seed=_SEED,
+        record_trace=record_trace,
+    ).start()
+
+
+def _drive(session, horizon: int, chunk: int) -> float:
+    """Advance ``session`` over the horizon; return elapsed seconds."""
+    started = time.perf_counter()
+    if chunk == 1:
+        for t in range(horizon):
+            session.observe(t)
+    else:
+        t = 0
+        while t < horizon:
+            t += len(session.observe_many(t, min(chunk, horizon - t)))
+    return time.perf_counter() - started
+
+
+def _assert_identical(dataset, mechanism, oracle, horizon):
+    """Chunked releases must equal the looped ones bit for bit."""
+    looped = _session(dataset, mechanism, oracle, record_trace=True)
+    _drive(looped, horizon, 1)
+    chunked = _session(dataset, mechanism, oracle, record_trace=True)
+    _drive(chunked, horizon, 97)  # deliberately window-misaligned
+    a, b = looped.finalize(), chunked.finalize()
+    assert np.array_equal(a.releases, b.releases), (
+        f"chunked ingestion diverged for {mechanism}/{oracle}"
+    )
+    assert a.total_reports == b.total_reports
+    assert a.max_window_spend == b.max_window_spend
+
+
+def measure(size: str) -> dict:
+    """Time every configuration; return the throughput record."""
+    horizon, n_users, domain = _SIZES[size]
+    dataset = _dataset(size)
+    check_span = min(horizon, 400)
+    rows = []
+    for mechanism, oracle, vectorized in _CONFIGS:
+        _assert_identical(dataset, mechanism, oracle, check_span)
+        row = {
+            "mechanism": mechanism,
+            "oracle": oracle,
+            "vectorized": vectorized,
+        }
+        for record_trace in (False, True):
+            label = "traced" if record_trace else "trace_free"
+            looped = _drive(
+                _session(dataset, mechanism, oracle, record_trace),
+                horizon,
+                1,
+            )
+            row[f"{label}_looped_steps_per_sec"] = horizon / looped
+            for chunk in _CHUNKS:
+                chunked = _drive(
+                    _session(dataset, mechanism, oracle, record_trace),
+                    horizon,
+                    chunk,
+                )
+                row[f"{label}_chunk{chunk}_steps_per_sec"] = horizon / chunked
+                row[f"{label}_chunk{chunk}_speedup"] = looped / chunked
+        rows.append(row)
+    floor_rows = [row for row in rows if row["vectorized"]]
+    speedup = min(
+        max(row[f"trace_free_chunk{chunk}_speedup"] for chunk in _CHUNKS)
+        for row in floor_rows
+    )
+    return {
+        "bench": "ingest_throughput",
+        "size": size,
+        "horizon": horizon,
+        "n_users": n_users,
+        "domain_size": domain,
+        "chunks": list(_CHUNKS),
+        "rows": rows,
+        # Headline floor: every vectorized (chunk kernel + batched run
+        # sampler) row's best trace-free speedup at chunk >= 64; the
+        # minimum across rows is what the CI rail guards.
+        "speedup": speedup,
+    }
+
+
+def _report(record: dict) -> str:
+    lines = [
+        f"bulk-ingestion throughput — size={record['size']} "
+        f"(T={record['horizon']}, N={record['n_users']}, "
+        f"d={record['domain_size']}), steps/sec",
+        f"{'config':>10} {'mode':>11} {'looped':>9} "
+        + "".join(f"{f'chunk {c}':>10}{'':>8}" for c in record["chunks"]),
+    ]
+    for row in record["rows"]:
+        config = f"{row['mechanism']}/{row['oracle']}"
+        for label, title in (("trace_free", "trace-free"), ("traced", "traced")):
+            cells = "".join(
+                f"{row[f'{label}_chunk{c}_steps_per_sec']:>10.0f}"
+                f"{row[f'{label}_chunk{c}_speedup']:>7.2f}x"
+                for c in record["chunks"]
+            )
+            lines.append(
+                f"{config:>10} {title:>11} "
+                f"{row[f'{label}_looped_steps_per_sec']:>9.0f}{cells}"
+            )
+    lines.append(
+        f"floor speedup (vectorized rows, trace-free, chunk >= 64): "
+        f"{record['speedup']:.2f}x (results bit-identical)"
+    )
+    return "\n".join(lines)
+
+
+def test_chunked_ingest_speedup(size):
+    """Pytest entry: chunked ingestion must beat the per-step loop."""
+    record = measure(size)
+    print()
+    print(_report(record))
+    # The acceptance bar is 2x on an idle machine; assert a conservative
+    # floor so a time-shared CI runner cannot flake the suite.
+    assert record["speedup"] > 1.6, (
+        f"expected chunked ingestion to amortise per-step overhead, "
+        f"measured {record['speedup']:.2f}x"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", default="smoke", choices=sorted(_SIZES))
+    parser.add_argument(
+        "--out", metavar="PATH", default=None, help="write the JSON record here"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the floor speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+    record = measure(args.size)
+    print(_report(record))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.min_speedup is not None and record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {record['speedup']:.2f}x < {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,6 @@ adaptive absorption method (MPA) and the three numeric mechanisms.
 Run:  python examples/fleet_telemetry_mean.py
 """
 
-import numpy as np
-
 from repro.queries import (
     MeanPopulationAbsorption,
     MeanPopulationUniform,

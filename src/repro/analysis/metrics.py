@@ -10,8 +10,6 @@ is what the paper's closed-form utility analysis predicts.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..exceptions import InvalidParameterError

@@ -17,7 +17,7 @@ test suite and the ablation bench can check simulation against theory:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from ..rng import SeedLike, ensure_rng
+from ..rng import SeedLike
 
 #: L1 sensitivity of a frequency histogram to one user's value change.
 FREQUENCY_SENSITIVITY = 2.0

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..rng import SeedLike, ensure_rng
+from ..rng import ensure_rng
 from .base import (
     CDPResult,
     CDPStreamMechanism,

@@ -127,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keep the full trace in memory and print error metrics at EOF "
         "(omit for constant-memory unbounded ingestion)",
     )
+    _add_chunk_flag(stream)
 
     serve = sub.add_parser(
         "serve", help="standing query server over a piped online stream"
@@ -161,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="-",
         help="file with one JSON request per line ('-' = stdin)",
     )
+    _add_chunk_flag(serve)
 
     query = sub.add_parser(
         "query", help="one-shot queries against a saved session JSON"
@@ -211,6 +213,18 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="list datasets")
     sub.add_parser("methods", help="list mechanisms")
     return parser
+
+
+def _add_chunk_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=1,
+        metavar="N",
+        help="buffer N timestamps and ingest them per engine call (bulk "
+        "ingestion: identical output, higher throughput, N-step output "
+        "latency; default 1 = release after every timestamp)",
+    )
 
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
@@ -321,7 +335,15 @@ def _parse_snapshot_line(line: str):
 
 
 def _cmd_stream(args) -> int:
-    """Online ingestion: one StreamSession advanced line by line."""
+    """Online ingestion: one StreamSession advanced line by line.
+
+    With ``--chunk N`` input lines are buffered and ingested ``N``
+    timestamps at a time through
+    :meth:`~repro.engine.session.StreamSession.observe_many` — the
+    emitted releases are identical (bulk ingestion is bit-identical to
+    the per-step loop), they just appear once per chunk instead of once
+    per line.
+    """
     import contextlib
 
     from .engine import StreamSession
@@ -331,6 +353,8 @@ def _cmd_stream(args) -> int:
         raise InvalidParameterError(
             f"max-steps must be >= 1, got {args.max_steps}"
         )
+    if args.chunk < 1:
+        raise InvalidParameterError(f"chunk must be >= 1, got {args.chunk}")
     with contextlib.ExitStack() as stack:
         if args.input == "-":
             source = sys.stdin
@@ -340,15 +364,36 @@ def _cmd_stream(args) -> int:
             )
         session: Optional[StreamSession] = None
         stream: Optional[OnlineStream] = None
+        buffer: list = []
+
+        def flush() -> None:
+            if not buffer:
+                return
+            timestamps = [stream.push(values) for values in buffer]
+            records = session.observe_many(timestamps[0], len(timestamps))
+            if args.emit == "releases":
+                for t, record in zip(timestamps, records):
+                    release = ",".join(
+                        f"{v:.6g}"
+                        for v in session.postprocessor(record.release)
+                    )
+                    print(f"{t},{record.strategy},{release}")
+            buffer.clear()
+
+        done = False
         for line in source:
             if not line.strip():
                 continue
             values = _parse_snapshot_line(line)
             if session is None:
                 # The population size is whatever the first timestamp
-                # carries; the session is created lazily around it.
+                # carries; the session is created lazily around it.  The
+                # retention ring must hold a whole chunk, since chunked
+                # snapshots are pushed before they are observed.
                 stream = OnlineStream(
-                    n_users=len(values), domain_size=args.domain_size
+                    n_users=len(values),
+                    domain_size=args.domain_size,
+                    retain=max(4, args.chunk),
                 )
                 session = StreamSession(
                     args.method,
@@ -360,18 +405,18 @@ def _cmd_stream(args) -> int:
                     postprocess=args.postprocess,
                     record_trace=args.trace,
                 ).start()
-            t = stream.push(values)
-            record = session.observe(t)
-            if args.emit == "releases":
-                release = ",".join(
-                    f"{v:.6g}" for v in session.postprocessor(record.release)
-                )
-                print(f"{t},{record.strategy},{release}")
-            if args.max_steps is not None and t + 1 >= args.max_steps:
+            buffer.append(values)
+            ingested = stream.pushed + len(buffer)
+            if args.max_steps is not None and ingested >= args.max_steps:
+                done = True
+            if len(buffer) >= args.chunk or done:
+                flush()
+            if done:
                 break
         if session is None:
             print("error: no input timestamps received", file=sys.stderr)
             return 2
+        flush()
         summary = session.summary()
         print(
             f"{summary['mechanism']} online session: {summary['steps']} steps, "
@@ -467,6 +512,8 @@ def _cmd_serve(args) -> int:
         raise InvalidParameterError(
             f"confidence must be in (0, 1), got {args.confidence}"
         )
+    if args.chunk < 1:
+        raise InvalidParameterError(f"chunk must be >= 1, got {args.chunk}")
     # Fail fast on every configuration error (typo'd method/oracle/
     # postprocess, out-of-range numerics) instead of emitting an error
     # line per request and exiting 0.
@@ -484,49 +531,40 @@ def _cmd_serve(args) -> int:
         session: Optional[StreamSession] = None
         stream: Optional[OnlineStream] = None
         engine: Optional[QueryEngine] = None
+        pending: list = []
         handled = 0
-        for line in source:
-            if not line.strip():
-                continue
-            handled += 1
-            try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise InvalidParameterError(
-                        "each request must be a JSON object"
-                    )
-                if request.get("op") == "ingest":
-                    values = [int(v) for v in request["values"]]
-                    if session is None:
-                        # Population size = whatever the first timestamp
-                        # carries, exactly like `repro stream`.
-                        stream = OnlineStream(
-                            n_users=len(values),
-                            domain_size=args.domain_size,
-                        )
-                        store = ReleaseStore(
-                            args.domain_size, capacity=capacity
-                        )
-                        session = StreamSession(
-                            args.method,
-                            stream,
-                            epsilon=args.epsilon,
-                            window=args.window,
-                            oracle=args.oracle,
-                            seed=args.seed,
-                            postprocess=args.postprocess,
-                            record_trace=False,
-                            store=store,
-                        ).start()
-                        engine = QueryEngine(
-                            store, confidence=args.confidence
-                        )
-                    t = stream.push(values)
+
+        class _FatalIngestError(Exception):
+            """Session/stream pair desynchronized; the server must exit."""
+
+        def flush() -> None:
+            """Ingest the buffered snapshots; one answer line each.
+
+            A snapshot the stream rejects (e.g. wrong population size)
+            ends its sub-batch with an error answer — the stream did not
+            advance for it, so the server stays consistent — and the
+            rest of the buffer continues.  A session failure *after* the
+            stream advanced is fatal, exactly as in the per-request
+            path.
+            """
+            start = 0
+            while start < len(pending):
+                timestamps = []
+                failure = None
+                for values in pending[start:]:
                     try:
-                        record = session.observe(t)
+                        timestamps.append(stream.push(values))
                     except ReproError as error:
-                        # The stream advanced but the session did not (and
-                        # may have been left mid-step): the pair is
+                        failure = error
+                        break
+                if timestamps:
+                    try:
+                        records = session.observe_many(
+                            timestamps[0], len(timestamps)
+                        )
+                    except ReproError as error:
+                        # The stream advanced but the session did not
+                        # (and may have been left mid-step): the pair is
                         # permanently desynchronized, so unlike bad
                         # requests this is fatal.
                         print(
@@ -540,27 +578,100 @@ def _cmd_serve(args) -> int:
                             flush=True,
                         )
                         print(
-                            f"error: ingestion failed at t={t}; session "
-                            f"state is no longer consistent with the "
-                            f"stream: {error}",
+                            f"error: ingestion failed at "
+                            f"t={timestamps[0]}; session state is no "
+                            f"longer consistent with the stream: {error}",
                             file=sys.stderr,
                         )
-                        return 2
-                    answer = {
-                        "op": "ingest",
-                        "t": t,
-                        "strategy": record.strategy,
-                    }
-                elif session is None:
-                    raise InvalidParameterError(
-                        "no timestamps ingested yet; send an ingest "
-                        "request first"
+                        raise _FatalIngestError() from error
+                    for t, record in zip(timestamps, records):
+                        print(
+                            json.dumps(
+                                {
+                                    "op": "ingest",
+                                    "t": t,
+                                    "strategy": record.strategy,
+                                }
+                            ),
+                            flush=True,
+                        )
+                start += len(timestamps)
+                if failure is not None:
+                    print(
+                        json.dumps(
+                            {
+                                "error": f"{type(failure).__name__}: "
+                                f"{failure}"
+                            }
+                        ),
+                        flush=True,
                     )
-                else:
+                    start += 1
+            pending.clear()
+
+        try:
+            for line in source:
+                if not line.strip():
+                    continue
+                handled += 1
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise InvalidParameterError(
+                            "each request must be a JSON object"
+                        )
+                    if request.get("op") == "ingest":
+                        values = [int(v) for v in request["values"]]
+                        if session is None:
+                            # Population size = whatever the first
+                            # timestamp carries, exactly like `repro
+                            # stream`.  The ring must retain a whole
+                            # chunk of pushed-but-unobserved snapshots.
+                            stream = OnlineStream(
+                                n_users=len(values),
+                                domain_size=args.domain_size,
+                                retain=max(4, args.chunk),
+                            )
+                            store = ReleaseStore(
+                                args.domain_size, capacity=capacity
+                            )
+                            session = StreamSession(
+                                args.method,
+                                stream,
+                                epsilon=args.epsilon,
+                                window=args.window,
+                                oracle=args.oracle,
+                                seed=args.seed,
+                                postprocess=args.postprocess,
+                                record_trace=False,
+                                store=store,
+                            ).start()
+                            engine = QueryEngine(
+                                store, confidence=args.confidence
+                            )
+                        pending.append(values)
+                        if len(pending) >= args.chunk:
+                            flush()
+                        continue
+                    if session is None:
+                        raise InvalidParameterError(
+                            "no timestamps ingested yet; send an ingest "
+                            "request first"
+                        )
+                    # Queries answer against everything ingested so far,
+                    # so buffered snapshots go in first.
+                    flush()
                     answer = _serve_answer(engine, session, request)
-            except (ReproError, KeyError, ValueError, TypeError) as error:
-                answer = {"error": f"{type(error).__name__}: {error}"}
-            print(json.dumps(answer), flush=True)
+                except (ReproError, KeyError, ValueError, TypeError) as error:
+                    # Buffered ingests answer first so output lines keep
+                    # request order even around a bad request.
+                    flush()
+                    answer = {"error": f"{type(error).__name__}: {error}"}
+                print(json.dumps(answer), flush=True)
+            if session is not None:
+                flush()
+        except _FatalIngestError:
+            return 2
         if not handled:
             print("error: no requests received", file=sys.stderr)
             return 2

@@ -1,7 +1,7 @@
 """Collection engine: the simulated client/server system.
 
-* :class:`Collector` / :class:`TimestepContext` — execute FO rounds,
-  meter communication.
+* :class:`Collector` / :class:`TimestepContext` / :class:`ChunkContext`
+  — execute FO rounds (per timestamp or per chunk), meter communication.
 * :class:`WEventAccountant` — runtime ``w``-event LDP budget ledger.
 * :class:`UserPool` — disjoint-group sampling with recycling.
 * :class:`StreamSession` — incremental standing query
@@ -12,7 +12,7 @@
 """
 
 from .accountant import WEventAccountant
-from .collector import Collector, TimestepContext
+from .collector import ChunkContext, Collector, TimestepContext
 from .group import SessionGroup
 from .population import UserPool
 from .records import (
@@ -22,12 +22,14 @@ from .records import (
     SessionResult,
     StepRecord,
 )
-from .session import StreamSession, run_stream
+from .session import DEFAULT_CHUNK, StreamSession, run_stream
 
 __all__ = [
     "WEventAccountant",
     "Collector",
     "TimestepContext",
+    "ChunkContext",
+    "DEFAULT_CHUNK",
     "UserPool",
     "SessionResult",
     "StepRecord",

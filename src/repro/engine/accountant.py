@@ -8,12 +8,21 @@ runtime**.  A mechanism bug that would overspend raises
 :class:`~repro.exceptions.PrivacyViolationError` immediately instead of
 silently producing a non-private trace, and the test suite leans on this:
 integration tests simply run every mechanism with the accountant armed.
+
+Budget-division mechanisms (LBU/LSP/LBD/LBA) only ever charge *all* users
+at once, so their ledger stays uniform across the population.  The
+accountant tracks that regime with a single scalar — O(1) per charge
+instead of O(N) array updates — and materialises the per-user array
+lazily the first time a group charge (population division) or a snapshot
+read needs it.  The scalar and array paths perform the same additions,
+subtractions and clips in the same order, so switching regimes never
+changes an observed spend by even one ULP.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,8 +62,12 @@ class WEventAccountant:
         self.epsilon = float(epsilon)
         self.window = int(window)
         self.enforce = bool(enforce)
-        # Current spend per user over the active window.
-        self._window_spend = np.zeros(self.n_users, dtype=np.float64)
+        # While every charge so far hit the whole population, the spend is
+        # uniform and a single scalar carries the ledger (fast path).  The
+        # first group charge materialises the per-user array.
+        self._uniform = True
+        self._uniform_spend = 0.0
+        self._window_spend: Optional[np.ndarray] = None
         # (t, user_ids_or_None, eps) for every charge inside the window.
         self._charges: Deque[Tuple[int, Optional[np.ndarray], float]] = deque()
         self._current_t = -1
@@ -79,16 +92,21 @@ class WEventAccountant:
         if epsilon == 0:
             return
         if user_ids is None:
-            self._window_spend += epsilon
-            touched_max = float(self._window_spend.max())
+            if self._uniform:
+                self._uniform_spend += epsilon
+                touched_max = self._uniform_spend
+            else:
+                self._window_spend += epsilon
+                touched_max = float(self._window_spend.max())
         else:
             user_ids = np.asarray(user_ids, dtype=np.int64)
             if user_ids.size == 0:
                 return
             if user_ids.min() < 0 or user_ids.max() >= self.n_users:
                 raise InvalidParameterError("user ids outside population")
-            self._window_spend[user_ids] += epsilon
-            touched_max = float(self._window_spend[user_ids].max())
+            spend = self._materialize()
+            spend[user_ids] += epsilon
+            touched_max = float(spend[user_ids].max())
         self._charges.append((t, user_ids, float(epsilon)))
         self.total_charges += 1
         self.max_window_spend = max(self.max_window_spend, touched_max)
@@ -98,24 +116,112 @@ class WEventAccountant:
                 f"{touched_max:.6f} > epsilon={self.epsilon:.6f} (w={self.window})"
             )
 
+    def charge_many(self, ts: "Sequence[int]", epsilon: float) -> None:
+        """Charge ``epsilon`` to *everyone* at each of several timestamps.
+
+        Equivalent to ``charge(t, None, epsilon)`` for each ``t`` of the
+        ascending ``ts`` — same ledger state, same ``max_window_spend``,
+        same violation raised at the same timestamp — but executed as
+        one tight scalar loop while the ledger is uniform.  This is the
+        accountant's bulk-ingestion kernel: budget-division mechanisms
+        charge the whole population once per timestamp, so a chunk's
+        accounting collapses to O(chunk) scalar arithmetic with no
+        per-charge method dispatch.
+        """
+        if not self._uniform:
+            for t in ts:
+                self.charge(t, None, epsilon)
+            return
+        if epsilon < 0:
+            raise InvalidParameterError(f"cannot charge negative budget {epsilon}")
+        spend = self._uniform_spend
+        current_t = self._current_t
+        max_spend = self.max_window_spend
+        charges = self._charges
+        limit = self.epsilon + _TOLERANCE
+        count = 0
+        try:
+            for t in ts:
+                if t < current_t:
+                    raise InvalidParameterError(
+                        f"accountant charges must be time-ordered; got "
+                        f"t={t} after t={current_t}"
+                    )
+                if t > current_t:
+                    current_t = t
+                cutoff = t - self.window + 1
+                evicted = False
+                while charges and charges[0][0] < cutoff:
+                    spend -= charges.popleft()[2]
+                    evicted = True
+                if evicted and spend < 0.0:
+                    spend = 0.0
+                if epsilon == 0:
+                    continue
+                spend += epsilon
+                charges.append((t, None, float(epsilon)))
+                count += 1
+                if spend > max_spend:
+                    max_spend = spend
+                if self.enforce and spend > limit:
+                    raise PrivacyViolationError(
+                        f"w-event LDP violated at t={t}: a user's window "
+                        f"spend reached {spend:.6f} > epsilon="
+                        f"{self.epsilon:.6f} (w={self.window})"
+                    )
+        finally:
+            # Mirror the per-charge path even when a violation raises
+            # mid-span: everything charged so far stays on the ledger.
+            self._uniform_spend = spend
+            self._current_t = current_t
+            self.max_window_spend = max_spend
+            self.total_charges += count
+
     def window_spend(self, user_id: int) -> float:
         """Current window spend of a single user."""
+        if self._uniform:
+            if not 0 <= int(user_id) < self.n_users:
+                raise IndexError(
+                    f"user id {user_id} outside population of {self.n_users}"
+                )
+            return float(self._uniform_spend)
         return float(self._window_spend[user_id])
 
     def spend_snapshot(self) -> np.ndarray:
         """Copy of every user's current window spend."""
+        if self._uniform:
+            return np.full(self.n_users, self._uniform_spend, dtype=np.float64)
         return self._window_spend.copy()
 
     # ------------------------------------------------------------------
+    def _materialize(self) -> np.ndarray:
+        """Leave the uniform regime: expand the scalar into the array."""
+        if self._uniform:
+            self._window_spend = np.full(
+                self.n_users, self._uniform_spend, dtype=np.float64
+            )
+            self._uniform = False
+        return self._window_spend
+
     def _advance(self, t: int) -> None:
         """Evict charges that fell out of the window ending at ``t``."""
         self._current_t = max(self._current_t, t)
         cutoff = t - self.window + 1
+        evicted = False
         while self._charges and self._charges[0][0] < cutoff:
             _, ids, eps = self._charges.popleft()
+            evicted = True
             if ids is None:
-                self._window_spend -= eps
+                if self._uniform:
+                    self._uniform_spend -= eps
+                else:
+                    self._window_spend -= eps
             else:
                 self._window_spend[ids] -= eps
+        if not evicted:
+            return
         # Guard against floating point drift.
-        np.clip(self._window_spend, 0.0, None, out=self._window_spend)
+        if self._uniform:
+            self._uniform_spend = max(0.0, self._uniform_spend)
+        else:
+            np.clip(self._window_spend, 0.0, None, out=self._window_spend)

@@ -12,11 +12,19 @@ cannot be bypassed:
 ``fast=True`` uses the oracles' exact count-level samplers
 (:meth:`~repro.freq_oracles.base.FrequencyOracle.sample_aggregate`);
 ``fast=False`` runs the literal per-user protocol.
+
+Two per-timestamp facades exist: :class:`TimestepContext` binds one
+timestamp for per-step mechanisms, and :class:`ChunkContext` binds a
+contiguous span for bulk ingestion
+(:meth:`~repro.engine.session.StreamSession.observe_many`) — its
+:meth:`ChunkContext.collect_run` executes one FO round per selected
+timestamp through the oracles' order-preserving run samplers, so chunked
+collection is bit-identical to the per-step loop.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -74,6 +82,90 @@ class Collector:
         reports = self.oracle.perturb(values, d, epsilon, rng=self.rng)
         return self.oracle.aggregate(reports, d, epsilon)
 
+    def collect_run(
+        self,
+        t0: int,
+        offsets: Sequence[int],
+        epsilon: float,
+        values_block: np.ndarray,
+        user_ids: Optional[Sequence[np.ndarray]] = None,
+        counts: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run one FO round at each of several timestamps of a chunk.
+
+        ``offsets`` are ascending row indices into ``values_block`` (the
+        ``(chunk, n_users)`` value matrix for timestamps ``t0, t0+1,
+        ...``); round ``i`` collects at timestamp ``t0 + offsets[i]``.
+        ``user_ids=None`` means all users report at every selected
+        timestamp (``counts`` may pass their precomputed ``(k, d)`` true
+        histograms); otherwise ``user_ids[i]`` is the reporting group of
+        round ``i``.  Returns the ``(k, d)`` unbiased frequency
+        estimates and the ``(k,)`` per-round report counts.
+
+        Bit-identity with sequential :meth:`collect` calls: the true
+        counts are the same integers, accounting charges run in the same
+        timestamp order, and the draws go through the oracle's
+        order-preserving :meth:`~repro.freq_oracles.base.FrequencyOracle.
+        sample_aggregate_run` (or, under ``fast=False``, a literal
+        per-round perturb/aggregate loop).  The one observable
+        difference is failure timing: all of the chunk's accountant
+        charges precede its draws, so a privacy violation raises before
+        any of the chunk's estimates exist rather than mid-span —
+        either way the session is left mid-step and unusable.
+        """
+        d = self.dataset.domain_size
+        if user_ids is None:
+            if counts is None:
+                counts = np.empty((len(offsets), d), dtype=np.int64)
+                for i, off in enumerate(offsets):
+                    counts[i] = np.bincount(values_block[off], minlength=d)
+            groups: List[Optional[np.ndarray]] = [None] * len(offsets)
+        else:
+            if len(user_ids) != len(offsets):
+                raise InvalidParameterError(
+                    "user_ids must align with offsets: "
+                    f"{len(user_ids)} groups for {len(offsets)} rounds"
+                )
+            groups = [np.asarray(ids, dtype=np.int64) for ids in user_ids]
+            if any(ids.size == 0 for ids in groups):
+                raise InvalidParameterError("cannot collect from an empty group")
+            counts = np.stack(
+                [
+                    np.bincount(values_block[off][ids], minlength=d)
+                    for off, ids in zip(offsets, groups)
+                ]
+            )
+        n_reports = counts.sum(axis=1)
+        if self.accountant is not None:
+            if user_ids is None:
+                self.accountant.charge_many(
+                    [t0 + off for off in offsets], epsilon
+                )
+            else:
+                for off, ids in zip(offsets, groups):
+                    self.accountant.charge(t0 + off, ids, epsilon)
+        self.total_reports += int(n_reports.sum())
+        if self.fast:
+            frequencies = self.oracle.sample_aggregate_run(
+                counts, epsilon, rng=self.rng
+            )
+        else:
+            estimates = []
+            for off, ids in zip(offsets, groups):
+                values = values_block[off]
+                if ids is not None:
+                    values = values[ids]
+                reports = self.oracle.perturb(values, d, epsilon, rng=self.rng)
+                estimates.append(
+                    self.oracle.aggregate(reports, d, epsilon).frequencies
+                )
+            frequencies = (
+                np.stack(estimates)
+                if estimates
+                else np.empty((0, d), dtype=np.float64)
+            )
+        return frequencies, n_reports
+
 
 class TimestepContext:
     """Per-timestamp facade handed to mechanisms.
@@ -107,3 +199,128 @@ class TimestepContext:
     ) -> FOEstimate:
         """Collect LDP reports at the bound timestamp."""
         return self._collector.collect(self.t, epsilon, user_ids)
+
+
+class ChunkContext:
+    """Facade over a contiguous span of timestamps for bulk ingestion.
+
+    Handed to :meth:`~repro.mechanisms.base.StreamMechanism.step_many`;
+    covers timestamps ``t0, ..., t0 + length - 1``.  Chunk-kernel
+    mechanisms route every data access through :meth:`collect_run` (and
+    the cached :meth:`counts`), which reads from one prefetched value
+    block — this is what makes chunking legal on sequential generative
+    streams, whose per-timestamp snapshots are consumed as the block is
+    built.  The per-step fallback (:meth:`timesteps`) instead serves
+    ordinary :class:`TimestepContext`\\ s that read the dataset directly;
+    a mechanism must use one style or the other for a given chunk, never
+    both.
+    """
+
+    def __init__(self, collector: Collector, t0: int, length: int):
+        if length < 0:
+            raise InvalidParameterError(
+                f"chunk length must be non-negative, got {length}"
+            )
+        self._collector = collector
+        self.t0 = int(t0)
+        self.length = int(length)
+        self._values_block: Optional[np.ndarray] = None
+        self._counts: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Total population size ``N``."""
+        return self._collector.dataset.n_users
+
+    @property
+    def domain_size(self) -> int:
+        """Domain size ``d``."""
+        return self._collector.dataset.domain_size
+
+    @property
+    def oracle(self) -> FrequencyOracle:
+        """The frequency oracle in use (for closed-form error prediction)."""
+        return self._collector.oracle
+
+    # ------------------------------------------------------------------
+    def values_block(self) -> np.ndarray:
+        """The chunk's ``(length, n_users)`` value block (cached fetch).
+
+        The first call pulls
+        :meth:`~repro.streams.base.StreamDataset.values_range` — on
+        sequential streams this consumes the span, so per-step dataset
+        reads for the same timestamps are no longer legal.
+        """
+        if self._values_block is None:
+            self._values_block = self._collector.dataset.values_range(
+                self.t0, self.t0 + self.length
+            )
+        return self._values_block
+
+    def counts(self) -> np.ndarray:
+        """All-user true count histograms, shape ``(length, d)`` (cached).
+
+        Row ``i`` holds the same integers as
+        ``np.bincount(values(t0 + i), minlength=d)``.
+        """
+        if self._counts is None:
+            d = self.domain_size
+            block = self.values_block()
+            counts = np.empty((self.length, d), dtype=np.int64)
+            for i in range(self.length):
+                counts[i] = np.bincount(block[i], minlength=d)
+            self._counts = counts
+        return self._counts
+
+    def collect_run(
+        self,
+        epsilon: float,
+        offsets: Optional[Sequence[int]] = None,
+        user_ids: Optional[Sequence[np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Collect one FO round per selected chunk offset, in order.
+
+        ``offsets=None`` selects every timestamp of the chunk.  See
+        :meth:`Collector.collect_run` for the bit-identity contract.
+        """
+        if offsets is None:
+            offsets = range(self.length)
+        offsets = [int(off) for off in offsets]
+        if any(not 0 <= off < self.length for off in offsets) or any(
+            a >= b for a, b in zip(offsets, offsets[1:])
+        ):
+            raise InvalidParameterError(
+                f"offsets must be strictly ascending within "
+                f"[0, {self.length}), got {offsets}"
+            )
+        counts = None
+        if user_ids is None and (
+            self._counts is not None or len(offsets) == self.length
+        ):
+            # Reuse (or warm) the full-chunk histogram cache only when it
+            # pays for itself; sparse selections (e.g. LSP's one publish
+            # per window) bincount just their own rows downstream.
+            counts = self.counts()[np.asarray(offsets, dtype=np.int64)]
+        return self._collector.collect_run(
+            self.t0,
+            offsets,
+            epsilon,
+            self.values_block(),
+            user_ids=user_ids,
+            counts=counts,
+        )
+
+    # ------------------------------------------------------------------
+    def timestep(self, offset: int) -> TimestepContext:
+        """Per-step context for chunk offset ``offset`` (fallback path)."""
+        if not 0 <= offset < self.length:
+            raise InvalidParameterError(
+                f"offset {offset} outside chunk of length {self.length}"
+            )
+        return TimestepContext(self._collector, self.t0 + offset)
+
+    def timesteps(self) -> Iterator[TimestepContext]:
+        """Iterate per-step contexts in timestamp order (fallback path)."""
+        for offset in range(self.length):
+            yield self.timestep(offset)

@@ -27,9 +27,15 @@ Each session's output is bit-identical to a solo
 * sessions are advanced in timestamp order, which is the only order a
   solo run ever uses.
 
-The per-timestamp truth fan-out goes through the streams' batched
-:meth:`~repro.streams.base.StreamDataset.true_frequencies_range` path for
-random-access datasets, amortising the histogram work over whole chunks.
+On random-access datasets the whole fan-out is chunked: each
+``truth_chunk``-sized span's histograms come from one batched
+:meth:`~repro.streams.base.StreamDataset.true_frequencies_range` call
+and every session ingests the span through
+:meth:`~repro.engine.session.StreamSession.observe_many` (bulk
+ingestion), amortising the per-step engine overhead as well as the
+histogram work.  Sequential (generative/online) streams keep the
+per-timestamp fan-out, since their snapshots exist only while the
+cursor is on them.
 """
 
 from __future__ import annotations
@@ -60,8 +66,9 @@ class SessionGroup:
         Default horizon for sessions added without one; falls back to
         the dataset's horizon.
     truth_chunk:
-        Chunk length for batched true-frequency prefetch on
-        random-access datasets.
+        Bulk-ingestion span on random-access datasets: timestamps per
+        batched true-frequency prefetch and per
+        :meth:`~repro.engine.session.StreamSession.observe_many` call.
     """
 
     def __init__(
@@ -178,31 +185,46 @@ class SessionGroup:
         for session in self._sessions:
             session.start()
         steps = max(s.horizon for s in self._sessions)
+        if getattr(dataset, "random_access", False):
+            self._run_chunked(steps)
+        else:
+            self._run_per_step(steps)
+        return [session.finalize() for session in self._sessions]
+
+    def _run_chunked(self, steps: int) -> None:
+        """Bulk fan-out on random-access datasets.
+
+        Each truth chunk is computed once and every session ingests it
+        through :meth:`~repro.engine.session.StreamSession.observe_many`
+        — bit-identical to the per-timestamp fan-out (sessions own
+        private RNGs and the dataset serves any order), with the
+        per-step Python overhead amortised per chunk.
+        """
+        dataset = self.dataset
+        for b0 in range(0, steps, self.truth_chunk):
+            b1 = min(b0 + self.truth_chunk, steps)
+            truth = dataset.true_frequencies_range(b0, b1)
+            for session in self._sessions:
+                span = min(b1, session.horizon) - b0
+                if span > 0:
+                    session.observe_many(
+                        b0, span, true_frequencies=truth[:span]
+                    )
+
+    def _run_per_step(self, steps: int) -> None:
+        """Per-timestamp fan-out for sequential (generative/online)
+        datasets, whose snapshots exist only while the cursor is on
+        them."""
+        dataset = self.dataset
         n = dataset.n_users
         d = dataset.domain_size
-        random_access = getattr(dataset, "random_access", False)
-        truth_block: Optional[np.ndarray] = None
-        block_start = 0
         for t in range(steps):
             # One read of the timestamp's user values.  Generative
             # streams generate here and serve every session's collector
-            # from the cached snapshot; materialized streams hand out
-            # row views.
+            # from the cached snapshot.  Same arithmetic as
+            # StreamDataset.true_frequencies, on the values in hand.
             values = dataset.values(t)
-            if random_access:
-                if truth_block is None or t >= block_start + len(truth_block):
-                    block_start = t
-                    truth_block = dataset.true_frequencies_range(
-                        t, min(t + self.truth_chunk, steps)
-                    )
-                freqs = truth_block[t - block_start]
-            else:
-                # Same arithmetic as StreamDataset.true_frequencies, on
-                # the values array already in hand.
-                freqs = np.bincount(values, minlength=d).astype(
-                    np.float64
-                ) / n
+            freqs = np.bincount(values, minlength=d).astype(np.float64) / n
             for session in self._sessions:
                 if t < session.horizon:
                     session.observe(t, true_frequencies=freqs)
-        return [session.finalize() for session in self._sessions]

@@ -10,8 +10,6 @@ or recycling someone who was never assigned raises immediately.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..exceptions import (

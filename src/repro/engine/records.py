@@ -10,7 +10,7 @@ CFPU) without re-running the mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -20,7 +20,7 @@ STRATEGY_APPROXIMATE = "approximate"
 STRATEGY_NULLIFIED = "nullified"
 
 
-@dataclass
+@dataclass(slots=True)
 class StepRecord:
     """Everything a mechanism did at one timestamp.
 

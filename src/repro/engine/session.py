@@ -8,6 +8,11 @@ timestamp at a time:
 * :meth:`StreamSession.start` initialises all per-session state;
 * :meth:`StreamSession.observe` ingests one timestamp (mechanism step,
   accounting, postprocessing, trace bookkeeping);
+* :meth:`StreamSession.observe_many` ingests a contiguous chunk of
+  timestamps in one call — bit-identical to the equivalent ``observe()``
+  loop, but with the per-step interpreter overhead amortised across the
+  chunk (vectorized mechanism kernels, batched truth histograms, bulk
+  trace/store bookkeeping);
 * :meth:`StreamSession.finalize` closes the session and returns the
   :class:`~repro.engine.records.SessionResult` with everything the
   paper's metrics need.
@@ -41,8 +46,11 @@ from ..query.store import ReleaseStore
 from ..rng import SeedLike, ensure_rng
 from ..streams.base import StreamDataset
 from .accountant import WEventAccountant
-from .collector import Collector, TimestepContext
+from .collector import ChunkContext, Collector, TimestepContext
 from .records import STRATEGY_PUBLISH, SessionResult, StepRecord
+
+#: Chunk size :func:`run_stream` ingests with when none is requested.
+DEFAULT_CHUNK = 256
 
 
 class StreamSession:
@@ -257,6 +265,165 @@ class StreamSession:
         self._next_t = t + 1
         return record
 
+    def observe_many(
+        self,
+        t0: Optional[int] = None,
+        n: Optional[int] = None,
+        *,
+        true_frequencies: Optional[np.ndarray] = None,
+    ) -> list:
+        """Ingest ``n`` consecutive timestamps starting at ``t0``.
+
+        Bulk counterpart of :meth:`observe`, and **bit-identical** to
+        calling it in a loop: the chunk performs the same RNG draws in
+        the same order (mechanism chunk kernels batch their collection
+        rounds through the oracles' order-preserving run samplers; the
+        adaptive mechanisms transparently fall back to per-step
+        execution), so releases, records, counters and any attached
+        store end up byte-for-byte equal.  What changes is the
+        per-timestamp interpreter overhead: truth histograms, collection
+        rounds and trace/store bookkeeping are amortised across the
+        chunk (see ``benchmarks/bench_ingest_throughput.py``).
+
+        ``t0`` defaults to the next expected timestamp (and must equal
+        it when given).  ``n`` defaults to the rest of the session's
+        horizon; a chunk reaching beyond the horizon is clamped to it,
+        so callers may loop ``observe_many(n=chunk)`` without sizing the
+        final partial chunk — but ingesting *at* the horizon raises,
+        exactly like :meth:`observe`.  ``true_frequencies`` optionally
+        hands over the ``(n, d)`` truth block a shared-pass driver
+        already computed (row ``i`` must equal
+        ``dataset.true_frequencies(t0 + i)``).
+
+        Returns the list of per-timestamp
+        :class:`~repro.engine.records.StepRecord`\\ s.
+        """
+        if not self._started:
+            raise InvalidParameterError("call start() before observe_many()")
+        if self._finalized:
+            raise InvalidParameterError("session already finalized")
+        if t0 is None:
+            t0 = self._next_t
+        elif t0 != self._next_t:
+            raise InvalidParameterError(
+                f"timestamps must be observed in order: expected "
+                f"t={self._next_t}, got t0={t0}"
+            )
+        # The tightest horizon in play: the session's own, else the
+        # dataset's (unbounded online sessions have neither).
+        limit = self.horizon
+        if limit is None:
+            limit = self.dataset.horizon
+        if limit is not None and t0 >= limit:
+            raise InvalidParameterError(
+                f"timestamp {t0} beyond session horizon {limit}"
+            )
+        if n is None:
+            if limit is None:
+                raise InvalidParameterError(
+                    "a chunk size n is required on sessions without a "
+                    "horizon"
+                )
+            n = limit - t0
+        n = int(n)
+        if n < 0:
+            raise InvalidParameterError(
+                f"chunk size must be non-negative, got {n}"
+            )
+        if limit is not None:
+            n = min(n, limit - t0)
+        if n == 0:
+            return []
+        truth: Optional[np.ndarray] = None
+        if true_frequencies is not None:
+            truth = np.asarray(true_frequencies, dtype=np.float64)
+            if truth.shape != (n, self.dataset.domain_size):
+                raise InvalidParameterError(
+                    f"true_frequencies must have shape "
+                    f"({n}, {self.dataset.domain_size}), got {truth.shape}"
+                )
+        if not self.mechanism.chunk_kernel:
+            return self._observe_many_fallback(t0, n, truth)
+        return self._observe_many_kernel(t0, n, truth)
+
+    def _observe_many_fallback(
+        self, t0: int, n: int, truth: Optional[np.ndarray]
+    ) -> list:
+        """Per-step chunk ingestion: the literal ``observe()`` loop.
+
+        Used for mechanisms without a chunk kernel (the adaptive
+        methods, whose next collection round depends on the previous
+        round's estimate).  Still amortises the truth histograms over
+        the chunk on random-access datasets.
+        """
+        if (
+            truth is None
+            and self.record_trace
+            and getattr(self.dataset, "random_access", False)
+        ):
+            truth = self.dataset.true_frequencies_range(t0, t0 + n)
+        return [
+            self.observe(
+                t0 + i,
+                true_frequencies=None if truth is None else truth[i],
+            )
+            for i in range(n)
+        ]
+
+    def _observe_many_kernel(
+        self, t0: int, n: int, truth: Optional[np.ndarray]
+    ) -> list:
+        """Vectorized chunk ingestion through the mechanism's kernel.
+
+        All stream access goes through the chunk context's prefetched
+        value block, which is what makes this path legal on sequential
+        generative streams too (the block consumes the span; nothing
+        re-reads it per step afterwards).
+        """
+        ctx = ChunkContext(self.collector, t0, n)
+        records = self.mechanism.step_many(ctx)
+        if len(records) != n:
+            raise InvalidParameterError(
+                f"{self.mechanism.name} returned {len(records)} records "
+                f"for a chunk of {n}"
+            )
+        need_release = self.record_trace or self.store is not None
+        if self.record_trace and truth is None:
+            # Same integers as per-step np.bincount(values(t)), divided
+            # the same way — rows are bit-identical to
+            # dataset.true_frequencies(t).
+            truth = ctx.counts().astype(np.float64) / self.dataset.n_users
+        for i, record in enumerate(records):
+            if record.t != t0 + i:
+                raise InvalidParameterError(
+                    f"{self.mechanism.name} returned record for "
+                    f"t={record.t} at t={t0 + i}"
+                )
+            if record.strategy == STRATEGY_PUBLISH:
+                self._publications += 1
+            if need_release:
+                release = np.asarray(
+                    self.postprocessor(record.release), dtype=np.float64
+                )
+            if self.store is not None:
+                self._release_variance = next_release_variance(
+                    self.oracle,
+                    record.strategy,
+                    record.publication_epsilon,
+                    record.publication_users,
+                    self.dataset.domain_size,
+                    self._release_variance,
+                )
+                self.store.append(
+                    t0 + i, release, self._release_variance, record.strategy
+                )
+            if self.record_trace:
+                self._releases.append(release.copy())
+                self._true_frequencies.append(truth[i].copy())
+                self._records.append(record)
+        self._next_t = t0 + n
+        return records
+
     def finalize(self) -> SessionResult:
         """Close the session and assemble its :class:`SessionResult`.
 
@@ -326,6 +493,7 @@ def run_stream(
     fast: bool = True,
     postprocess: str = "none",
     enforce_privacy: bool = True,
+    chunk: Optional[int] = None,
 ) -> SessionResult:
     """Run one ``w``-event LDP streaming session start-to-finish.
 
@@ -354,6 +522,12 @@ def run_stream(
     enforce_privacy:
         Arm the accountant (raise on any ``w``-event violation).  Always
         leave on except when deliberately probing broken mechanisms.
+    chunk:
+        Timestamps ingested per :meth:`StreamSession.observe_many` call
+        (default :data:`DEFAULT_CHUNK`).  Results are bit-identical at
+        any chunk size — including ``chunk=1``, the historical per-step
+        loop — so this only trades peak memory against per-step
+        overhead.
 
     Returns
     -------
@@ -367,6 +541,10 @@ def run_stream(
         )
     if steps <= 0:
         raise InvalidParameterError(f"horizon must be positive, got {steps}")
+    if chunk is None:
+        chunk = DEFAULT_CHUNK
+    elif chunk <= 0:
+        raise InvalidParameterError(f"chunk must be positive, got {chunk}")
     session = StreamSession(
         mechanism,
         dataset,
@@ -380,6 +558,6 @@ def run_stream(
         enforce_privacy=enforce_privacy,
     )
     session.start()
-    for t in range(steps):
-        session.observe(t)
+    for t0 in range(0, steps, chunk):
+        session.observe_many(t0, min(chunk, steps - t0))
     return session.finalize()

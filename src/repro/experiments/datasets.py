@@ -13,8 +13,7 @@ substitution rationale).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..exceptions import InvalidParameterError
 from ..rng import SeedLike

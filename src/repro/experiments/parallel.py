@@ -39,6 +39,13 @@ seeded with the exact coordinate-derived SeedSequence the solo path
 uses, so coalescing changes wall-clock only, never results.  A
 7-mechanism × 4-epsilon grid over one simulator-backed dataset becomes 1
 stream pass instead of 28 (see ``benchmarks/bench_shared_pass.py``).
+
+On random-access datasets the shared pass itself runs chunked: the
+group hands each session :data:`_SHARED_PASS_CHUNK` timestamps at a
+time through :meth:`~repro.engine.StreamSession.observe_many` (bulk
+ingestion), which is bit-identical to the per-timestamp fan-out but
+amortises the per-step engine overhead (see
+``benchmarks/bench_ingest_throughput.py``).
 """
 
 from __future__ import annotations
@@ -69,6 +76,10 @@ from .runner import (
 
 #: Hashable scalar parameter value inside a DatasetSpec.
 ParamValue = Union[int, float, str, bool]
+
+#: Timestamps per bulk-ingestion step on shared-pass groups (drives both
+#: the truth-histogram prefetch and each session's observe_many spans).
+_SHARED_PASS_CHUNK = 128
 
 
 @dataclass(frozen=True)
@@ -414,7 +425,7 @@ def run_shared_pass(
         return [run_cell(specs[0], base_seed)]
     base = as_seed_sequence(base_seed)
     dataset = _materialize(specs[0].dataset)
-    group = SessionGroup(dataset)
+    group = SessionGroup(dataset, truth_chunk=_SHARED_PASS_CHUNK)
     plan: List[Tuple[CellSpec, int]] = []
     for spec in specs:
         seed = spec.seed_sequence(base)

@@ -8,7 +8,7 @@ x-value).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..analysis.monitoring import ROCCurve
 

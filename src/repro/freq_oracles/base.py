@@ -28,8 +28,8 @@ from __future__ import annotations
 
 import abc
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Type
+from dataclasses import dataclass
+from typing import Dict, Type
 
 import numpy as np
 
@@ -141,6 +141,46 @@ class FrequencyOracle(abc.ABC):
         """
         counts = self._check_batch_counts(true_counts)
         rng = ensure_rng(rng)
+        return np.stack(
+            [
+                self.sample_aggregate(row, epsilon, rng=rng).frequencies
+                for row in counts
+            ]
+        )
+
+    def sample_aggregate_run(
+        self,
+        true_counts: np.ndarray,
+        epsilon: float,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """Sample a *run* of consecutive rounds, replaying the per-round
+        draw order exactly.
+
+        Like :meth:`sample_aggregate_batch`, ``true_counts`` is a
+        ``(B, d)`` matrix of exact per-round value histograms and the
+        result is the ``(B, d)`` matrix of unbiased frequency estimates.
+        The contract is stronger, though: the output is **bit-identical**
+        to calling :meth:`sample_aggregate` row by row on the same
+        generator — the run consumes the generator's bitstream in the
+        same element order the streaming engine's per-round loop would.
+        This is what lets the chunked ingestion path
+        (:meth:`repro.engine.session.StreamSession.observe_many`) batch
+        whole spans of collection rounds without changing a single
+        released float.
+
+        The base implementation is literally the sequential loop.
+        Subclasses whose per-round sampler has a fixed draw structure
+        override it: OLH/HR delegate to their (already order-preserving)
+        batch samplers, OUE/SUE interleave their two binomials into one
+        ``(B, 2, d)`` element-ordered draw, and GRR hoists the per-round
+        setup out of a tight loop (its binomial/multinomial interleaving
+        cannot be merged across rounds).
+        """
+        counts = self._check_batch_counts(true_counts)
+        rng = ensure_rng(rng)
+        if counts.shape[0] == 0:
+            return np.empty((0, counts.shape[1]), dtype=np.float64)
         return np.stack(
             [
                 self.sample_aggregate(row, epsilon, rng=rng).frequencies

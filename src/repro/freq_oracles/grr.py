@@ -114,5 +114,36 @@ class GRR(FrequencyOracle):
         perturbed = keepers + spread.sum(axis=1)
         return (perturbed / n - q) / (p - q)
 
+    def sample_aggregate_run(self, true_counts, epsilon, rng: SeedLike = None):
+        epsilon = self._check_epsilon(epsilon)
+        counts = self._check_batch_counts(true_counts)
+        if counts.shape[0] == 0:
+            return np.empty((0, counts.shape[1]), dtype=np.float64)
+        domain_size = self._check_domain(counts.shape[1])
+        rng = ensure_rng(rng)
+        n = counts.sum(axis=1)
+        if int(n.min()) <= 0:
+            raise InvalidParameterError("cannot aggregate zero reports")
+        p, q = grr_probabilities(epsilon, domain_size)
+        uniform_over_others = np.full(
+            (domain_size, domain_size), 1.0 / (domain_size - 1)
+        )
+        np.fill_diagonal(uniform_over_others, 0.0)
+        # GRR's per-round sampler alternates a binomial with a multinomial,
+        # so consecutive rounds cannot merge into one generator call
+        # without reordering the bitstream.  Instead the loop stays — with
+        # every round-invariant (probabilities, the liar-spread matrix,
+        # parameter checks) hoisted out — and each iteration issues the
+        # exact two draws sample_aggregate would, keeping the run
+        # bit-identical to the per-round path.
+        perturbed = np.empty(counts.shape, dtype=np.float64)
+        for b, row in enumerate(counts):
+            keepers = rng.binomial(row, p)
+            liars = row - keepers
+            spread = rng.multinomial(liars, uniform_over_others)
+            perturbed[b] = keepers
+            perturbed[b] += spread.sum(axis=0)
+        return (perturbed / n[:, None] - q) / (p - q)
+
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         return grr_mean_variance(epsilon, n, domain_size)

@@ -150,6 +150,11 @@ class HadamardResponse(FrequencyOracle):
         supports = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
         return (supports / n - 0.5) / (p - 0.5)
 
+    def sample_aggregate_run(self, true_counts, epsilon, rng: SeedLike = None):
+        # The batch sampler already replays the per-round draw order
+        # exactly (see its docstring), so it doubles as the run kernel.
+        return self.sample_aggregate_batch(true_counts, epsilon, rng=rng)
+
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         p = hr_probability(epsilon)
         # Leading term: support count variance 1/4 per user at f ~ 0.

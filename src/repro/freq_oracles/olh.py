@@ -139,5 +139,10 @@ class OLH(FrequencyOracle):
         supports = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
         return (supports / n - q) / (p - q)
 
+    def sample_aggregate_run(self, true_counts, epsilon, rng: SeedLike = None):
+        # The batch sampler already replays the per-round draw order
+        # exactly (see its docstring), so it doubles as the run kernel.
+        return self.sample_aggregate_batch(true_counts, epsilon, rng=rng)
+
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         return olh_mean_variance(epsilon, n, domain_size)

@@ -88,5 +88,26 @@ class SUE(FrequencyOracle):
         ones = rng.binomial(counts, p) + rng.binomial(n - counts, q)
         return (ones / n - q) / (p - q)
 
+    def sample_aggregate_run(self, true_counts, epsilon, rng: SeedLike = None):
+        epsilon = self._check_epsilon(epsilon)
+        counts = self._check_batch_counts(true_counts)
+        if counts.shape[0] == 0:
+            return np.empty((0, counts.shape[1]), dtype=np.float64)
+        self._check_domain(counts.shape[1])
+        rng = ensure_rng(rng)
+        n = counts.sum(axis=1, keepdims=True)
+        if int(n.min()) <= 0:
+            raise InvalidParameterError("cannot aggregate zero reports")
+        p, q = sue_probabilities(epsilon)
+        # Same interleaved (B, 2, d) element-ordered draw as OUE: keeps
+        # the run bit-identical to per-round sample_aggregate calls.
+        trials = np.stack([counts, n - counts], axis=1)
+        probs = np.broadcast_to(
+            np.array([p, q]).reshape(1, 2, 1), trials.shape
+        )
+        draws = rng.binomial(trials, probs)
+        ones = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
+        return (ones / n - q) / (p - q)
+
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         return sue_mean_variance(epsilon, n, domain_size)

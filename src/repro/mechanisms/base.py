@@ -15,11 +15,11 @@ or users, publication history) but are re-initialised per session via
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Type
+from typing import Dict, List, Optional, Type
 
 import numpy as np
 
-from ..engine.collector import TimestepContext
+from ..engine.collector import ChunkContext, TimestepContext
 from ..engine.records import StepRecord
 from ..exceptions import InvalidParameterError
 from ..freq_oracles import FrequencyOracle, get_oracle
@@ -35,6 +35,16 @@ class StreamMechanism(abc.ABC):
     adaptive: bool = False
     #: Which framework the method belongs to: ``"budget"`` or ``"population"``.
     framework: str = ""
+    #: Whether :meth:`step_many` overrides the per-step fallback with a
+    #: vectorized chunk kernel whose data access goes exclusively through
+    #: :meth:`~repro.engine.collector.ChunkContext.collect_run`.  Only
+    #: non-adaptive mechanisms qualify: their collection schedule is a
+    #: pure function of the timestamp, so a whole chunk's rounds can be
+    #: drawn through the oracles' order-preserving run samplers.  The
+    #: adaptive methods decide each round from the previous round's
+    #: estimate and keep the per-step fallback.  The engine only builds
+    #: chunk contexts for kernels; everything else loops ``observe()``.
+    chunk_kernel: bool = False
 
     def __init__(self) -> None:
         self.n_users = 0
@@ -82,6 +92,18 @@ class StreamMechanism(abc.ABC):
     @abc.abstractmethod
     def step(self, ctx: TimestepContext) -> StepRecord:
         """Process one timestamp and return the release record."""
+
+    def step_many(self, ctx: ChunkContext) -> List[StepRecord]:
+        """Process a contiguous chunk of timestamps; one record per step.
+
+        Must be bit-identical to calling :meth:`step` per timestamp —
+        same RNG draws in the same order, same records, same final
+        mechanism state.  The base implementation *is* that loop.
+        Mechanisms with ``chunk_kernel = True`` override it with a
+        vectorized kernel that batches the chunk's collection rounds
+        through :meth:`ChunkContext.collect_run`.
+        """
+        return [self.step(step_ctx) for step_ctx in ctx.timesteps()]
 
     # ------------------------------------------------------------------
     def predicted_error(self, epsilon: float, n: int) -> float:

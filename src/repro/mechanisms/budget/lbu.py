@@ -8,7 +8,9 @@ quickly with ``w`` because LDP noise is exponential in the inverse budget.
 
 from __future__ import annotations
 
-from ...engine.collector import TimestepContext
+from typing import List
+
+from ...engine.collector import ChunkContext, TimestepContext
 from ...engine.records import STRATEGY_PUBLISH, StepRecord
 from ..base import StreamMechanism, register_mechanism
 
@@ -20,6 +22,7 @@ class LBU(StreamMechanism):
     name = "LBU"
     adaptive = False
     framework = "budget"
+    chunk_kernel = True
 
     def step(self, ctx: TimestepContext) -> StepRecord:
         per_step_epsilon = self.epsilon / self.window
@@ -33,3 +36,26 @@ class LBU(StreamMechanism):
             publication_users=estimate.n_reports,
             reports=estimate.n_reports,
         )
+
+    def step_many(self, ctx: ChunkContext) -> List[StepRecord]:
+        # Every timestamp collects from everyone with the same budget, so
+        # the whole chunk is one batched run of FO rounds.
+        per_step_epsilon = self.epsilon / self.window
+        frequencies, n_reports = ctx.collect_run(per_step_epsilon)
+        records = []
+        for i in range(ctx.length):
+            release = frequencies[i]
+            reports = int(n_reports[i])
+            records.append(
+                StepRecord(
+                    t=ctx.t0 + i,
+                    release=release,
+                    strategy=STRATEGY_PUBLISH,
+                    publication_epsilon=per_step_epsilon,
+                    publication_users=reports,
+                    reports=reports,
+                )
+            )
+        if ctx.length:
+            self.last_release = records[-1].release
+        return records

@@ -13,7 +13,9 @@ paper plots it with the population family; its CFPU is ``1/w`` either way.
 
 from __future__ import annotations
 
-from ...engine.collector import TimestepContext
+from typing import List
+
+from ...engine.collector import ChunkContext, TimestepContext
 from ...engine.records import (
     STRATEGY_APPROXIMATE,
     STRATEGY_PUBLISH,
@@ -36,6 +38,7 @@ class LSP(StreamMechanism):
     name = "LSP"
     adaptive = False
     framework = "budget"
+    chunk_kernel = True
 
     def __init__(self, offset: int = 0):
         super().__init__()
@@ -58,3 +61,43 @@ class LSP(StreamMechanism):
             release=self.last_release,
             strategy=STRATEGY_APPROXIMATE,
         )
+
+    def step_many(self, ctx: ChunkContext) -> List[StepRecord]:
+        # The sampling schedule is a pure function of t, so the chunk's
+        # publish timestamps are known up front; only they draw, in order.
+        phase = self.offset % self.window
+        publish_offsets = [
+            i
+            for i in range(ctx.length)
+            if (ctx.t0 + i) % self.window == phase
+        ]
+        frequencies, n_reports = ctx.collect_run(
+            self.epsilon, offsets=publish_offsets
+        )
+        records: List[StepRecord] = []
+        cursor = 0
+        for i in range(ctx.length):
+            if cursor < len(publish_offsets) and publish_offsets[cursor] == i:
+                release = frequencies[cursor]
+                reports = int(n_reports[cursor])
+                cursor += 1
+                self.last_release = release
+                records.append(
+                    StepRecord(
+                        t=ctx.t0 + i,
+                        release=release,
+                        strategy=STRATEGY_PUBLISH,
+                        publication_epsilon=self.epsilon,
+                        publication_users=reports,
+                        reports=reports,
+                    )
+                )
+            else:
+                records.append(
+                    StepRecord(
+                        t=ctx.t0 + i,
+                        release=self.last_release,
+                        strategy=STRATEGY_APPROXIMATE,
+                    )
+                )
+        return records

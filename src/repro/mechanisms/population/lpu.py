@@ -10,9 +10,11 @@ grows only linearly in ``w`` while ``V(eps/w, N)`` grows near-exponentially.
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
-from ...engine.collector import TimestepContext
+from ...engine.collector import ChunkContext, TimestepContext
 from ...engine.records import STRATEGY_PUBLISH, StepRecord
 from ..base import StreamMechanism, register_mechanism
 
@@ -24,6 +26,7 @@ class LPU(StreamMechanism):
     name = "LPU"
     adaptive = False
     framework = "population"
+    chunk_kernel = True
 
     def _setup(self) -> None:
         permutation = self.rng.permutation(self.n_users)
@@ -45,3 +48,31 @@ class LPU(StreamMechanism):
             publication_users=estimate.n_reports,
             reports=estimate.n_reports,
         )
+
+    def step_many(self, ctx: ChunkContext) -> List[StepRecord]:
+        # The round-robin group schedule is a pure function of t, so the
+        # chunk's rounds batch directly.
+        groups = [
+            self._groups[(ctx.t0 + i) % self.window]
+            for i in range(ctx.length)
+        ]
+        frequencies, n_reports = ctx.collect_run(
+            self.epsilon, user_ids=groups
+        )
+        records = []
+        for i in range(ctx.length):
+            release = frequencies[i]
+            reports = int(n_reports[i])
+            records.append(
+                StepRecord(
+                    t=ctx.t0 + i,
+                    release=release,
+                    strategy=STRATEGY_PUBLISH,
+                    publication_epsilon=self.epsilon,
+                    publication_users=reports,
+                    reports=reports,
+                )
+            )
+        if ctx.length:
+            self.last_release = records[-1].release
+        return records

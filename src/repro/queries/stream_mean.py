@@ -23,14 +23,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..engine.population import UserPool
 from ..exceptions import InvalidParameterError, StreamAccessError
 from ..rng import SeedLike, ensure_rng
-from .numeric import NumericMechanism, get_numeric_mechanism
+from .numeric import get_numeric_mechanism
 
 
 class NumericStream:

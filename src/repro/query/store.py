@@ -39,11 +39,18 @@ from ..exceptions import EvictedSpanError, InvalidParameterError
 class _Slot:
     """One retained timestamp: release row + running accumulators."""
 
-    __slots__ = ("t", "release", "variance", "strategy", "publication_id",
-                 "cum_release")
+    __slots__ = (
+        "t",
+        "release",
+        "variance",
+        "strategy",
+        "publication_id",
+        "cum_release",
+    )
 
-    def __init__(self, t, release, variance, strategy, publication_id,
-                 cum_release):
+    def __init__(
+        self, t, release, variance, strategy, publication_id, cum_release
+    ):
         self.t = t
         self.release = release
         self.variance = variance

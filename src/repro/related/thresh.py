@@ -33,7 +33,6 @@ the abrupt level changes.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Tuple
 
 import numpy as np

@@ -84,6 +84,27 @@ class StreamDataset(abc.ABC):
             np.int64
         )
 
+    def values_range(self, t0: int, t1: int) -> np.ndarray:
+        """True values of all users for ``t0 <= t < t1``, shape (t1-t0, n).
+
+        Row ``i`` equals ``values(t0 + i)``.  This is the bulk-ingestion
+        feed: :meth:`repro.engine.session.StreamSession.observe_many`
+        pulls one block per chunk and drives the whole span off it.  The
+        base implementation walks timestamps in order — note that on
+        sequential generative streams this *consumes* them (the cursor
+        ends at ``t1 - 1``), so a caller must either use only the block
+        or only per-timestamp ``values`` for a given span, never both.
+        Materialized streams override it with an O(1) view.  Callers
+        must not mutate the result.
+        """
+        if t1 < t0:
+            raise StreamAccessError(
+                f"invalid range [{t0}, {t1}): end before start"
+            )
+        if t1 == t0:
+            return np.empty((0, self.n_users), dtype=np.int64)
+        return np.stack([self.values(t) for t in range(t0, t1)])
+
     def true_frequencies_range(self, t0: int, t1: int) -> np.ndarray:
         """True frequency histograms for ``t0 <= t < t1``, shape (t1-t0, d).
 
@@ -144,6 +165,18 @@ class MaterializedStream(StreamDataset):
     def values(self, t: int) -> np.ndarray:
         t = self._check_t(t)
         return self._values[t]
+
+    def values_range(self, t0: int, t1: int) -> np.ndarray:
+        """O(1) block view of the stored value matrix."""
+        if t1 < t0:
+            raise StreamAccessError(
+                f"invalid range [{t0}, {t1}): end before start"
+            )
+        if t1 == t0:
+            return np.empty((0, self.n_users), dtype=np.int64)
+        self._check_t(t0)
+        self._check_t(t1 - 1)
+        return self._values[t0:t1]
 
     def true_frequencies_range(self, t0: int, t1: int) -> np.ndarray:
         """Vectorized batch histogram: one bincount for the whole range.

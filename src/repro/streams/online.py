@@ -15,7 +15,7 @@ the engine ever looks further back than the current timestamp.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Tuple
 
 import numpy as np
 
@@ -90,3 +90,7 @@ class OnlineStream(StreamDataset):
             f"(oldest retained: "
             f"{self._snapshots[0][0] if self._snapshots else 'none'})"
         )
+
+    # The base values_range (stack values(t) in order) serves chunked
+    # ingestion here as long as the whole span is still retained —
+    # chunked consumers construct the stream with retain >= chunk.

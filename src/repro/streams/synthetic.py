@@ -17,8 +17,6 @@ processes (constant, step/spike) are provided for tests and ablations.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
-
 import numpy as np
 
 from ..exceptions import InvalidParameterError

@@ -1,6 +1,5 @@
 """Unit tests for CFPU closed forms and predicted-vs-measured agreement."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

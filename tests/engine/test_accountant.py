@@ -199,3 +199,79 @@ class TestWindowEdgeCases:
         assert acc.max_window_spend == pytest.approx(1.0)
         with pytest.raises(PrivacyViolationError):
             acc.charge(3, None, 0.1)  # anything more at t=3 violates
+
+
+class TestUniformFastPathAndChargeMany:
+    """The scalar uniform ledger and its bulk kernel must be observably
+    indistinguishable from the per-user array path."""
+
+    def _mirror(self, n_users=12, epsilon=1.0, window=4, enforce=True):
+        return (
+            WEventAccountant(n_users, epsilon, window, enforce),
+            WEventAccountant(n_users, epsilon, window, enforce),
+        )
+
+    def test_charge_many_equals_charge_loop(self):
+        bulk, loop = self._mirror()
+        bulk.charge_many(range(10), 0.2)
+        for t in range(10):
+            loop.charge(t, None, 0.2)
+        assert bulk.max_window_spend == loop.max_window_spend
+        assert bulk.total_charges == loop.total_charges
+        assert np.array_equal(bulk.spend_snapshot(), loop.spend_snapshot())
+
+    def test_charge_many_violation_at_same_timestamp(self):
+        bulk, loop = self._mirror(window=5)
+        with pytest.raises(PrivacyViolationError):
+            bulk.charge_many(range(8), 0.3)
+        with pytest.raises(PrivacyViolationError):
+            for t in range(8):
+                loop.charge(t, None, 0.3)
+        assert bulk.max_window_spend == loop.max_window_spend
+        assert bulk.total_charges == loop.total_charges
+
+    def test_charge_many_evicts_like_charges(self):
+        bulk, loop = self._mirror(window=3)
+        bulk.charge_many(range(20), 0.3)
+        for t in range(20):
+            loop.charge(t, None, 0.3)
+        assert bulk.window_spend(0) == loop.window_spend(0)
+        assert bulk.max_window_spend == pytest.approx(0.9)
+
+    def test_charge_many_time_order_enforced(self):
+        acc = WEventAccountant(n_users=5, epsilon=1.0, window=4)
+        acc.charge_many([0, 1, 2], 0.1)
+        with pytest.raises(InvalidParameterError):
+            acc.charge_many([1], 0.1)
+
+    def test_charge_many_rejects_negative_budget(self):
+        acc = WEventAccountant(n_users=5, epsilon=1.0, window=4)
+        with pytest.raises(InvalidParameterError):
+            acc.charge_many([0], -0.1)
+
+    def test_group_charge_materializes_uniform_ledger(self):
+        acc = WEventAccountant(n_users=6, epsilon=2.0, window=4)
+        acc.charge_many([0, 1], 0.25)
+        acc.charge(2, np.array([1, 3]), 0.5)
+        snapshot = acc.spend_snapshot()
+        assert snapshot[1] == pytest.approx(1.0)
+        assert snapshot[0] == pytest.approx(0.5)
+        assert acc.max_window_spend == pytest.approx(1.0)
+
+    def test_charge_many_after_group_charge_falls_back(self):
+        acc = WEventAccountant(n_users=6, epsilon=2.0, window=4)
+        acc.charge(0, np.array([0]), 0.5)
+        acc.charge_many([1, 2], 0.25)
+        assert acc.window_spend(0) == pytest.approx(1.0)
+        assert acc.window_spend(5) == pytest.approx(0.5)
+
+    def test_uniform_window_spend_bounds_checked(self):
+        acc = WEventAccountant(n_users=4, epsilon=1.0, window=2)
+        acc.charge(0, None, 0.5)
+        with pytest.raises(IndexError):
+            acc.window_spend(4)
+
+    def test_empty_charge_many_is_noop(self):
+        acc = WEventAccountant(n_users=4, epsilon=1.0, window=2)
+        acc.charge_many([], 0.5)
+        assert acc.total_charges == 0

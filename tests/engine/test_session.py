@@ -5,7 +5,7 @@ import pytest
 
 from repro.engine import run_stream
 from repro.exceptions import InvalidParameterError
-from repro.streams import TaxiSimulator, make_constant
+from repro.streams import TaxiSimulator
 
 
 class TestRunStream:

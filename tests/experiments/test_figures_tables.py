@@ -6,7 +6,6 @@ shape-of-results assertions live in tests/integration/test_paper_shape.py
 and in the benchmarks.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -10,7 +10,6 @@ pure function of the campaign seed and the cell's coordinates, so
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError

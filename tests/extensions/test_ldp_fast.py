@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import mean_squared_error
-from repro.engine import STRATEGY_PUBLISH, run_stream
+from repro.engine import run_stream
 from repro.exceptions import InvalidParameterError
 from repro.extensions import LPF
 from repro.mechanisms import get_mechanism

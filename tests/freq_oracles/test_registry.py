@@ -9,7 +9,6 @@ from repro.freq_oracles import (
     OLH,
     OUE,
     SUE,
-    FrequencyOracle,
     available_oracles,
     get_oracle,
 )

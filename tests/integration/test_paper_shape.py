@@ -15,9 +15,8 @@ workloads:
 import numpy as np
 import pytest
 
-from repro.analysis import mean_relative_error
 from repro.engine import run_stream
-from repro.experiments import evaluate, make_dataset
+from repro.experiments import evaluate
 from repro.streams import make_lns, make_sin
 
 

@@ -8,7 +8,6 @@ from repro.freq_oracles import GRR
 from repro.mechanisms import (
     ALL_METHODS,
     LBU,
-    StreamMechanism,
     available_mechanisms,
     get_mechanism,
 )

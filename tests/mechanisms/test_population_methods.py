@@ -4,13 +4,12 @@ import numpy as np
 import pytest
 
 from repro.engine import (
-    STRATEGY_APPROXIMATE,
     STRATEGY_NULLIFIED,
     STRATEGY_PUBLISH,
     run_stream,
 )
 from repro.exceptions import InvalidParameterError
-from repro.mechanisms import LPD, get_mechanism
+from repro.mechanisms import LPD
 from repro.streams import make_step
 
 

@@ -1,7 +1,6 @@
 """Property-based tests on the accountant and the user pool."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

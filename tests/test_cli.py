@@ -257,10 +257,10 @@ class TestServe:
         ]
         self._feed(monkeypatch, requests)
         assert main(self._serve()) == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        lines = [json.loads(raw) for raw in capsys.readouterr().out.splitlines()]
         assert len(lines) == len(requests)
-        ingests = [l for l in lines if l.get("op") == "ingest"]
-        assert [l["t"] for l in ingests] == list(range(12))
+        ingests = [obj for obj in lines if obj.get("op") == "ingest"]
+        assert [obj["t"] for obj in ingests] == list(range(12))
         topk = lines[12]
         assert topk["op"] == "topk" and len(topk["items"]) == 2
         assert topk["items"][0]["rank"] == 1
@@ -279,7 +279,7 @@ class TestServe:
         ]
         self._feed(monkeypatch, requests)
         assert main(self._serve(["--capacity", "8"])) == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        lines = [json.loads(raw) for raw in capsys.readouterr().out.splitlines()]
         summary = lines[20]
         assert summary["retained"] == 8
         assert summary["oldest_t"] == 12
@@ -301,7 +301,7 @@ class TestServe:
             _sys, "stdin", io.StringIO("{not json}\n" + good + "\n")
         )
         assert main(self._serve()) == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        lines = [json.loads(raw) for raw in capsys.readouterr().out.splitlines()]
         assert "error" in lines[0]
         assert lines[1]["op"] == "ingest"
 
@@ -421,7 +421,7 @@ class TestServeRobustness:
         captured = capsys.readouterr()
         assert code == 2
         assert "no longer consistent" in captured.err
-        lines = [json.loads(l) for l in captured.out.splitlines()]
+        lines = [json.loads(raw) for raw in captured.out.splitlines()]
         assert lines[0]["t"] == 0                 # first ingest fine
         assert lines[1]["fatal"] is True          # then fatal, then stop
         assert len(lines) == 2
@@ -432,7 +432,111 @@ class TestServeRobustness:
         requests.append({"op": "summary"})
         self._feed(monkeypatch, requests)
         assert main(self._serve()) == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        lines = [json.loads(raw) for raw in capsys.readouterr().out.splitlines()]
         assert "error" in lines[1]            # rejected before any advance
         assert lines[2]["t"] == 1             # ingestion continues in sync
         assert lines[3]["steps"] == 2
+
+
+class TestStreamChunked:
+    """`repro stream --chunk N` buffers N timestamps per engine call;
+    the emitted lines must be identical to the per-step run."""
+
+    @staticmethod
+    def _args(extra=()):
+        return [
+            "stream", "--method", "LBU", "--domain-size", "3",
+            "--epsilon", "1", "--window", "4", "--seed", "7", *extra,
+        ]
+
+    def _run(self, capsys, monkeypatch, extra=(), n_lines=23):
+        TestStream._feed(
+            monkeypatch, TestStream._snapshot_lines(n_lines=n_lines)
+        )
+        code = main(self._args(extra))
+        captured = capsys.readouterr()
+        assert code == 0
+        return captured.out, captured.err
+
+    def test_chunked_output_identical(self, capsys, monkeypatch):
+        out_loop, err_loop = self._run(capsys, monkeypatch)
+        out_chunk, err_chunk = self._run(
+            capsys, monkeypatch, extra=("--chunk", "8")
+        )
+        assert out_chunk == out_loop
+        assert err_chunk == err_loop
+
+    def test_chunk_larger_than_input(self, capsys, monkeypatch):
+        out_loop, _ = self._run(capsys, monkeypatch)
+        out_chunk, _ = self._run(capsys, monkeypatch, extra=("--chunk", "999"))
+        assert out_chunk == out_loop
+
+    def test_chunk_with_max_steps(self, capsys, monkeypatch):
+        out_loop, _ = self._run(
+            capsys, monkeypatch, extra=("--max-steps", "10")
+        )
+        out_chunk, _ = self._run(
+            capsys, monkeypatch, extra=("--chunk", "8", "--max-steps", "10")
+        )
+        assert out_chunk == out_loop
+        assert len(out_chunk.splitlines()) == 10
+
+    def test_invalid_chunk_is_graceful(self, capsys, monkeypatch):
+        TestStream._feed(monkeypatch, TestStream._snapshot_lines())
+        assert main(self._args(("--chunk", "0"))) == 2
+        assert "chunk" in capsys.readouterr().err
+
+
+class TestServeChunked:
+    """`repro serve --chunk N` buffers consecutive ingests and flushes
+    before answering queries; answer lines keep request order."""
+
+    def _run(self, capsys, monkeypatch, requests, extra=()):
+        TestServe._feed(monkeypatch, requests)
+        code = main(TestServe._serve(extra))
+        out = capsys.readouterr().out
+        return code, [json.loads(raw) for raw in out.splitlines()]
+
+    def test_chunked_answers_identical(self, capsys, monkeypatch):
+        requests = TestServe._requests(n_steps=13) + [
+            {"op": "topk", "k": 2},
+            {"op": "summary"},
+        ]
+        code, loop = self._run(capsys, monkeypatch, requests)
+        assert code == 0
+        code, chunk = self._run(
+            capsys, monkeypatch, requests, extra=("--chunk", "5")
+        )
+        assert code == 0
+        assert chunk == loop
+
+    def test_query_flushes_pending_ingests(self, capsys, monkeypatch):
+        requests = TestServe._requests(n_steps=3) + [{"op": "summary"}]
+        code, lines = self._run(
+            capsys, monkeypatch, requests, extra=("--chunk", "100")
+        )
+        assert code == 0
+        # All three buffered ingests answered (in order) before the query.
+        assert [obj.get("t") for obj in lines[:3]] == [0, 1, 2]
+        assert lines[3]["steps"] == 3
+
+    def test_eof_flushes_partial_chunk(self, capsys, monkeypatch):
+        code, lines = self._run(
+            capsys,
+            monkeypatch,
+            TestServe._requests(n_steps=7),
+            extra=("--chunk", "4"),
+        )
+        assert code == 0
+        assert [obj["t"] for obj in lines] == list(range(7))
+
+    def test_bad_request_keeps_order(self, capsys, monkeypatch):
+        requests = TestServe._requests(n_steps=2)
+        requests.insert(1, {"op": "bogus"})
+        code, lines = self._run(
+            capsys, monkeypatch, requests, extra=("--chunk", "10")
+        )
+        assert code == 0
+        assert lines[0]["t"] == 0
+        assert "error" in lines[1]
+        assert lines[2]["t"] == 1
