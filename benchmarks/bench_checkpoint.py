@@ -1,0 +1,221 @@
+"""Checkpoint round-trip cost — snapshot/serialize/restore timing.
+
+A durable session pays for its crash-safety in checkpoint writes: every
+``--checkpoint-every`` chunks the server captures the full session state,
+JSON-encodes it and atomically replaces ``checkpoint.json``.  This bench
+times the three legs of that round trip — :meth:`snapshot`, JSON
+encode+decode, :meth:`restore <repro.engine.StreamSession.restore>` —
+across a small mechanism matrix and payload-relevant knobs (store
+capacity, trace recording), prints the table, and (as a script) writes
+the JSON record CI uploads so the persistence overhead is tracked per
+PR.
+
+The pytest entry asserts sanity floors only (a round trip completes and
+is bit-faithful); absolute numbers are the artifact's job — CI runners
+are time-shared and absolute thresholds flake.
+
+Run as a script::
+
+    python benchmarks/bench_checkpoint.py --size smoke --out bench_checkpoint.json
+
+or under pytest (sizes via BENCH_SIZE, like every other bench)::
+
+    pytest benchmarks/bench_checkpoint.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if REPO_SRC not in sys.path:  # script mode without an installed package
+    sys.path.insert(0, REPO_SRC)
+
+from repro.engine import StreamSession  # noqa: E402
+from repro.streams import MaterializedStream  # noqa: E402
+
+#: Workload per size tier: (horizon, n_users, domain_size).
+_SIZES = {
+    "smoke": (400, 2_048, 32),
+    "default": (2_000, 8_192, 32),
+    "paper": (8_000, 50_000, 64),
+}
+
+#: (mechanism, oracle, record_trace, store_capacity) rows.  The traced
+#: unbounded-store row carries the largest payload (full release trace +
+#: every store slot); the trace-free bounded row is the serve default.
+_CONFIGS = (
+    ("LBD", "grr", False, 64),
+    ("LBD", "grr", True, None),
+    ("LPU", "oue", False, 64),
+    ("LPA", "olh", True, None),
+)
+
+_SEED = 31
+_WINDOW = 10
+_EPSILON = 1.0
+_REPEATS = 5
+
+
+def _dataset(size: str) -> MaterializedStream:
+    horizon, n_users, domain = _SIZES[size]
+    values = np.random.default_rng(_SEED).integers(
+        0, domain, size=(horizon, n_users)
+    )
+    return MaterializedStream(values, domain_size=domain)
+
+
+def _session(dataset, mechanism, oracle, record_trace, capacity, horizon):
+    session = StreamSession(
+        mechanism,
+        dataset,
+        _EPSILON,
+        _WINDOW,
+        horizon=horizon,
+        oracle=oracle,
+        seed=_SEED,
+        record_trace=record_trace,
+    )
+    session.attach_store(capacity)
+    return session.start()
+
+
+def _time(fn, repeats=_REPEATS):
+    """Best-of-N wall time plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def measure(size: str) -> dict:
+    """Time every configuration; return the timing record."""
+    horizon, n_users, domain = _SIZES[size]
+    dataset = _dataset(size)
+    split = horizon // 2
+    rows = []
+    for mechanism, oracle, record_trace, capacity in _CONFIGS:
+        live = _session(
+            dataset, mechanism, oracle, record_trace, capacity, horizon
+        )
+        live.observe_many(0, split)
+
+        snap_s, payload = _time(live.snapshot)
+        encode_s, text = _time(lambda: json.dumps(payload))
+        decode_s, decoded = _time(lambda: json.loads(text))
+        restore_s, restored = _time(
+            lambda: StreamSession.restore(decoded, _dataset(size))
+        )
+
+        # Bit-fidelity check before trusting any timing: the restored
+        # session must finish the stream exactly like the live one.
+        # Trace-free sessions compare through their stores (finalize()
+        # requires a trace).
+        live.observe_many(split, horizon - split)
+        restored.observe_many(split, horizon - split)
+        if record_trace:
+            a, b = live.finalize(), restored.finalize()
+            assert np.array_equal(a.releases, b.releases), (
+                f"restore diverged for {mechanism}/{oracle}"
+            )
+            assert a.total_reports == b.total_reports
+        else:
+            t0, t1 = horizon - _WINDOW, horizon - 1
+            assert np.array_equal(
+                live.store.window_sum(t0, t1),
+                restored.store.window_sum(t0, t1),
+            ), f"restore diverged for {mechanism}/{oracle}"
+
+        rows.append(
+            {
+                "mechanism": mechanism,
+                "oracle": oracle,
+                "record_trace": record_trace,
+                "store_capacity": capacity,
+                "payload_bytes": len(text),
+                "snapshot_ms": snap_s * 1e3,
+                "encode_ms": encode_s * 1e3,
+                "decode_ms": decode_s * 1e3,
+                "restore_ms": restore_s * 1e3,
+                "roundtrip_ms": (snap_s + encode_s + decode_s + restore_s)
+                * 1e3,
+            }
+        )
+    return {
+        "bench": "checkpoint_roundtrip",
+        "size": size,
+        "horizon": horizon,
+        "split": split,
+        "n_users": n_users,
+        "domain_size": domain,
+        "repeats": _REPEATS,
+        "rows": rows,
+        "max_roundtrip_ms": max(row["roundtrip_ms"] for row in rows),
+    }
+
+
+def _report(record: dict) -> str:
+    lines = [
+        f"checkpoint round trip — size={record['size']} "
+        f"(T={record['horizon']}, snapshot at t={record['split']}, "
+        f"N={record['n_users']}, d={record['domain_size']}), "
+        f"best of {record['repeats']}",
+        f"{'config':>22} {'payload':>10} {'snap':>8} {'enc':>8} "
+        f"{'dec':>8} {'restore':>8} {'total':>8}",
+    ]
+    for row in record["rows"]:
+        config = (
+            f"{row['mechanism']}/{row['oracle']}"
+            f"{'+trace' if row['record_trace'] else ''}"
+            f"[{row['store_capacity'] or 'inf'}]"
+        )
+        lines.append(
+            f"{config:>22} {row['payload_bytes'] / 1024:>9.1f}K "
+            f"{row['snapshot_ms']:>7.2f} {row['encode_ms']:>7.2f} "
+            f"{row['decode_ms']:>7.2f} {row['restore_ms']:>7.2f} "
+            f"{row['roundtrip_ms']:>7.2f}  (ms)"
+        )
+    lines.append(
+        f"worst full round trip: {record['max_roundtrip_ms']:.2f} ms "
+        f"(all restores bit-identical)"
+    )
+    return "\n".join(lines)
+
+
+def test_checkpoint_roundtrip_timing(size):
+    """Pytest entry: the round trip completes and stays bit-faithful."""
+    record = measure(size)
+    print()
+    print(_report(record))
+    for row in record["rows"]:
+        assert row["payload_bytes"] > 0
+        assert row["roundtrip_ms"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", default="smoke", choices=sorted(_SIZES))
+    parser.add_argument(
+        "--out", metavar="PATH", default=None, help="write the JSON record here"
+    )
+    args = parser.parse_args(argv)
+    record = measure(args.size)
+    print(_report(record))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

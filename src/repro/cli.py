@@ -31,6 +31,14 @@ capacity-bounded :class:`~repro.query.ReleaseStore` — an unbounded
 standing query server in O(capacity · d) memory.  ``query`` answers the
 same queries one-shot against a run saved with ``run --save-json``.
 
+``stream`` and ``serve`` become **durable** with ``--state-dir DIR``:
+each flushed chunk commits its releases to an fsync'd write-ahead log
+and every ``--checkpoint-every N`` chunks a full session checkpoint is
+written atomically, so a crashed process restarted with the replayed
+feed resumes mid-stream with exactly-once ingestion (re-sent timestamps
+are acknowledged as skipped) and bit-identical output — see
+``docs/PERSISTENCE.md``.
+
 Examples
 --------
 ::
@@ -39,6 +47,8 @@ Examples
     python -m repro run --method LPA --repeats 8 --jobs 4
     generator | python -m repro stream --method LBD --domain-size 5 --epsilon 1 --window 20
     mixed_feed | python -m repro serve --method LBD --domain-size 5 --epsilon 1 --window 20
+    mixed_feed | python -m repro serve --method LBD --domain-size 5 --epsilon 1 \
+        --window 20 --chunk 64 --state-dir state/ --checkpoint-every 4
     python -m repro query session.json topk --k 3 --t 40
     python -m repro figure fig4 --size smoke --jobs 4
     python -m repro table2 --size smoke
@@ -128,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(omit for constant-memory unbounded ingestion)",
     )
     _add_chunk_flag(stream)
+    _add_state_dir_flags(stream)
 
     serve = sub.add_parser(
         "serve", help="standing query server over a piped online stream"
@@ -163,6 +174,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="file with one JSON request per line ('-' = stdin)",
     )
     _add_chunk_flag(serve)
+    _add_state_dir_flags(serve)
 
     query = sub.add_parser(
         "query", help="one-shot queries against a saved session JSON"
@@ -224,6 +236,26 @@ def _add_chunk_flag(parser: argparse.ArgumentParser) -> None:
         help="buffer N timestamps and ingest them per engine call (bulk "
         "ingestion: identical output, higher throughput, N-step output "
         "latency; default 1 = release after every timestamp)",
+    )
+
+
+def _add_state_dir_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="durable session state: write-ahead release log + periodic "
+        "checkpoints in DIR; on startup, resume from the latest "
+        "checkpoint and skip already-ingested timestamps of a replayed "
+        "feed (exactly-once ingestion across crashes)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="CHUNKS",
+        help="with --state-dir: write a full checkpoint every N flushed "
+        "chunks (default 1; the WAL commits every chunk regardless)",
     )
 
 
@@ -334,6 +366,62 @@ def _parse_snapshot_line(line: str):
         ) from None
 
 
+def _prepare_state_dir(args):
+    """Open ``--state-dir`` and make it resume-consistent.
+
+    Returns ``(state_dir, checkpoint, watermark)`` — all ``None``/0 when
+    persistence is off.  The WAL is truncated to the checkpoint's
+    watermark here (see :meth:`repro.persist.StateDir.prepare_resume`),
+    so everything that happens afterwards regenerates the cut span
+    bit-identically.
+    """
+    if args.state_dir is None:
+        return None, None, 0
+    from .persist import StateDir
+
+    if args.checkpoint_every < 1:
+        raise InvalidParameterError(
+            f"checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
+    state = StateDir(args.state_dir)
+    checkpoint, watermark = state.prepare_resume()
+    return state, checkpoint, watermark
+
+
+def _resume_session(checkpoint, *, expect: dict, chunk: int):
+    """Rebuild a session from a state-dir checkpoint, validating config.
+
+    A checkpoint only resumes under the configuration it was taken with
+    — silently continuing an LBD stream as LPA (or at a different
+    epsilon) would corrupt both the privacy ledger and the released
+    trace, so every mismatch between the checkpoint's recorded config
+    and the current command line is fatal.
+    """
+    from .exceptions import CheckpointError
+    from .streams import OnlineStream
+
+    config = checkpoint.payload.get("config")
+    if not isinstance(config, dict):
+        raise CheckpointError("checkpoint payload has no 'config' section")
+    mismatches = [
+        f"{key} is {config.get(key)!r} in the checkpoint but {value!r} "
+        f"on the command line"
+        for key, value in expect.items()
+        if config.get(key) != value
+    ]
+    if mismatches:
+        raise CheckpointError(
+            "--state-dir checkpoint disagrees with the flags: "
+            + "; ".join(mismatches)
+        )
+    stream = OnlineStream(
+        n_users=int(config["n_users"]),
+        domain_size=int(config["domain_size"]),
+        retain=max(4, chunk),
+    )
+    return checkpoint.restore(stream), stream
+
+
 def _cmd_stream(args) -> int:
     """Online ingestion: one StreamSession advanced line by line.
 
@@ -343,10 +431,19 @@ def _cmd_stream(args) -> int:
     emitted releases are identical (bulk ingestion is bit-identical to
     the per-step loop), they just appear once per chunk instead of once
     per line.
+
+    With ``--state-dir`` every flushed chunk appends its releases to a
+    fsync'd write-ahead log and (every ``--checkpoint-every`` chunks)
+    writes a full checkpoint; on startup the session resumes from the
+    latest checkpoint and the first ``watermark`` input lines of the
+    replayed feed are skipped, so ingestion is exactly-once across
+    crashes.
     """
     import contextlib
 
     from .engine import StreamSession
+    from .freq_oracles import get_oracle
+    from .mechanisms import get_mechanism
     from .streams import OnlineStream
 
     if args.max_steps is not None and args.max_steps < 1:
@@ -355,6 +452,7 @@ def _cmd_stream(args) -> int:
         )
     if args.chunk < 1:
         raise InvalidParameterError(f"chunk must be >= 1, got {args.chunk}")
+    state, checkpoint, watermark = _prepare_state_dir(args)
     with contextlib.ExitStack() as stack:
         if args.input == "-":
             source = sys.stdin
@@ -364,9 +462,31 @@ def _cmd_stream(args) -> int:
             )
         session: Optional[StreamSession] = None
         stream: Optional[OnlineStream] = None
+        if checkpoint is not None:
+            session, stream = _resume_session(
+                checkpoint,
+                expect={
+                    "mechanism": get_mechanism(args.method).name,
+                    "oracle": get_oracle(args.oracle).name,
+                    "postprocess": args.postprocess,
+                    "epsilon": float(args.epsilon),
+                    "window": int(args.window),
+                    "domain_size": int(args.domain_size),
+                    "record_trace": bool(args.trace),
+                },
+                chunk=args.chunk,
+            )
+        wal = None
+        if state is not None:
+            from .persist import Checkpoint
+
+            wal = stack.enter_context(state.open_wal())
         buffer: list = []
+        skip_remaining = watermark
+        flushed_chunks = 0
 
         def flush() -> None:
+            nonlocal flushed_chunks
             if not buffer:
                 return
             timestamps = [stream.push(values) for values in buffer]
@@ -378,6 +498,19 @@ def _cmd_stream(args) -> int:
                         for v in session.postprocessor(record.release)
                     )
                     print(f"{t},{record.strategy},{release}")
+            if wal is not None:
+                # Durability order: WAL commit first, checkpoint second,
+                # so the checkpoint watermark never runs ahead of the
+                # log (the StateDir resume invariant).
+                for t, record in zip(timestamps, records):
+                    wal.append(
+                        t, session.postprocessor(record.release),
+                        record.strategy,
+                    )
+                wal.commit(session.steps_observed)
+                flushed_chunks += 1
+                if flushed_chunks % args.checkpoint_every == 0:
+                    state.save_checkpoint(Checkpoint.capture(session))
             buffer.clear()
 
         done = False
@@ -385,6 +518,11 @@ def _cmd_stream(args) -> int:
             if not line.strip():
                 continue
             values = _parse_snapshot_line(line)
+            if skip_remaining > 0:
+                # Already ingested before the crash; the replayed feed
+                # re-sends it, exactly-once means we drop it here.
+                skip_remaining -= 1
+                continue
             if session is None:
                 # The population size is whatever the first timestamp
                 # carries; the session is created lazily around it.  The
@@ -417,6 +555,10 @@ def _cmd_stream(args) -> int:
             print("error: no input timestamps received", file=sys.stderr)
             return 2
         flush()
+        if state is not None:
+            from .persist import Checkpoint
+
+            state.save_checkpoint(Checkpoint.capture(session))
         summary = session.summary()
         print(
             f"{summary['mechanism']} online session: {summary['steps']} steps, "
@@ -480,7 +622,16 @@ def _serve_answer(engine, session, request: dict) -> dict:
 
 
 def _cmd_serve(args) -> int:
-    """Standing query server: JSONL requests in, JSONL answers out."""
+    """Standing query server: JSONL requests in, JSONL answers out.
+
+    With ``--state-dir`` the server is durable: every flushed ingest
+    chunk commits its releases to a fsync'd write-ahead log before
+    answering, full checkpoints land every ``--checkpoint-every``
+    chunks, and a restarted server resumes from the latest checkpoint —
+    already-ingested timestamps of a replayed feed are acknowledged with
+    ``{"op": "ingest", "t": ..., "skipped": true}`` instead of being
+    re-applied (exactly-once ingestion).
+    """
     import contextlib
     import json
 
@@ -517,10 +668,11 @@ def _cmd_serve(args) -> int:
     # Fail fast on every configuration error (typo'd method/oracle/
     # postprocess, out-of-range numerics) instead of emitting an error
     # line per request and exiting 0.
-    get_mechanism(args.method)
-    get_oracle(args.oracle)
+    mech_name = get_mechanism(args.method).name
+    oracle_name = get_oracle(args.oracle).name
     get_postprocessor(args.postprocess)
     capacity = None if args.capacity == 0 else args.capacity
+    state, checkpoint, watermark = _prepare_state_dir(args)
     with contextlib.ExitStack() as stack:
         if args.input == "-":
             source = sys.stdin
@@ -531,7 +683,42 @@ def _cmd_serve(args) -> int:
         session: Optional[StreamSession] = None
         stream: Optional[OnlineStream] = None
         engine: Optional[QueryEngine] = None
+        if checkpoint is not None:
+            session, stream = _resume_session(
+                checkpoint,
+                expect={
+                    "mechanism": mech_name,
+                    "oracle": oracle_name,
+                    "postprocess": args.postprocess,
+                    "epsilon": float(args.epsilon),
+                    "window": int(args.window),
+                    "domain_size": int(args.domain_size),
+                    "record_trace": False,
+                },
+                chunk=args.chunk,
+            )
+            if session.store is None or session.store.capacity != capacity:
+                from .exceptions import CheckpointError
+
+                found = (
+                    "no store"
+                    if session.store is None
+                    else f"capacity {session.store.capacity}"
+                )
+                raise CheckpointError(
+                    f"--state-dir checkpoint disagrees with the flags: "
+                    f"release store has {found} in the checkpoint but "
+                    f"capacity {capacity!r} on the command line"
+                )
+            engine = QueryEngine(session.store, confidence=args.confidence)
+        wal = None
+        if state is not None:
+            from .persist import Checkpoint
+
+            wal = stack.enter_context(state.open_wal())
         pending: list = []
+        skip_remaining = watermark
+        flushed_chunks = 0
         handled = 0
 
         class _FatalIngestError(Exception):
@@ -546,7 +733,12 @@ def _cmd_serve(args) -> int:
             rest of the buffer continues.  A session failure *after* the
             stream advanced is fatal, exactly as in the per-request
             path.
+
+            With ``--state-dir``, each successfully ingested sub-batch
+            commits to the WAL after its acks (WAL first, checkpoint
+            second — the StateDir resume invariant).
             """
+            nonlocal flushed_chunks
             start = 0
             while start < len(pending):
                 timestamps = []
@@ -595,6 +787,23 @@ def _cmd_serve(args) -> int:
                             ),
                             flush=True,
                         )
+                    if wal is not None:
+                        for t, record in zip(timestamps, records):
+                            wal.append(
+                                t,
+                                session.postprocessor(record.release),
+                                record.strategy,
+                                session.store.variance_at(t)
+                                if session.store.oldest_t is not None
+                                and t >= session.store.oldest_t
+                                else None,
+                            )
+                        wal.commit(session.steps_observed)
+                        flushed_chunks += 1
+                        if flushed_chunks % args.checkpoint_every == 0:
+                            state.save_checkpoint(
+                                Checkpoint.capture(session)
+                            )
                 start += len(timestamps)
                 if failure is not None:
                     print(
@@ -622,6 +831,23 @@ def _cmd_serve(args) -> int:
                         )
                     if request.get("op") == "ingest":
                         values = [int(v) for v in request["values"]]
+                        if skip_remaining > 0:
+                            # Ingested before the crash; the replayed
+                            # feed re-sends it and exactly-once means we
+                            # acknowledge without re-applying.
+                            t_skip = watermark - skip_remaining
+                            skip_remaining -= 1
+                            print(
+                                json.dumps(
+                                    {
+                                        "op": "ingest",
+                                        "t": t_skip,
+                                        "skipped": True,
+                                    }
+                                ),
+                                flush=True,
+                            )
+                            continue
                         if session is None:
                             # Population size = whatever the first
                             # timestamp carries, exactly like `repro
@@ -670,6 +896,10 @@ def _cmd_serve(args) -> int:
                 print(json.dumps(answer), flush=True)
             if session is not None:
                 flush()
+                if state is not None:
+                    # EOF checkpoint: a clean restart resumes exactly
+                    # here with nothing to recompute.
+                    state.save_checkpoint(Checkpoint.capture(session))
         except _FatalIngestError:
             return 2
         if not handled:

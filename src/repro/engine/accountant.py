@@ -194,6 +194,55 @@ class WEventAccountant:
         return self._window_spend.copy()
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full ledger state for :mod:`repro.persist` checkpoints.
+
+        Captures the regime flag, the scalar/array spend, every charge
+        still inside the window, and the running counters — everything
+        :meth:`load_state` needs to continue charging bit-identically
+        (the uniform fast path and the materialised array path are both
+        preserved exactly as they were).
+        """
+        return {
+            "uniform": self._uniform,
+            "uniform_spend": self._uniform_spend,
+            "window_spend": (
+                None
+                if self._window_spend is None
+                else self._window_spend.copy()
+            ),
+            "charges": [
+                (t, None if ids is None else ids.copy(), eps)
+                for t, ids, eps in self._charges
+            ],
+            "current_t": self._current_t,
+            "max_window_spend": self.max_window_spend,
+            "total_charges": self.total_charges,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install a ledger captured by :meth:`state_dict`."""
+        self._uniform = bool(state["uniform"])
+        self._uniform_spend = float(state["uniform_spend"])
+        spend = state["window_spend"]
+        self._window_spend = (
+            None if spend is None else np.asarray(spend, dtype=np.float64).copy()
+        )
+        self._charges = deque(
+            (
+                int(t),
+                None if ids is None else np.asarray(ids, dtype=np.int64),
+                float(eps),
+            )
+            for t, ids, eps in state["charges"]
+        )
+        self._current_t = int(state["current_t"])
+        self.max_window_spend = float(state["max_window_spend"])
+        self.total_charges = int(state["total_charges"])
+
+    # ------------------------------------------------------------------
     def _materialize(self) -> np.ndarray:
         """Leave the uniform regime: expand the scalar into the array."""
         if self._uniform:

@@ -82,6 +82,20 @@ class Collector:
         reports = self.oracle.perturb(values, d, epsilon, rng=self.rng)
         return self.oracle.aggregate(reports, d, epsilon)
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Communication-meter state for :mod:`repro.persist` checkpoints.
+
+        The collector's randomness is the shared session generator
+        (captured separately) and the accountant checkpoints itself, so
+        the report counter is the only state owned here.
+        """
+        return {"total_reports": self.total_reports}
+
+    def load_state(self, state: dict) -> None:
+        """Install state captured by :meth:`state_dict`."""
+        self.total_reports = int(state["total_reports"])
+
     def collect_run(
         self,
         t0: int,

@@ -87,6 +87,8 @@ class SessionGroup:
         self.truth_chunk = int(truth_chunk)
         self._sessions: List[StreamSession] = []
         self._ran = False
+        self._started = False
+        self._cursor = 0
 
     # ------------------------------------------------------------------
     def add_session(
@@ -165,6 +167,23 @@ class SessionGroup:
     def __len__(self) -> int:
         return len(self._sessions)
 
+    @property
+    def sessions(self) -> List[StreamSession]:
+        """Registered sessions, in ``add_session`` order."""
+        return list(self._sessions)
+
+    @property
+    def cursor(self) -> int:
+        """Next timestamp the shared pass will ingest."""
+        return self._cursor
+
+    @property
+    def steps(self) -> int:
+        """Total timestamps the pass covers (largest session horizon)."""
+        if not self._sessions:
+            return 0
+        return max(s.horizon for s in self._sessions)
+
     # ------------------------------------------------------------------
     def run(self) -> List[SessionResult]:
         """Execute the single shared pass; results in ``add_session`` order.
@@ -172,26 +191,69 @@ class SessionGroup:
         Equivalent to calling :func:`~repro.engine.session.run_stream`
         once per session (rewinding generative streams in between), but
         the stream is generated and the truth histograms are computed
-        exactly once.
+        exactly once.  Composed from the incremental pass API below —
+        drive :meth:`start_pass` / :meth:`advance_to` /
+        :meth:`finalize_all` directly to pause (and checkpoint) the pass
+        mid-stream.
         """
         if self._ran:
             raise InvalidParameterError("group has already run")
-        self._ran = True
         if not self._sessions:
+            self._ran = True
             return []
-        dataset = self.dataset
-        if isinstance(dataset, GenerativeStream):
-            dataset.reset()
+        self.start_pass()
+        self.advance_to(self.steps)
+        return self.finalize_all()
+
+    def start_pass(self) -> "SessionGroup":
+        """Begin the shared pass: rewind the stream, start every session."""
+        if self._ran:
+            raise InvalidParameterError("group has already run")
+        if not self._sessions:
+            raise InvalidParameterError(
+                "cannot start a pass with no sessions"
+            )
+        self._ran = True
+        self._started = True
+        if isinstance(self.dataset, GenerativeStream):
+            self.dataset.reset()
         for session in self._sessions:
             session.start()
-        steps = max(s.horizon for s in self._sessions)
-        if getattr(dataset, "random_access", False):
-            self._run_chunked(steps)
+        return self
+
+    def advance_to(self, target: int) -> int:
+        """Ingest shared-pass timestamps up to (excluding) ``target``.
+
+        Clamped to the pass length; a ``target`` at or behind the cursor
+        is a no-op.  Returns the new cursor.  Chunk boundaries are
+        relative to the *current* cursor, which is safe because
+        :meth:`~repro.engine.session.StreamSession.observe_many` is
+        bit-identical at any chunk size — a resumed pass whose chunks no
+        longer align with the original's produces the same bytes.
+        """
+        if not self._started:
+            raise InvalidParameterError(
+                "call start_pass() before advance_to()"
+            )
+        target = min(int(target), self.steps)
+        if target <= self._cursor:
+            return self._cursor
+        if getattr(self.dataset, "random_access", False):
+            self._advance_chunked(self._cursor, target)
         else:
-            self._run_per_step(steps)
+            self._advance_per_step(self._cursor, target)
+        self._cursor = target
+        return self._cursor
+
+    def finalize_all(self) -> List[SessionResult]:
+        """Finalize every session; results in ``add_session`` order."""
+        if not self._started:
+            raise InvalidParameterError(
+                "call start_pass() before finalize_all()"
+            )
         return [session.finalize() for session in self._sessions]
 
-    def _run_chunked(self, steps: int) -> None:
+    def _advance_chunked(self, t0: int, t1: int) -> None:
         """Bulk fan-out on random-access datasets.
 
         Each truth chunk is computed once and every session ingests it
@@ -201,8 +263,8 @@ class SessionGroup:
         per-step Python overhead amortised per chunk.
         """
         dataset = self.dataset
-        for b0 in range(0, steps, self.truth_chunk):
-            b1 = min(b0 + self.truth_chunk, steps)
+        for b0 in range(t0, t1, self.truth_chunk):
+            b1 = min(b0 + self.truth_chunk, t1)
             truth = dataset.true_frequencies_range(b0, b1)
             for session in self._sessions:
                 span = min(b1, session.horizon) - b0
@@ -211,14 +273,14 @@ class SessionGroup:
                         b0, span, true_frequencies=truth[:span]
                     )
 
-    def _run_per_step(self, steps: int) -> None:
+    def _advance_per_step(self, t0: int, t1: int) -> None:
         """Per-timestamp fan-out for sequential (generative/online)
         datasets, whose snapshots exist only while the cursor is on
         them."""
         dataset = self.dataset
         n = dataset.n_users
         d = dataset.domain_size
-        for t in range(steps):
+        for t in range(t0, t1):
             # One read of the timestamp's user values.  Generative
             # streams generate here and serve every session's collector
             # from the cached snapshot.  Same arithmetic as
@@ -228,3 +290,37 @@ class SessionGroup:
             for session in self._sessions:
                 if t < session.horizon:
                     session.observe(t, true_frequencies=freqs)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe checkpoint payload of the mid-pass group.
+
+        Captures the pass cursor plus every member session's full
+        snapshot; restore with :meth:`restore`.  Legal any time between
+        :meth:`start_pass` and :meth:`finalize_all`.
+        """
+        from ..persist.checkpoint import capture_group
+
+        return capture_group(self)
+
+    @classmethod
+    def restore(
+        cls, payload: dict, dataset: StreamDataset, *, position: bool = True
+    ) -> "SessionGroup":
+        """Rebuild a mid-pass group from a :meth:`snapshot` payload.
+
+        The shared ``dataset`` is positioned once to the group cursor
+        (member sessions never reposition it individually).
+        """
+        from ..persist.checkpoint import restore_group
+
+        return restore_group(payload, dataset, position=position)
+
+    def _adopt(self, sessions: List[StreamSession], cursor: int) -> None:
+        """Install restored members mid-pass (checkpoint machinery only)."""
+        self._sessions = list(sessions)
+        self._ran = True
+        self._started = True
+        self._cursor = int(cursor)

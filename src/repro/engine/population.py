@@ -73,3 +73,23 @@ class UserPool:
     def is_available(self, user_id: int) -> bool:
         """Whether a specific user is currently in ``U_A``."""
         return bool(self._available[user_id])
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Availability mask for :mod:`repro.persist` checkpoints.
+
+        The pool's randomness lives in the shared session generator, so
+        the mask is the whole state.
+        """
+        return {"available": self._available.copy()}
+
+    def load_state(self, state: dict) -> None:
+        """Install a mask captured by :meth:`state_dict`."""
+        available = np.asarray(state["available"], dtype=bool)
+        if available.shape != (self.n_users,):
+            raise InvalidParameterError(
+                f"pool mask must have shape ({self.n_users},), got "
+                f"{available.shape}"
+            )
+        self._available = available.copy()
+        self._n_available = int(available.sum())

@@ -110,6 +110,7 @@ class StreamSession:
         self.rng = ensure_rng(seed)
         self.oracle = get_oracle(oracle)
         self.mechanism: StreamMechanism = get_mechanism(mechanism)
+        self.postprocess_name = str(postprocess)
         self.postprocessor = get_postprocessor(postprocess)
         self.dataset = dataset
         self.epsilon = float(epsilon)
@@ -423,6 +424,39 @@ class StreamSession:
                 self._records.append(record)
         self._next_t = t0 + n
         return records
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe checkpoint payload of the live session.
+
+        Covers everything needed to continue bit-identically: mechanism
+        state, collector statistics, accountant ledger, bit-generator
+        state, attached release store and the recorded trace.  Feed the
+        result to :meth:`restore` (or wrap it in
+        :class:`repro.persist.Checkpoint` for atomic file round trips).
+        Requires a started, unfinalized session.
+        """
+        from ..persist.checkpoint import capture_session
+
+        return capture_session(self)
+
+    @classmethod
+    def restore(
+        cls, payload: dict, dataset: StreamDataset, *, position: bool = True
+    ) -> "StreamSession":
+        """Rebuild a live session from a :meth:`snapshot` payload.
+
+        ``dataset`` re-attaches the input stream (streams are not part
+        of a checkpoint); it must match the checkpointed population and
+        domain.  ``position=True`` also seeks it so the next
+        :meth:`observe` reads the right timestamp — see
+        :func:`repro.persist.checkpoint.position_dataset`.
+        """
+        from ..persist.checkpoint import restore_session
+
+        return restore_session(payload, dataset, position=position)
 
     def finalize(self) -> SessionResult:
         """Close the session and assemble its :class:`SessionResult`.

@@ -33,6 +33,27 @@ class StreamAccessError(ReproError):
     """A stream was accessed out of order or outside its valid horizon."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint payload is missing, corrupt, or incompatible.
+
+    Raised by :mod:`repro.persist` when a serialized session cannot be
+    decoded: unknown format version, missing fields, mismatched session
+    configuration (e.g. restoring onto a dataset with a different
+    population), or a bit-generator the running NumPy does not provide.
+    """
+
+
+class WALError(CheckpointError):
+    """A write-ahead release log is internally inconsistent.
+
+    Raised when replaying a WAL whose *committed* prefix is malformed —
+    undecodable JSON before the last commit marker, out-of-order
+    timestamps, or rows that disagree with their commit watermark.  An
+    uncommitted torn tail (the expected crash artifact) is *not* an
+    error; replay simply stops at the last commit marker.
+    """
+
+
 class EvictedSpanError(ReproError):
     """A query touched timestamps already evicted from a bounded
     :class:`repro.query.ReleaseStore` ring buffer.

@@ -80,6 +80,63 @@ class LPF(StreamMechanism):
         self._interval = 1.0
         self._next_sample = 0.0
 
+    def _state(self) -> dict:
+        return {
+            "process_variance": self.process_variance,
+            "max_interval": self.max_interval,
+            "pid": {
+                "kp": self.pid.kp,
+                "ki": self.pid.ki,
+                "kd": self.pid.kd,
+                "setpoint": self.pid.setpoint,
+                "integral": self.pid._integral,
+                "last_error": self.pid._last_error,
+            },
+            "group_size": self._group_size,
+            "pool": self._pool.state_dict(),
+            "history": [
+                (t, ids.copy()) for t, ids in sorted(self._history.items())
+            ],
+            "filters": (
+                None
+                if self._filters is None
+                else [(f.x, f.p, f.q, f.r) for f in self._filters]
+            ),
+            "interval": self._interval,
+            "next_sample": self._next_sample,
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self.process_variance = float(state["process_variance"])
+        self.max_interval = float(state["max_interval"])
+        pid = state["pid"]
+        self.pid = PIDController(
+            kp=float(pid["kp"]),
+            ki=float(pid["ki"]),
+            kd=float(pid["kd"]),
+            setpoint=float(pid["setpoint"]),
+        )
+        self.pid._integral = float(pid["integral"])
+        self.pid._last_error = float(pid["last_error"])
+        self._group_size = int(state["group_size"])
+        self._pool.load_state(state["pool"])
+        self._history = {
+            int(t): np.asarray(ids, dtype=np.int64)
+            for t, ids in state["history"]
+        }
+        if state["filters"] is None:
+            self._filters = None
+        else:
+            filters = []
+            for x, p, q, r in state["filters"]:
+                f = ScalarKalmanFilter(float(q), float(r))
+                f.x = float(x)
+                f.p = float(p)
+                filters.append(f)
+            self._filters = filters
+        self._interval = float(state["interval"])
+        self._next_sample = float(state["next_sample"])
+
     def _ensure_filters(self, measurement_variance: float) -> None:
         if self._filters is None:
             self._filters = [

@@ -56,40 +56,66 @@ def session_to_dict(result: SessionResult) -> dict:
 
 
 def session_from_dict(payload: Mapping) -> SessionResult:
-    """Inverse of :func:`session_to_dict`."""
+    """Inverse of :func:`session_to_dict`.
+
+    Validates the artifact before trusting it: a missing or skewed
+    ``format_version`` (legacy artifacts predate the field) and any
+    missing or ill-typed field raise
+    :class:`~repro.exceptions.InvalidParameterError` with the offending
+    key — never a bare ``KeyError``.
+    """
+    if not isinstance(payload, Mapping):
+        raise InvalidParameterError(
+            f"session artifact must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise InvalidParameterError(
-            f"unsupported session format version {version!r}"
+            f"unsupported session format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION}; re-save the "
+            f"run with the current library)"
         )
-    releases = np.asarray(payload["releases"], dtype=np.float64)
-    records = [
-        StepRecord(
-            t=int(r["t"]),
-            release=releases[int(r["t"])],
-            strategy=str(r["strategy"]),
-            publication_epsilon=float(r["publication_epsilon"]),
-            publication_users=int(r["publication_users"]),
-            dissimilarity_users=int(r["dissimilarity_users"]),
-            reports=int(r["reports"]),
-            dis=float("nan") if r["dis"] is None else float(r["dis"]),
-            err=float("nan") if r["err"] is None else float(r["err"]),
+    try:
+        releases = np.asarray(payload["releases"], dtype=np.float64)
+        records = [
+            StepRecord(
+                t=int(r["t"]),
+                release=releases[int(r["t"])],
+                strategy=str(r["strategy"]),
+                publication_epsilon=float(r["publication_epsilon"]),
+                publication_users=int(r["publication_users"]),
+                dissimilarity_users=int(r["dissimilarity_users"]),
+                reports=int(r["reports"]),
+                dis=float("nan") if r["dis"] is None else float(r["dis"]),
+                err=float("nan") if r["err"] is None else float(r["err"]),
+            )
+            for r in payload["records"]
+        ]
+        return SessionResult(
+            mechanism=str(payload["mechanism"]),
+            oracle=str(payload["oracle"]),
+            epsilon=float(payload["epsilon"]),
+            window=int(payload["window"]),
+            n_users=int(payload["n_users"]),
+            domain_size=int(payload["domain_size"]),
+            releases=releases,
+            true_frequencies=np.asarray(
+                payload["true_frequencies"], dtype=np.float64
+            ),
+            records=records,
+            total_reports=int(payload["total_reports"]),
+            max_window_spend=float(payload["max_window_spend"]),
         )
-        for r in payload["records"]
-    ]
-    return SessionResult(
-        mechanism=str(payload["mechanism"]),
-        oracle=str(payload["oracle"]),
-        epsilon=float(payload["epsilon"]),
-        window=int(payload["window"]),
-        n_users=int(payload["n_users"]),
-        domain_size=int(payload["domain_size"]),
-        releases=releases,
-        true_frequencies=np.asarray(payload["true_frequencies"], dtype=np.float64),
-        records=records,
-        total_reports=int(payload["total_reports"]),
-        max_window_spend=float(payload["max_window_spend"]),
-    )
+    except KeyError as error:
+        raise InvalidParameterError(
+            f"session artifact is missing field {error.args[0]!r} "
+            f"(truncated or corrupt file?)"
+        ) from error
+    except (TypeError, ValueError, IndexError) as error:
+        raise InvalidParameterError(
+            f"session artifact has a malformed field: {error}"
+        ) from error
 
 
 def save_session(result: SessionResult, path: PathLike) -> None:
@@ -101,9 +127,21 @@ def save_session(result: SessionResult, path: PathLike) -> None:
 
 
 def load_session(path: PathLike) -> SessionResult:
-    """Read a session result saved by :func:`save_session`."""
-    with Path(path).open("r", encoding="utf-8") as handle:
-        return session_from_dict(json.load(handle))
+    """Read a session result saved by :func:`save_session`.
+
+    Raises :class:`~repro.exceptions.InvalidParameterError` on files
+    that are not valid JSON (e.g. truncated by a crashed writer) or
+    whose schema fails :func:`session_from_dict` validation.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise InvalidParameterError(
+                f"{path} is not valid JSON (truncated save?): {error}"
+            ) from error
+    return session_from_dict(payload)
 
 
 def session_to_csv(result: SessionResult, path: PathLike) -> None:

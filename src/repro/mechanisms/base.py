@@ -106,6 +106,45 @@ class StreamMechanism(abc.ABC):
         return [self.step(step_ctx) for step_ctx in ctx.timesteps()]
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable per-session state for :mod:`repro.persist`.
+
+        Covers the base-class state (``last_release``) plus whatever the
+        subclass reports via :meth:`_state`.  Constructor *configuration*
+        (e.g. LSP's ``offset``) belongs in :meth:`_state` too: restore
+        builds the mechanism from the registry with default arguments
+        and :meth:`load_state` must put every knob back.
+        """
+        return {
+            "name": self.name,
+            "last_release": (
+                None if self.last_release is None else self.last_release.copy()
+            ),
+            "extra": self._state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install state captured by :meth:`state_dict` (post-``setup``)."""
+        if state.get("name") != self.name:
+            raise InvalidParameterError(
+                f"cannot load {state.get('name')!r} state into {self.name}"
+            )
+        last = state["last_release"]
+        self.last_release = (
+            None if last is None else np.asarray(last, dtype=np.float64).copy()
+        )
+        self._load_state(state["extra"])
+
+    def _state(self) -> dict:
+        """Hook: subclass-owned state (empty for memoryless mechanisms)."""
+        return {}
+
+    def _load_state(self, state: dict) -> None:
+        """Hook: install subclass state captured by :meth:`_state`."""
+
+    # ------------------------------------------------------------------
     def predicted_error(self, epsilon: float, n: int) -> float:
         """Closed-form potential publication error ``V(eps, n)`` for the
         session's oracle and domain (Section 5.3.2, Eq. 6)."""

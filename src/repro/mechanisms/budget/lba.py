@@ -41,6 +41,18 @@ class LBA(StreamMechanism):
         self._last_publication_t = -1
         self._last_publication_epsilon = 0.0
 
+    def _state(self) -> dict:
+        return {
+            "last_publication_t": self._last_publication_t,
+            "last_publication_epsilon": self._last_publication_epsilon,
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self._last_publication_t = int(state["last_publication_t"])
+        self._last_publication_epsilon = float(
+            state["last_publication_epsilon"]
+        )
+
     def step(self, ctx: TimestepContext) -> StepRecord:
         # --- Sub-mechanism M1 (same as LBD) ------------------------------
         unit = self.epsilon / (2.0 * self.window)

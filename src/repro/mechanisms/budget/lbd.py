@@ -44,6 +44,12 @@ class LBD(StreamMechanism):
     def _setup(self) -> None:
         self._spent_publication = SlidingWindowSum(self.window)
 
+    def _state(self) -> dict:
+        return {"spent_publication": self._spent_publication.state_dict()}
+
+    def _load_state(self, state: dict) -> None:
+        self._spent_publication.load_state(state["spent_publication"])
+
     def step(self, ctx: TimestepContext) -> StepRecord:
         # --- Sub-mechanism M1: private dissimilarity estimation ---------
         dissim_epsilon = self.epsilon / (2.0 * self.window)

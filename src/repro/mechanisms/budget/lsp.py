@@ -44,6 +44,15 @@ class LSP(StreamMechanism):
         super().__init__()
         self.offset = int(offset)
 
+    def _state(self) -> dict:
+        # The sampling phase is constructor configuration, not derived
+        # state — restore rebuilds LSP() with the default offset, so the
+        # checkpoint must carry it.
+        return {"offset": self.offset}
+
+    def _load_state(self, state: dict) -> None:
+        self.offset = int(state["offset"])
+
     def step(self, ctx: TimestepContext) -> StepRecord:
         if ctx.t % self.window == self.offset % self.window:
             estimate = ctx.collect(self.epsilon)

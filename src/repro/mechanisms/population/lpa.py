@@ -54,6 +54,29 @@ class LPA(StreamMechanism):
         self._last_publication_t = -1
         self._last_publication_size = 0
 
+    def _state(self) -> dict:
+        return {
+            "pool": self._pool.state_dict(),
+            "history": [
+                (t, m1.copy(), m2.copy())
+                for t, (m1, m2) in sorted(self._history.items())
+            ],
+            "last_publication_t": self._last_publication_t,
+            "last_publication_size": self._last_publication_size,
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self._pool.load_state(state["pool"])
+        self._history = {
+            int(t): (
+                np.asarray(m1, dtype=np.int64),
+                np.asarray(m2, dtype=np.int64),
+            )
+            for t, m1, m2 in state["history"]
+        }
+        self._last_publication_t = int(state["last_publication_t"])
+        self._last_publication_size = int(state["last_publication_size"])
+
     def step(self, ctx: TimestepContext) -> StepRecord:
         # --- Sub-mechanism M1 (same as LPD) -------------------------------
         users_m1 = self._pool.sample(self._m1_size)

@@ -73,6 +73,29 @@ class LPD(StreamMechanism):
         self._used_publication = SlidingWindowSum(self.window)
         self._history: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
+    def _state(self) -> dict:
+        return {
+            "u_min": self.u_min,
+            "pool": self._pool.state_dict(),
+            "used_publication": self._used_publication.state_dict(),
+            "history": [
+                (t, m1.copy(), m2.copy())
+                for t, (m1, m2) in sorted(self._history.items())
+            ],
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self.u_min = int(state["u_min"])
+        self._pool.load_state(state["pool"])
+        self._used_publication.load_state(state["used_publication"])
+        self._history = {
+            int(t): (
+                np.asarray(m1, dtype=np.int64),
+                np.asarray(m2, dtype=np.int64),
+            )
+            for t, m1, m2 in state["history"]
+        }
+
     def step(self, ctx: TimestepContext) -> StepRecord:
         # --- Sub-mechanism M1: dissimilarity from fresh users (lines 3-6)
         users_m1 = self._pool.sample(self._m1_size)

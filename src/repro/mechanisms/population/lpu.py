@@ -36,6 +36,16 @@ class LPU(StreamMechanism):
             for group in np.array_split(permutation, self.window)
         ]
 
+    def _state(self) -> dict:
+        # The group split is a one-time random draw at setup; a restored
+        # session must reuse the original partition, not redraw it.
+        return {"groups": [group.copy() for group in self._groups]}
+
+    def _load_state(self, state: dict) -> None:
+        self._groups = [
+            np.asarray(group, dtype=np.int64) for group in state["groups"]
+        ]
+
     def step(self, ctx: TimestepContext) -> StepRecord:
         group = self._groups[ctx.t % self.window]
         estimate = ctx.collect(self.epsilon, user_ids=group)

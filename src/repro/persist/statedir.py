@@ -1,0 +1,98 @@
+"""On-disk state directory for durable serve/stream sessions.
+
+A ``--state-dir`` holds exactly two artifacts::
+
+    state/
+      checkpoint.json   # latest full session snapshot (atomic rename)
+      releases.wal      # append-only committed release log (fsync'd)
+
+The two cooperate under one invariant: **the checkpoint's watermark is
+always <= the WAL's**.  The server commits the WAL after every flushed
+chunk and writes a checkpoint less often, so after a crash the WAL may
+run ahead of the checkpoint — never behind.  :meth:`StateDir.prepare_resume`
+re-establishes the exactly-once contract by truncating the WAL back to
+the checkpoint's watermark; the resumed session then re-ingests the
+truncated span and, being deterministic, regenerates byte-for-byte the
+rows that were cut.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..exceptions import CheckpointError
+from .checkpoint import Checkpoint
+from .wal import ReleaseWAL, replay_wal, truncate_wal
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_FILE = "checkpoint.json"
+WAL_FILE = "releases.wal"
+
+
+class StateDir:
+    """Handle on a durable session's state directory."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise CheckpointError(
+                f"state dir {self.root} exists and is not a directory"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.root / CHECKPOINT_FILE
+
+    @property
+    def wal_path(self) -> Path:
+        return self.root / WAL_FILE
+
+    def has_checkpoint(self) -> bool:
+        return self.checkpoint_path.exists()
+
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Atomically replace the directory's checkpoint."""
+        checkpoint.save(self.checkpoint_path)
+
+    def load_checkpoint(self) -> Optional[Checkpoint]:
+        """The latest checkpoint, or ``None`` on a fresh directory."""
+        if not self.has_checkpoint():
+            return None
+        return Checkpoint.load(self.checkpoint_path)
+
+    def open_wal(self) -> ReleaseWAL:
+        """Open the release log for appending."""
+        return ReleaseWAL(self.wal_path)
+
+    def committed_releases(self) -> Tuple[List[dict], int]:
+        """Validated committed WAL rows and their watermark."""
+        return replay_wal(self.wal_path)
+
+    # ------------------------------------------------------------------
+    def prepare_resume(self) -> Tuple[Optional[Checkpoint], int]:
+        """Make the directory consistent for resumption.
+
+        Loads the checkpoint (``None`` on a fresh directory), validates
+        the WAL's committed prefix, and truncates the WAL back to the
+        checkpoint's watermark — the rows cut here are regenerated
+        bit-identically by the resumed session, which is what makes
+        ingestion exactly-once across crashes.  Returns
+        ``(checkpoint, watermark)`` where ``watermark`` is the number of
+        timestamps the resumed session has already ingested.
+        """
+        checkpoint = self.load_checkpoint()
+        watermark = 0 if checkpoint is None else checkpoint.watermark
+        _, wal_mark = replay_wal(self.wal_path)  # validates the prefix
+        if wal_mark < watermark:
+            raise CheckpointError(
+                f"{self.wal_path} is behind the checkpoint (WAL watermark "
+                f"{wal_mark} < checkpoint watermark {watermark}); the "
+                f"state dir has been tampered with or mixes two runs"
+            )
+        truncate_wal(self.wal_path, watermark)
+        return checkpoint, watermark

@@ -32,8 +32,9 @@ upward, so treat it as an optimistic envelope (documented in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from statistics import NormalDist
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 import numpy as np
 
@@ -121,12 +122,23 @@ class QueryEngine:
     ) -> "QueryEngine":
         """Build an engine over a finalized run's full release history.
 
-        ``result`` is a :class:`~repro.engine.records.SessionResult`
-        (live or loaded via :func:`repro.io.load_session`).  The variance
-        track is reconstructed from the per-step records with the same
-        rule a live session uses, so answers are bit-identical to those
-        of a store that was attached during the run.
+        ``result`` is a :class:`~repro.engine.records.SessionResult`, a
+        saved-run payload dict, or a path to a :func:`repro.io.save_session`
+        artifact.  Dicts and paths go through the schema-validated
+        loaders, so a legacy (version-skewed), truncated, or otherwise
+        corrupt artifact fails with a clear
+        :class:`~repro.exceptions.InvalidParameterError` instead of a
+        ``KeyError``.  The variance track is reconstructed from the
+        per-step records with the same rule a live session uses, so
+        answers are bit-identical to those of a store that was attached
+        during the run.
         """
+        from ..io import load_session, session_from_dict
+
+        if isinstance(result, (str, Path)):
+            result = load_session(result)
+        elif isinstance(result, Mapping):
+            result = session_from_dict(result)
         oracle = get_oracle(result.oracle)
         store = ReleaseStore(result.domain_size, capacity=capacity)
         variance = PRIOR_VARIANCE

@@ -150,6 +150,68 @@ class ReleaseStore:
         self._next_t = t + 1
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the ring for :mod:`repro.persist`.
+
+        Retained releases ship as one ``(m, d)`` block.  Only the *first*
+        retained slot's prefix-sum accumulator is stored: the later
+        accumulators were computed as ``cum[i] = cum[i-1] + release[i]``
+        and :meth:`load_state` repeats exactly those additions, so the
+        reconstructed accumulators — and every future ``window_sum`` —
+        are bit-identical to the uninterrupted store's.
+        """
+        m = len(self._slots)
+        d = self.domain_size
+        if m:
+            releases = np.stack([s.release for s in self._slots])
+            base_cum = self._slots[0].cum_release.copy()
+        else:
+            releases = np.empty((0, d), dtype=np.float64)
+            base_cum = None
+        return {
+            "domain_size": d,
+            "capacity": self.capacity,
+            "next_t": self._next_t,
+            "evicted": self._evicted,
+            "publications": self._publications,
+            "oldest_t": self.oldest_t,
+            "releases": releases,
+            "base_cum": base_cum,
+            "variances": [s.variance for s in self._slots],
+            "strategies": [s.strategy for s in self._slots],
+            "publication_ids": [s.publication_id for s in self._slots],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ReleaseStore":
+        """Rebuild a store captured by :meth:`state_dict`."""
+        store = cls(int(state["domain_size"]), capacity=state["capacity"])
+        releases = np.asarray(state["releases"], dtype=np.float64)
+        m = releases.shape[0]
+        if m:
+            oldest = int(state["oldest_t"])
+            cum = np.asarray(state["base_cum"], dtype=np.float64).copy()
+            for i in range(m):
+                if i:
+                    cum = cum + releases[i]
+                store._slots.append(
+                    _Slot(
+                        t=oldest + i,
+                        release=releases[i].copy(),
+                        variance=float(state["variances"][i]),
+                        strategy=str(state["strategies"][i]),
+                        publication_id=int(state["publication_ids"][i]),
+                        cum_release=cum,
+                    )
+                )
+        store._next_t = int(state["next_t"])
+        store._evicted = int(state["evicted"])
+        store._publications = int(state["publications"])
+        return store
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -118,6 +118,51 @@ def child_rng(seed: SeedLike, *key: Union[int, str]) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence([base, *material]))
 
 
+def capture_rng_state(rng: np.random.Generator) -> dict:
+    """Serialize a generator's full bit-generator state (JSON-safe).
+
+    Captures everything the generator needs to continue bit-identically:
+    the bit-generator class name, its raw counter state, and the
+    buffered half-draw bookkeeping (``has_uint32`` / ``uinteger``) that
+    NumPy keeps between 32-bit requests.  The result contains only
+    Python ints/strs/lists/dicts, so it survives a JSON round trip
+    losslessly (Python ints are arbitrary precision).
+    """
+    return _jsonify_state(dict(rng.bit_generator.state))
+
+
+def restore_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Install a state captured by :func:`capture_rng_state`.
+
+    The generator must wrap the same bit-generator class the state was
+    captured from; mismatches raise instead of silently reseeding.
+    """
+    expected = rng.bit_generator.state.get("bit_generator")
+    found = state.get("bit_generator")
+    if found != expected:
+        from .exceptions import CheckpointError
+
+        raise CheckpointError(
+            f"checkpoint holds {found!r} bit-generator state but the "
+            f"session generator is {expected!r}"
+        )
+    rng.bit_generator.state = state
+
+
+def _jsonify_state(value):
+    """Recursively coerce numpy scalars/arrays in a state dict to
+    plain Python so ``json.dumps`` round-trips it exactly."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify_state(v) for k, v in value.items()}
+    if isinstance(value, np.ndarray):
+        return [_jsonify_state(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonify_state(v) for v in value]
+    if isinstance(value, (np.integer, np.bool_)):
+        return int(value)
+    return value
+
+
 def _string_to_int(text: str) -> int:
     value = 0
     for ch in text.encode("utf-8"):

@@ -72,6 +72,24 @@ class OnlineStream(StreamDataset):
         self._next_t = t + 1
         return t
 
+    def fast_forward(self, t: int) -> None:
+        """Advance the stream cursor to timestamp ``t`` without data.
+
+        Used when resuming a persisted session: the restored session
+        already ingested timestamps ``0 .. t-1`` in a previous process,
+        so the replacement stream must hand out ``t`` for the next
+        :meth:`push`.  Only forward moves on an empty-or-behind stream
+        are legal; retained snapshots are dropped (they belong to
+        timestamps the session has already consumed).
+        """
+        if t < self._next_t:
+            raise InvalidParameterError(
+                f"cannot fast-forward backwards: stream is at "
+                f"{self._next_t}, asked for {t}"
+            )
+        self._snapshots.clear()
+        self._next_t = int(t)
+
     # ------------------------------------------------------------------
     def values(self, t: int) -> np.ndarray:
         t = self._check_t(t)

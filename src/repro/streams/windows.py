@@ -48,6 +48,27 @@ class SlidingWindowSum:
         self._evict(t)
         return self._sum
 
+    def state_dict(self) -> dict:
+        """In-window entries and counters for checkpointing."""
+        return {
+            "entries": [(t, v) for t, v in self._entries],
+            "sum": self._sum,
+            "last_t": self._last_t,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install state captured by :meth:`state_dict`.
+
+        The running sum is restored verbatim (not recomputed) so the
+        accumulated floating-point rounding matches the original window
+        exactly.
+        """
+        self._entries = deque(
+            (int(t), float(v)) for t, v in state["entries"]
+        )
+        self._sum = float(state["sum"])
+        self._last_t = int(state["last_t"])
+
     def _evict(self, t: int) -> None:
         cutoff = t - self.window + 1
         while self._entries and self._entries[0][0] < cutoff:

@@ -1,0 +1,234 @@
+"""Failure paths of durable ``repro serve --state-dir``, end to end.
+
+Real subprocesses, real SIGKILLs, real fsync'd WALs: these tests drive
+the served process the way an operator's supervisor would and assert the
+state directory stays consistent through every failure mode — malformed
+input lines, hand-corrupted WALs, EOF mid-chunk, and kill -9 mid-chunk.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import WALError
+from repro.persist import replay_wal
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def _serve_cmd(state_dir, *, chunk=3, extra=()):
+    return [
+        sys.executable, "-m", "repro", "serve",
+        "--method", "LBD", "--oracle", "grr",
+        "--domain-size", "4", "--epsilon", "1", "--window", "4",
+        "--seed", "11", "--chunk", str(chunk), "--capacity", "0",
+        "--state-dir", str(state_dir), "--checkpoint-every", "1",
+        *extra,
+    ]
+
+
+def _ingests(n, seed=5, n_users=40, domain=4):
+    rng = np.random.default_rng(seed)
+    return [
+        json.dumps(
+            {"op": "ingest",
+             "values": rng.integers(0, domain, n_users).tolist()}
+        )
+        for _ in range(n)
+    ]
+
+
+def _run(cmd, lines):
+    return subprocess.run(
+        cmd,
+        input="\n".join(lines) + "\n",
+        capture_output=True,
+        text=True,
+        env=_env(),
+        check=False,
+    )
+
+
+def _wal_path(state_dir):
+    return Path(state_dir) / "releases.wal"
+
+
+class TestMalformedInput:
+    def test_malformed_lines_leave_wal_consistent(self, tmp_path):
+        """Garbage request lines produce error responses but never a
+        hole in the WAL: every ingested timestamp is logged exactly
+        once and the log replays cleanly."""
+        state = tmp_path / "state"
+        feed = _ingests(4)
+        feed.insert(2, "{not json}")
+        feed.insert(4, json.dumps({"op": "mystery"}))
+        proc = _run(_serve_cmd(state), feed)
+        assert proc.returncode == 0, proc.stderr
+        out = [json.loads(line) for line in proc.stdout.splitlines()]
+        assert sum("error" in obj for obj in out) == 2
+        rows, watermark = replay_wal(_wal_path(state))
+        assert watermark == 4
+        assert [row["t"] for row in rows] == [0, 1, 2, 3]
+
+    def test_bad_ingest_values_do_not_advance_wal(self, tmp_path):
+        """An ingest whose values fail validation is rejected without
+        being logged; subsequent good ingests land at the right t."""
+        state = tmp_path / "state"
+        feed = _ingests(3)
+        feed.insert(1, json.dumps({"op": "ingest", "values": [999, -1]}))
+        proc = _run(_serve_cmd(state), feed)
+        assert proc.returncode == 0, proc.stderr
+        rows, watermark = replay_wal(_wal_path(state))
+        assert watermark == 3
+        assert [row["t"] for row in rows] == [0, 1, 2]
+
+
+class TestCorruptStateDir:
+    def _seed_state(self, state):
+        proc = _run(_serve_cmd(state), _ingests(6))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_out_of_order_wal_fails_resume_with_clear_error(self, tmp_path):
+        state = tmp_path / "state"
+        self._seed_state(state)
+        wal = _wal_path(state)
+        lines = wal.read_text().splitlines()
+        rows = [json.loads(line) for line in lines
+                if json.loads(line)["op"] == "release"]
+        rows[0], rows[1] = rows[1], rows[0]
+        wal.write_text(
+            "".join(json.dumps(row) + "\n" for row in rows)
+            + json.dumps({"op": "commit", "watermark": 6}) + "\n"
+        )
+        proc = _run(_serve_cmd(state), _ingests(6))
+        assert proc.returncode == 2
+        assert "out-of-order" in proc.stderr
+
+    def test_garbage_in_committed_prefix_fails_resume(self, tmp_path):
+        state = tmp_path / "state"
+        self._seed_state(state)
+        wal = _wal_path(state)
+        wal.write_text("garbage\n" + json.dumps(
+            {"op": "commit", "watermark": 1}) + "\n")
+        proc = _run(_serve_cmd(state), _ingests(6))
+        assert proc.returncode == 2
+        assert "undecodable" in proc.stderr
+
+    def test_wal_behind_checkpoint_fails_resume(self, tmp_path):
+        state = tmp_path / "state"
+        self._seed_state(state)
+        _wal_path(state).write_text(
+            json.dumps({"op": "commit", "watermark": 1}) + "\n"
+        )
+        proc = _run(_serve_cmd(state), _ingests(6))
+        assert proc.returncode == 2
+        assert "behind the checkpoint" in proc.stderr
+
+
+class TestMidChunkEOF:
+    def test_eof_mid_chunk_flushes_and_resumes(self, tmp_path):
+        """EOF with a partially filled chunk (7 ingests, chunk 3) still
+        commits every ingested timestamp; a restart picks up at t=7."""
+        state = tmp_path / "state"
+        feed = _ingests(7)
+        proc = _run(_serve_cmd(state), feed)
+        assert proc.returncode == 0, proc.stderr
+        rows, watermark = replay_wal(_wal_path(state))
+        assert watermark == 7
+        assert [row["t"] for row in rows] == list(range(7))
+
+        # Restart with the same 7 lines plus 2 new ones: the replayed 7
+        # are acked as skipped, the new ones ingest at t=7, t=8.
+        proc = _run(_serve_cmd(state), feed + _ingests(2, seed=99))
+        assert proc.returncode == 0, proc.stderr
+        out = [json.loads(line) for line in proc.stdout.splitlines()]
+        skipped = [obj for obj in out if obj.get("skipped")]
+        assert [obj["t"] for obj in skipped] == list(range(7))
+        fresh = [obj for obj in out
+                 if obj.get("op") == "ingest" and not obj.get("skipped")]
+        assert [obj["t"] for obj in fresh] == [7, 8]
+        rows, watermark = replay_wal(_wal_path(state))
+        assert watermark == 9
+        assert [row["t"] for row in rows] == list(range(9))
+
+
+class TestSigkillMidChunk:
+    def test_sigkill_mid_chunk_no_duplicate_ingests(self, tmp_path):
+        """kill -9 while a chunk is buffered: the WAL keeps only
+        committed work, and the restarted server re-ingests the lost
+        span exactly once (unique timestamps, full coverage)."""
+        state = tmp_path / "state"
+        feed = _ingests(11)
+        proc = subprocess.Popen(
+            _serve_cmd(state),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=_env(),
+        )
+        assert proc.stdin is not None and proc.stdout is not None
+        # Feed 8 lines (two full chunks of 3, two buffered), wait for
+        # the acks of the committed chunks, then SIGKILL mid-buffer.
+        for line in feed[:8]:
+            proc.stdin.write(line + "\n")
+            proc.stdin.flush()
+        acked = 0
+        deadline = time.monotonic() + 20
+        while acked < 6 and time.monotonic() < deadline:
+            if proc.stdout.readline():
+                acked += 1
+        assert acked == 6, "server never acked the two full chunks"
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+
+        # Acks print before the chunk's WAL commit, so the kill lands
+        # either between the two (watermark 3) or after (watermark 6) —
+        # but never inside the buffered third chunk.
+        rows, watermark = replay_wal(_wal_path(state))
+        assert watermark in (3, 6)
+        assert [row["t"] for row in rows] == list(range(watermark))
+
+        resumed = _run(_serve_cmd(state), feed)
+        assert resumed.returncode == 0, resumed.stderr
+        rows, watermark = replay_wal(_wal_path(state))
+        assert watermark == 11
+        ts = [row["t"] for row in rows]
+        assert ts == sorted(set(ts)) == list(range(11))
+
+    def test_wal_never_torn_beyond_replay(self, tmp_path):
+        """Whatever a crash leaves behind, replay_wal either reads it or
+        raises WALError — it never returns rows past the last commit."""
+        state = tmp_path / "state"
+        _run(_serve_cmd(state), _ingests(5))
+        wal = _wal_path(state)
+        # Simulate a torn final write.
+        with wal.open("a") as handle:
+            handle.write('{"op": "release", "t": 5, "strategy"')
+        rows, watermark = replay_wal(wal)
+        assert watermark == 5
+        assert [row["t"] for row in rows] == list(range(5))
+        # ... and a fresh server resumes over the torn tail.
+        proc = _run(_serve_cmd(state), _ingests(5) + _ingests(1, seed=42))
+        assert proc.returncode == 0, proc.stderr
+        rows, watermark = replay_wal(wal)
+        assert watermark == 6
+
+
+def test_walerror_is_checkpoint_error():
+    """Supervisors can catch one exception type for all resume failures."""
+    from repro.exceptions import CheckpointError
+
+    assert issubclass(WALError, CheckpointError)

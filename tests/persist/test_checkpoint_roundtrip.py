@@ -1,0 +1,296 @@
+"""Checkpoint round trips must be bit-identical, for every mechanism.
+
+The core persistence claim: snapshot a session mid-stream, push the
+payload through an actual JSON round trip, restore it over a fresh
+dataset, continue — and every downstream byte (releases, records,
+accountant ledger, store contents, future query answers) equals an
+uninterrupted run's.  The full mechanism × oracle matrix runs here
+because each mechanism checkpoints different state (budget windows,
+user pools, publication histories, Kalman filters) and each oracle
+exercises the shared RNG differently.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import SessionGroup, StreamSession
+from repro.exceptions import CheckpointError
+from repro.persist import CHECKPOINT_VERSION, Checkpoint
+from repro.streams import MaterializedStream, make_lns
+
+MECHANISMS = ["LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA", "LPF"]
+ORACLES = ["grr", "oue", "sue", "olh", "hr"]
+
+HORIZON = 40
+SPLIT = 17
+
+
+def _dataset():
+    values = np.random.default_rng(99).integers(0, 5, size=(HORIZON, 700))
+    return MaterializedStream(values, domain_size=5)
+
+
+def _session(mechanism, oracle, *, capacity=24):
+    session = StreamSession(
+        mechanism,
+        _dataset(),
+        epsilon=1.0,
+        window=6,
+        horizon=HORIZON,
+        oracle=oracle,
+        seed=4242,
+        postprocess="norm_sub",
+    )
+    session.attach_store(capacity)
+    return session
+
+
+def _json_roundtrip(payload):
+    return json.loads(json.dumps(payload))
+
+
+def _assert_results_identical(a, b):
+    assert np.array_equal(a.releases, b.releases)
+    assert np.array_equal(a.true_frequencies, b.true_frequencies)
+    assert a.total_reports == b.total_reports
+    assert a.max_window_spend == b.max_window_spend
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        assert ra.t == rb.t
+        assert ra.strategy == rb.strategy
+        assert np.array_equal(np.asarray(ra.release), np.asarray(rb.release))
+        assert ra.publication_epsilon == rb.publication_epsilon
+        assert ra.reports == rb.reports
+
+
+@pytest.mark.parametrize("oracle", ORACLES)
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_mid_stream_roundtrip_bit_identical(mechanism, oracle):
+    reference = _session(mechanism, oracle)
+    reference.start()
+    reference.observe_many(0, HORIZON)
+    ref_store = reference.store
+    ref_result = reference.finalize()
+
+    live = _session(mechanism, oracle)
+    live.start()
+    live.observe_many(0, SPLIT)
+    payload = _json_roundtrip(live.snapshot())
+
+    resumed = StreamSession.restore(payload, _dataset())
+    resumed.observe_many(SPLIT, HORIZON - SPLIT)
+    res_store = resumed.store
+    result = resumed.finalize()
+
+    _assert_results_identical(ref_result, result)
+    assert np.array_equal(
+        ref_store.window_sum(HORIZON - 6, HORIZON - 1),
+        res_store.window_sum(HORIZON - 6, HORIZON - 1),
+    )
+    assert ref_store.span_publication_groups(
+        HORIZON - 20, HORIZON - 1
+    ) == res_store.span_publication_groups(HORIZON - 20, HORIZON - 1)
+    ref_acc = reference.accountant.state_dict()
+    res_acc = resumed.accountant.state_dict()
+    assert ref_acc["uniform"] == res_acc["uniform"]
+    assert ref_acc["uniform_spend"] == res_acc["uniform_spend"]
+    assert ref_acc["max_window_spend"] == res_acc["max_window_spend"]
+    assert ref_acc["total_charges"] == res_acc["total_charges"]
+
+
+@pytest.mark.parametrize("mechanism", ["LBD", "LPA"])
+def test_snapshot_at_zero_and_at_horizon_edge(mechanism):
+    """Checkpointing immediately after start() and one step before the
+    horizon both resume correctly."""
+    reference = _session(mechanism, "grr")
+    reference.start()
+    reference.observe_many(0, HORIZON)
+    ref_result = reference.finalize()
+
+    for split in (0, HORIZON - 1):
+        live = _session(mechanism, "grr")
+        live.start()
+        if split:
+            live.observe_many(0, split)
+        resumed = StreamSession.restore(
+            _json_roundtrip(live.snapshot()), _dataset()
+        )
+        resumed.observe_many(split, HORIZON - split)
+        _assert_results_identical(ref_result, resumed.finalize())
+
+
+def test_restore_after_every_timestamp_matches(tiny_multicat_stream):
+    """Chained restore: re-checkpoint after every single step and the
+    final trace still equals the uninterrupted run's."""
+    horizon = tiny_multicat_stream.horizon
+    reference = StreamSession(
+        "LBD", tiny_multicat_stream, 1.0, 5, horizon=horizon, seed=1
+    )
+    reference.start()
+    reference.observe_many(0, horizon)
+    ref_result = reference.finalize()
+
+    session = StreamSession(
+        "LBD", tiny_multicat_stream, 1.0, 5, horizon=horizon, seed=1
+    )
+    session.start()
+    for t in range(horizon):
+        session = StreamSession.restore(
+            _json_roundtrip(session.snapshot()), tiny_multicat_stream
+        )
+        session.observe(t)
+    _assert_results_identical(ref_result, session.finalize())
+
+
+def test_generative_stream_repositions_on_restore():
+    """Restoring over a fresh generative stream replays it to the cursor,
+    so the continued truth sequence matches the uninterrupted run."""
+    def make():
+        return make_lns(n_users=900, horizon=30, seed=11)
+
+    reference = StreamSession("LBU", make(), 1.0, 4, horizon=30, seed=2)
+    reference.start()
+    reference.observe_many(0, 30)
+    ref_result = reference.finalize()
+
+    live = StreamSession("LBU", make(), 1.0, 4, horizon=30, seed=2)
+    live.start()
+    live.observe_many(0, 13)
+    resumed = StreamSession.restore(_json_roundtrip(live.snapshot()), make())
+    resumed.observe_many(13, 17)
+    _assert_results_identical(ref_result, resumed.finalize())
+
+
+def test_checkpoint_file_roundtrip(tmp_path, tiny_multicat_stream):
+    """Checkpoint.save/load is atomic and exact."""
+    session = StreamSession(
+        "LPD", tiny_multicat_stream, 1.0, 5, horizon=25, seed=3
+    )
+    session.attach_store(16)
+    session.start()
+    session.observe_many(0, 11)
+    path = tmp_path / "cp.json"
+    Checkpoint.capture(session).save(path)
+    loaded = Checkpoint.load(path)
+    assert loaded.version == CHECKPOINT_VERSION
+    assert loaded.kind == "session"
+    assert loaded.watermark == 11
+    resumed = loaded.restore(tiny_multicat_stream)
+    assert resumed.steps_observed == 11
+    session.observe_many(11, 14)
+    resumed.observe_many(11, 14)
+    assert np.array_equal(
+        session.finalize().releases, resumed.finalize().releases
+    )
+
+
+class TestGroupCheckpoint:
+    def _group(self, dataset):
+        group = SessionGroup(dataset, truth_chunk=8)
+        group.add_session("LBD", 1.0, 5, oracle="grr", seed=21)
+        group.add_session("LPU", 0.8, 5, oracle="oue", seed=22)
+        group.add_session("LBU", 2.0, 4, oracle="grr", seed=23, horizon=18)
+        return group
+
+    def test_mid_pass_roundtrip(self):
+        def make():
+            values = np.random.default_rng(5).integers(0, 4, size=(25, 500))
+            return MaterializedStream(values, domain_size=4)
+
+        ref_results = self._group(make()).run()
+
+        group = self._group(make())
+        group.start_pass()
+        group.advance_to(11)
+        payload = _json_roundtrip(group.snapshot())
+        restored = SessionGroup.restore(payload, make())
+        assert restored.cursor == 11
+        restored.advance_to(restored.steps)
+        for a, b in zip(ref_results, restored.finalize_all()):
+            _assert_results_identical(a, b)
+
+    def test_unstarted_group_refuses_snapshot(self, tiny_multicat_stream):
+        group = self._group(tiny_multicat_stream)
+        with pytest.raises(CheckpointError):
+            group.snapshot()
+
+
+class TestCheckpointValidation:
+    def _payload(self, tiny_multicat_stream):
+        session = StreamSession(
+            "LBD", tiny_multicat_stream, 1.0, 5, horizon=25, seed=3
+        )
+        session.start()
+        session.observe_many(0, 7)
+        return session.snapshot()
+
+    def test_unstarted_session_refuses_snapshot(self, tiny_multicat_stream):
+        session = StreamSession(
+            "LBD", tiny_multicat_stream, 1.0, 5, horizon=25, seed=3
+        )
+        with pytest.raises(CheckpointError):
+            session.snapshot()
+
+    def test_finalized_session_refuses_snapshot(self, tiny_multicat_stream):
+        session = StreamSession(
+            "LBD", tiny_multicat_stream, 1.0, 5, horizon=25, seed=3
+        )
+        session.start()
+        session.observe_many(0, 25)
+        session.finalize()
+        with pytest.raises(CheckpointError):
+            session.snapshot()
+
+    def test_version_skew_rejected(self, tiny_multicat_stream):
+        payload = self._payload(tiny_multicat_stream)
+        payload["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(CheckpointError, match="version"):
+            StreamSession.restore(payload, tiny_multicat_stream)
+
+    def test_wrong_format_rejected(self, tiny_multicat_stream):
+        with pytest.raises(CheckpointError, match="format"):
+            StreamSession.restore({"hello": 1}, tiny_multicat_stream)
+
+    def test_population_mismatch_rejected(self, tiny_multicat_stream):
+        payload = self._payload(tiny_multicat_stream)
+        other = MaterializedStream(
+            np.random.default_rng(0).integers(0, 5, size=(25, 500)),
+            domain_size=5,
+        )
+        with pytest.raises(CheckpointError, match="users"):
+            StreamSession.restore(payload, other)
+
+    def test_domain_mismatch_rejected(self, tiny_multicat_stream):
+        payload = self._payload(tiny_multicat_stream)
+        other = MaterializedStream(
+            np.random.default_rng(0).integers(0, 7, size=(25, 600)),
+            domain_size=7,
+        )
+        with pytest.raises(CheckpointError, match="domain"):
+            StreamSession.restore(payload, other)
+
+    def test_truncated_state_rejected(self, tiny_multicat_stream):
+        payload = self._payload(tiny_multicat_stream)
+        del payload["state"]["mechanism"]
+        with pytest.raises(CheckpointError, match="corrupt"):
+            StreamSession.restore(payload, tiny_multicat_stream)
+
+    def test_corrupt_array_payload_rejected(self, tiny_multicat_stream):
+        payload = self._payload(tiny_multicat_stream)
+        payload["state"]["mechanism"]["last_release"]["__nd__"] = "!!!"
+        with pytest.raises(CheckpointError):
+            StreamSession.restore(payload, tiny_multicat_stream)
+
+    def test_rng_class_mismatch_rejected(self, tiny_multicat_stream):
+        payload = self._payload(tiny_multicat_stream)
+        payload["state"]["rng"]["bit_generator"] = "MT19937"
+        with pytest.raises(CheckpointError, match="bit-generator"):
+            StreamSession.restore(payload, tiny_multicat_stream)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "cp.json"
+        path.write_text('{"format": "repro-checkpoint", "version')
+        with pytest.raises(CheckpointError, match="JSON"):
+            Checkpoint.load(path)

@@ -1,0 +1,39 @@
+"""Randomized kill/restore trials against a real ``repro serve`` process.
+
+Thin pytest wrapper over :mod:`tools.crashtest` — the harness CI runs
+with ``--kills 25``.  Here a handful of seeded trials keep tier-1 fast
+while still SIGKILLing the server at arbitrary chunk phases and
+asserting the resumed run is bit-identical to an uninterrupted one.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from crashtest import make_feed, run_crashtest  # noqa: E402
+
+
+def test_randomized_kill_restore_trials(tmp_path):
+    report = run_crashtest(
+        kills=4,
+        seed=0,
+        steps=36,
+        n_users=50,
+        domain_size=4,
+        chunk=4,
+        checkpoint_every=2,
+        workdir=tmp_path,
+    )
+    failed = [t for t in report["trials"] if not t["passed"]]
+    assert report["passed"], f"failed trials: {failed}"
+    for trial in report["trials"]:
+        assert trial["no_duplicate_ingests"]
+        assert trial["wal_matches"]
+        assert trial["answers_match"]
+
+
+def test_feed_is_deterministic():
+    assert make_feed(3, 10, 20, 4) == make_feed(3, 10, 20, 4)
+    assert make_feed(3, 10, 20, 4) != make_feed(4, 10, 20, 4)

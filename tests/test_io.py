@@ -90,3 +90,111 @@ class TestCSVExport:
         assert rows[0] == ["panel", "method", "x", "value"]
         assert rows[1] == ["LNS", "LBU", "0.5", "1.2"]
         assert len(rows) == 3
+
+
+class TestArtifactValidation:
+    """Legacy, truncated, and corrupt artifacts must fail with a clear
+    InvalidParameterError — never a KeyError escaping the loader."""
+
+    def test_legacy_artifact_without_version_rejected(self, session):
+        payload = session_to_dict(session)
+        del payload["format_version"]
+        with pytest.raises(InvalidParameterError, match="format version"):
+            session_from_dict(payload)
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(InvalidParameterError, match="JSON object"):
+            session_from_dict([1, 2, 3])
+
+    @pytest.mark.parametrize(
+        "field",
+        ["mechanism", "releases", "records", "total_reports", "window"],
+    )
+    def test_missing_field_names_the_field(self, session, field):
+        payload = session_to_dict(session)
+        del payload[field]
+        with pytest.raises(InvalidParameterError, match=field):
+            session_from_dict(payload)
+
+    def test_missing_record_field_rejected(self, session):
+        payload = session_to_dict(session)
+        del payload["records"][3]["strategy"]
+        with pytest.raises(InvalidParameterError, match="strategy"):
+            session_from_dict(payload)
+
+    def test_malformed_field_type_rejected(self, session):
+        payload = session_to_dict(session)
+        payload["epsilon"] = "not-a-number"
+        with pytest.raises(InvalidParameterError, match="malformed"):
+            session_from_dict(payload)
+
+    def test_record_index_out_of_bounds_rejected(self, session):
+        payload = session_to_dict(session)
+        payload["records"][0]["t"] = len(payload["releases"]) + 10
+        with pytest.raises(InvalidParameterError, match="malformed"):
+            session_from_dict(payload)
+
+    def test_truncated_file_rejected(self, session, tmp_path):
+        path = tmp_path / "session.json"
+        save_session(session, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(InvalidParameterError, match="not valid JSON"):
+            load_session(path)
+
+    def test_version_skewed_file_rejected(self, session, tmp_path):
+        path = tmp_path / "session.json"
+        payload = session_to_dict(session)
+        payload["format_version"] = 0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(InvalidParameterError, match="version 0"):
+            load_session(path)
+
+
+class TestQueryEngineFromArtifact:
+    """QueryEngine.from_result routes dicts and paths through the
+    validated loaders."""
+
+    def test_from_path(self, session, tmp_path):
+        from repro.query import QueryEngine
+
+        path = tmp_path / "session.json"
+        save_session(session, path)
+        direct = QueryEngine.from_result(session)
+        via_path = QueryEngine.from_result(path)
+        t = session.horizon - 1
+        assert via_path.point(0, t=t).estimate == pytest.approx(
+            direct.point(0, t=t).estimate
+        )
+
+    def test_from_dict(self, session):
+        from repro.query import QueryEngine
+
+        engine = QueryEngine.from_result(session_to_dict(session))
+        assert engine.point(0).estimate == pytest.approx(
+            QueryEngine.from_result(session).point(0).estimate
+        )
+
+    def test_from_corrupt_dict_raises_clear_error(self, session):
+        from repro.query import QueryEngine
+
+        payload = session_to_dict(session)
+        del payload["records"]
+        with pytest.raises(InvalidParameterError, match="records"):
+            QueryEngine.from_result(payload)
+
+    def test_from_version_skewed_dict_raises(self, session):
+        from repro.query import QueryEngine
+
+        payload = session_to_dict(session)
+        payload["format_version"] = 99
+        with pytest.raises(InvalidParameterError, match="format version"):
+            QueryEngine.from_result(payload)
+
+    def test_from_truncated_file_raises(self, session, tmp_path):
+        from repro.query import QueryEngine
+
+        path = tmp_path / "session.json"
+        path.write_text('{"format_version": 1, "mech')
+        with pytest.raises(InvalidParameterError, match="not valid JSON"):
+            QueryEngine.from_result(path)
