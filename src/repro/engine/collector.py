@@ -276,15 +276,24 @@ class ChunkContext:
         """All-user true count histograms, shape ``(length, d)`` (cached).
 
         Row ``i`` holds the same integers as
-        ``np.bincount(values(t0 + i), minlength=d)``.
+        ``np.bincount(values(t0 + i), minlength=d)``.  Computed as one
+        flat-offset bincount over the whole block — row ``i``'s values
+        are shifted into the disjoint bin range ``[i*d, (i+1)*d)``, so a
+        single C-level pass produces every histogram (the transient flat
+        array is the block's size; it exactly replaces the per-row
+        Python loop this used to be).
         """
         if self._counts is None:
             d = self.domain_size
             block = self.values_block()
-            counts = np.empty((self.length, d), dtype=np.int64)
-            for i in range(self.length):
-                counts[i] = np.bincount(block[i], minlength=d)
-            self._counts = counts
+            if self.length == 0:
+                self._counts = np.empty((0, d), dtype=np.int64)
+            else:
+                offsets = np.arange(self.length, dtype=np.int64) * d
+                flat = block + offsets[:, None]
+                self._counts = np.bincount(
+                    flat.ravel(), minlength=self.length * d
+                ).reshape(self.length, d)
         return self._counts
 
     def collect_run(
@@ -324,6 +333,175 @@ class ChunkContext:
             user_ids=user_ids,
             counts=counts,
         )
+
+    # ------------------------------------------------------------------
+    # Speculative execution (adaptive budget kernels: LBD/LBA)
+    # ------------------------------------------------------------------
+    def rng_checkpoint(self):
+        """Raw bit-generator state of the shared session generator.
+
+        Cheap in-memory capture for speculative draws; restore with
+        :meth:`rng_restore`.  (The JSON-safe persist layer uses
+        :func:`repro.rng.capture_rng_state` instead.)
+        """
+        return self._collector.rng.bit_generator.state
+
+    def rng_restore(self, state) -> None:
+        """Rewind the shared generator to a :meth:`rng_checkpoint`."""
+        self._collector.rng.bit_generator.state = state
+
+    def speculate_run(self, epsilon, offsets) -> np.ndarray:
+        """Draw all-user FO rounds at the given ascending offsets —
+        **draws only**, no accounting.
+
+        Returns the ``(k, d)`` frequency estimates.  The draws consume
+        the shared generator exactly as per-step :meth:`collect` calls
+        at the same timestamps would (order-preserving run samplers;
+        their element order also guarantees that the first ``j`` rounds
+        of a longer speculation consume the same bitstream as a
+        ``j``-round one, which is what makes discard-and-replay exact).
+        A speculating kernel must pair every kept round with
+        :meth:`commit_run` charges, and must
+        :meth:`rng_restore`-discard every round it does not keep.
+        """
+        collector = self._collector
+        d = self.domain_size
+        offsets = list(offsets)
+        counts = self.counts()[np.asarray(offsets, dtype=np.int64)]
+        if collector.fast:
+            return collector.oracle.sample_aggregate_run(
+                counts, epsilon, rng=collector.rng
+            )
+        block = self.values_block()
+        estimates = []
+        for off in offsets:
+            reports = collector.oracle.perturb(
+                block[off], d, epsilon, rng=collector.rng
+            )
+            estimates.append(
+                collector.oracle.aggregate(reports, d, epsilon).frequencies
+            )
+        return (
+            np.stack(estimates)
+            if estimates
+            else np.empty((0, d), dtype=np.float64)
+        )
+
+    def commit_run(self, epsilon, offsets) -> None:
+        """Charge and meter previously speculated all-user rounds.
+
+        ``epsilon`` is a scalar or a per-round sequence; ``offsets`` are
+        non-descending and may repeat a timestamp (an M1 round and its
+        publication round charge back to back, as the per-step path
+        would).  The final ledger state, report counter and any
+        violation raised are identical to the per-step path's; only the
+        failure *timing* differs — the committed rounds' draws already
+        happened, so a violation raises after them instead of
+        interleaved, the mirror image of :meth:`Collector.collect_run`'s
+        charges-before-draws deviation.  Either way the session is left
+        mid-step and unusable.
+        """
+        collector = self._collector
+        offsets = list(offsets)
+        if collector.accountant is not None:
+            collector.accountant.charge_many(
+                [self.t0 + off for off in offsets], epsilon
+            )
+        collector.total_reports += self.n_users * len(offsets)
+
+    # ------------------------------------------------------------------
+    # Prepared per-round collection (adaptive population kernels: LPD/LPA)
+    # ------------------------------------------------------------------
+    def round_collector(self, epsilon: float):
+        """Build a prepared group-collection closure for a fixed budget.
+
+        Returns ``collect(offset, user_ids) -> frequencies`` performing
+        exactly what per-step :meth:`TimestepContext.collect` does for a
+        non-empty group at ``t0 + offset`` — charge, meter, count, draw,
+        in that order, on the same shared generator — with the per-call
+        oracle setup hoisted via
+        :meth:`~repro.freq_oracles.base.FrequencyOracle.round_sampler`.
+        The adaptive population mechanisms' pool draws interleave with
+        their oracle draws, so their rounds cannot batch; this closure
+        is their chunk kernel's hot path.
+        """
+        collector = self._collector
+        accountant = collector.accountant
+        oracle = collector.oracle
+        rng = collector.rng
+        d = self.domain_size
+        block = self.values_block()
+        t0 = self.t0
+
+        if collector.fast:
+            sampler = oracle.round_sampler(epsilon, d)
+
+            def collect(offset: int, user_ids: np.ndarray) -> np.ndarray:
+                values = block[offset][user_ids]
+                if accountant is not None:
+                    accountant.charge(t0 + offset, user_ids, epsilon)
+                collector.total_reports += values.shape[0]
+                counts = np.bincount(values, minlength=d)
+                return sampler(counts, rng)
+
+        else:
+
+            def collect(offset: int, user_ids: np.ndarray) -> np.ndarray:
+                values = block[offset][user_ids]
+                if accountant is not None:
+                    accountant.charge(t0 + offset, user_ids, epsilon)
+                collector.total_reports += values.shape[0]
+                reports = oracle.perturb(values, d, epsilon, rng=rng)
+                return oracle.aggregate(reports, d, epsilon).frequencies
+
+        return collect
+
+    def budget_round_runner(self):
+        """Build a prepared all-user round closure ``run(offset, epsilon)``.
+
+        Performs exactly what per-step :meth:`TimestepContext.collect`
+        does for a full-population round at ``t0 + offset`` — charge,
+        meter, count, draw, in that order, on the same shared generator —
+        but with the oracle setup hoisted per distinct budget (a tiny
+        sampler cache; the adaptive budget mechanisms cycle through one
+        M1 budget and a handful of publication budgets).  This is the
+        sequential mode of the hybrid LBD/LBA kernels: when publications
+        are frequent, speculation would discard most of its lookahead,
+        so the kernel runs rounds one at a time with zero wasted draws.
+        """
+        collector = self._collector
+        accountant = collector.accountant
+        oracle = collector.oracle
+        rng = collector.rng
+        d = self.domain_size
+        n_users = self.n_users
+        t0 = self.t0
+
+        if collector.fast:
+            counts = self.counts()
+            samplers: dict = {}
+
+            def run(offset: int, epsilon: float) -> np.ndarray:
+                if accountant is not None:
+                    accountant.charge(t0 + offset, None, epsilon)
+                collector.total_reports += n_users
+                sampler = samplers.get(epsilon)
+                if sampler is None:
+                    sampler = oracle.round_sampler(epsilon, d)
+                    samplers[epsilon] = sampler
+                return sampler(counts[offset], rng)
+
+        else:
+            block = self.values_block()
+
+            def run(offset: int, epsilon: float) -> np.ndarray:
+                if accountant is not None:
+                    accountant.charge(t0 + offset, None, epsilon)
+                collector.total_reports += n_users
+                reports = oracle.perturb(block[offset], d, epsilon, rng=rng)
+                return oracle.aggregate(reports, d, epsilon).frequencies
+
+        return run
 
     # ------------------------------------------------------------------
     def timestep(self, offset: int) -> TimestepContext:

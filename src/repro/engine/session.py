@@ -277,14 +277,18 @@ class StreamSession:
 
         Bulk counterpart of :meth:`observe`, and **bit-identical** to
         calling it in a loop: the chunk performs the same RNG draws in
-        the same order (mechanism chunk kernels batch their collection
-        rounds through the oracles' order-preserving run samplers; the
-        adaptive mechanisms transparently fall back to per-step
-        execution), so releases, records, counters and any attached
-        store end up byte-for-byte equal.  What changes is the
+        the same order, so releases, records, counters and any attached
+        store end up byte-for-byte equal.  The non-adaptive kernels
+        batch their collection rounds through the oracles'
+        order-preserving run samplers; the adaptive budget kernels
+        (LBD/LBA) speculatively batch M1 rounds and rewind/replay the
+        generator around publications; the adaptive population kernels
+        (LPD/LPA) run a streamlined per-round loop (their pool draws
+        interleave with oracle draws).  What changes is the
         per-timestamp interpreter overhead: truth histograms, collection
         rounds and trace/store bookkeeping are amortised across the
-        chunk (see ``benchmarks/bench_ingest_throughput.py``).
+        chunk (see ``benchmarks/bench_ingest_throughput.py`` and
+        ``docs/ARCHITECTURE.md``, "Bulk ingestion").
 
         ``t0`` defaults to the next expected timestamp (and must equal
         it when given).  ``n`` defaults to the rest of the session's
@@ -352,10 +356,10 @@ class StreamSession:
     ) -> list:
         """Per-step chunk ingestion: the literal ``observe()`` loop.
 
-        Used for mechanisms without a chunk kernel (the adaptive
-        methods, whose next collection round depends on the previous
-        round's estimate).  Still amortises the truth histograms over
-        the chunk on random-access datasets.
+        Used for mechanisms without a chunk kernel — e.g. the LPF
+        extension and third-party subclasses that have not opted in
+        (all seven core mechanisms have kernels).  Still amortises the
+        truth histograms over the chunk on random-access datasets.
         """
         if (
             truth is None

@@ -188,6 +188,31 @@ class FrequencyOracle(abc.ABC):
             ]
         )
 
+    def round_sampler(self, epsilon: float, domain_size: int):
+        """Build a prepared single-round sampler for a fixed budget.
+
+        Returns a callable ``sample(true_counts, rng) -> frequencies``
+        that is **bit-identical** to
+        ``sample_aggregate(true_counts, epsilon, rng=rng).frequencies``
+        — same generator draws in the same order, same floating-point
+        expressions — with every round-invariant (parameter validation,
+        probability constants, GRR's liar-spread matrix) hoisted out of
+        the per-round path.  The adaptive population kernels (LPD/LPA)
+        lean on this: their pool draws interleave with the oracle draws
+        on the shared generator, so rounds cannot batch, and the per-call
+        setup becomes the dominant cost worth hoisting.
+
+        ``domain_size`` is the fixed domain every round will use; counts
+        passed to the sampler must have exactly that length.
+        """
+        epsilon = self._check_epsilon(epsilon)
+        self._check_domain(domain_size)
+
+        def sample(true_counts: np.ndarray, rng) -> np.ndarray:
+            return self.sample_aggregate(true_counts, epsilon, rng=rng).frequencies
+
+        return sample
+
     @staticmethod
     def _check_batch_counts(true_counts: np.ndarray) -> np.ndarray:
         counts = np.asarray(true_counts, dtype=np.int64)

@@ -145,5 +145,28 @@ class GRR(FrequencyOracle):
             perturbed[b] += spread.sum(axis=0)
         return (perturbed / n[:, None] - q) / (p - q)
 
+    def round_sampler(self, epsilon, domain_size):
+        epsilon = self._check_epsilon(epsilon)
+        domain_size = self._check_domain(domain_size)
+        p, q = grr_probabilities(epsilon, domain_size)
+        uniform_over_others = np.full(
+            (domain_size, domain_size), 1.0 / (domain_size - 1)
+        )
+        np.fill_diagonal(uniform_over_others, 0.0)
+
+        # Building the (d, d) liar-spread matrix dominates GRR's per-call
+        # cost; hoisting it (plus the probability setup) leaves exactly
+        # the two draws sample_aggregate issues — bit-identical per round.
+        def sample(true_counts, rng):
+            n = int(true_counts.sum())
+            keepers = rng.binomial(true_counts, p)
+            liars = true_counts - keepers
+            perturbed = keepers.astype(np.float64)
+            spread = rng.multinomial(liars, uniform_over_others)
+            perturbed += spread.sum(axis=0)
+            return (perturbed / n - q) / (p - q)
+
+        return sample
+
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         return grr_mean_variance(epsilon, n, domain_size)

@@ -155,7 +155,31 @@ class HadamardResponse(FrequencyOracle):
         # exactly (see its docstring), so it doubles as the run kernel.
         return self.sample_aggregate_batch(true_counts, epsilon, rng=rng)
 
+    def round_sampler(self, epsilon, domain_size):
+        epsilon = self._check_epsilon(epsilon)
+        self._check_domain(domain_size)
+        p = hr_probability(epsilon)
+        probs = np.empty((2, domain_size))
+        probs[0] = p
+        probs[1] = 0.5
+        trials = np.empty((2, domain_size), dtype=np.int64)
+
+        # One stacked (2, d) binomial replaying sample_aggregate's
+        # own/other binomials bit-for-bit (C-order element fill, the
+        # run-kernel property) with one call's fixed overhead.
+        def sample(true_counts, rng):
+            n = int(true_counts.sum())
+            trials[0] = true_counts
+            np.subtract(n, true_counts, out=trials[1])
+            draws = rng.binomial(trials, probs)
+            supports = (draws[0] + draws[1]).astype(np.float64)
+            return (supports / n - 0.5) / (p - 0.5)
+
+        return sample
+
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         p = hr_probability(epsilon)
+        if p == 0.5:  # epsilon below float resolution: no information
+            return math.inf
         # Leading term: support count variance 1/4 per user at f ~ 0.
         return 0.25 / (n * (p - 0.5) ** 2)

@@ -144,5 +144,31 @@ class OLH(FrequencyOracle):
         # exactly (see its docstring), so it doubles as the run kernel.
         return self.sample_aggregate_batch(true_counts, epsilon, rng=rng)
 
+    def round_sampler(self, epsilon, domain_size):
+        epsilon = self._check_epsilon(epsilon)
+        self._check_domain(domain_size)
+        g = olh_hash_range(epsilon)
+        e = math.exp(epsilon)
+        p = e / (e + g - 1)
+        q = 1.0 / g
+        probs = np.empty((2, domain_size))
+        probs[0] = p
+        probs[1] = q
+        trials = np.empty((2, domain_size), dtype=np.int64)
+
+        # One stacked (2, d) binomial replaying sample_aggregate's two
+        # sequential binomials bit-for-bit (C-order element fill, the
+        # run-kernel property) with hash-range/probability setup hoisted
+        # and a single call's fixed overhead.
+        def sample(true_counts, rng):
+            n = int(true_counts.sum())
+            trials[0] = true_counts
+            np.subtract(n, true_counts, out=trials[1])
+            draws = rng.binomial(trials, probs)
+            supports = (draws[0] + draws[1]).astype(np.float64)
+            return (supports / n - q) / (p - q)
+
+        return sample
+
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         return olh_mean_variance(epsilon, n, domain_size)

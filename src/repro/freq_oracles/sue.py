@@ -109,5 +109,28 @@ class SUE(FrequencyOracle):
         ones = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
         return (ones / n - q) / (p - q)
 
+    def round_sampler(self, epsilon, domain_size):
+        epsilon = self._check_epsilon(epsilon)
+        self._check_domain(domain_size)
+        p, q = sue_probabilities(epsilon)
+        probs = np.empty((2, domain_size))
+        probs[0] = p
+        probs[1] = q
+        trials = np.empty((2, domain_size), dtype=np.int64)
+
+        # One stacked (2, d) binomial replaying sample_aggregate's two
+        # sequential binomials bit-for-bit (same C-order element fill the
+        # run kernel relies on) at half the fixed call overhead — same
+        # shape as OUE.round_sampler, SUE probabilities.
+        def sample(true_counts, rng):
+            n = int(true_counts.sum())
+            trials[0] = true_counts
+            np.subtract(n, true_counts, out=trials[1])
+            draws = rng.binomial(trials, probs)
+            counts = (draws[0] + draws[1]).astype(np.float64)
+            return (counts / n - q) / (p - q)
+
+        return sample
+
     def variance(self, epsilon: float, n: int, domain_size: int) -> float:
         return sue_mean_variance(epsilon, n, domain_size)

@@ -32,12 +32,27 @@ def _check(epsilon: float, n: int, domain_size: int) -> None:
         raise InvalidParameterError(f"domain_size must be >= 2, got {domain_size}")
 
 
+def _degenerate(e: float) -> bool:
+    """Budget below float resolution: ``exp(eps) == 1.0`` exactly.
+
+    The adaptive mechanisms can shave a publication budget down to
+    ``~1e-17`` (absorption arithmetic cancels almost exactly), where the
+    closed forms would divide by ``(e^eps - 1)^2 == 0``.  An
+    epsilon this small carries no information, so the variance is
+    reported as infinite — which makes ``err = inf`` and the mechanism
+    approximates, exactly the "unusable budget" semantics.
+    """
+    return e == 1.0
+
+
 def grr_cell_variance(
     epsilon: float, n: int, domain_size: int, frequency: float = 0.0
 ) -> float:
     """Exact Eq. (2) variance of one GRR-estimated cell with true ``frequency``."""
     _check(epsilon, n, domain_size)
     e = math.exp(epsilon)
+    if _degenerate(e):
+        return math.inf
     lead = (domain_size - 2 + e) / (n * (e - 1) ** 2)
     data = frequency * (domain_size - 2) / (n * (e - 1))
     return lead + data
@@ -47,6 +62,8 @@ def grr_mean_variance(epsilon: float, n: int, domain_size: int) -> float:
     """Mean GRR cell variance over the domain (frequencies sum to one)."""
     _check(epsilon, n, domain_size)
     e = math.exp(epsilon)
+    if _degenerate(e):
+        return math.inf
     lead = (domain_size - 2 + e) / (n * (e - 1) ** 2)
     data = (domain_size - 2) / (domain_size * n * (e - 1))
     return lead + data
@@ -60,6 +77,8 @@ def oue_mean_variance(epsilon: float, n: int, domain_size: int) -> float:
     """
     _check(epsilon, n, domain_size)
     e = math.exp(epsilon)
+    if _degenerate(e):
+        return math.inf
     return 4.0 * e / (n * (e - 1) ** 2)
 
 
@@ -72,6 +91,8 @@ def sue_mean_variance(epsilon: float, n: int, domain_size: int) -> float:
     """
     _check(epsilon, n, domain_size)
     s = math.exp(epsilon / 2.0)
+    if _degenerate(s):
+        return math.inf
     p = s / (s + 1.0)
     q = 1.0 / (s + 1.0)
     return q * (1.0 - q) / (n * (p - q) ** 2)

@@ -36,14 +36,23 @@ class StreamMechanism(abc.ABC):
     #: Which framework the method belongs to: ``"budget"`` or ``"population"``.
     framework: str = ""
     #: Whether :meth:`step_many` overrides the per-step fallback with a
-    #: vectorized chunk kernel whose data access goes exclusively through
-    #: :meth:`~repro.engine.collector.ChunkContext.collect_run`.  Only
-    #: non-adaptive mechanisms qualify: their collection schedule is a
-    #: pure function of the timestamp, so a whole chunk's rounds can be
-    #: drawn through the oracles' order-preserving run samplers.  The
-    #: adaptive methods decide each round from the previous round's
-    #: estimate and keep the per-step fallback.  The engine only builds
-    #: chunk contexts for kernels; everything else loops ``observe()``.
+    #: chunk kernel whose data access goes exclusively through the
+    #: :class:`~repro.engine.collector.ChunkContext` run primitives.
+    #: All seven core mechanisms set this.  The non-adaptive ones
+    #: (LBU/LSP/LPU) batch a whole chunk's rounds through
+    #: :meth:`~repro.engine.collector.ChunkContext.collect_run`, since
+    #: their collection schedule is a pure function of the timestamp.
+    #: The adaptive budget methods (LBD/LBA) *speculate*: batch-draw a
+    #: lookahead of M1 rounds, scan the publish decisions closed-form,
+    #: and rewind/replay the generator when a publication invalidates
+    #: the speculated tail.  The adaptive population methods (LPD/LPA)
+    #: run a streamlined sequential loop over
+    #: :meth:`~repro.engine.collector.ChunkContext.round_collector`
+    #: (pool draws interleave with oracle draws, so rounds cannot be
+    #: batched — the win is hoisted dispatch).  Every kernel is
+    #: bit-identical to its ``step()`` loop.  Third-party subclasses
+    #: that leave this ``False`` fall back to per-step execution; the
+    #: engine only builds chunk contexts for kernels.
     chunk_kernel: bool = False
 
     def __init__(self) -> None:

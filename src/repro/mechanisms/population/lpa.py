@@ -14,11 +14,11 @@ runs at every timestamp, including nullified ones (Alg. 4 line 3).
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ...engine.collector import TimestepContext
+from ...engine.collector import ChunkContext, TimestepContext
 from ...engine.population import UserPool
 from ...engine.records import (
     STRATEGY_APPROXIMATE,
@@ -40,6 +40,7 @@ class LPA(StreamMechanism):
     name = "LPA"
     adaptive = True
     framework = "population"
+    chunk_kernel = True
 
     def _setup(self) -> None:
         self._m1_size = self.n_users // (2 * self.window)
@@ -142,3 +143,100 @@ class LPA(StreamMechanism):
             self._pool.recycle(m1_old)
             self._pool.recycle(m2_old)
         return record
+
+    def step_many(self, ctx: ChunkContext) -> List[StepRecord]:
+        """Streamlined chunk kernel, bit-identical to the :meth:`step` loop.
+
+        Same sequential shape as :meth:`LPD.step_many
+        <repro.mechanisms.population.lpd.LPD.step_many>` — population
+        draws interleave on the shared generator, so the kernel issues
+        exactly the per-step draws and wins by hoisting the round
+        collector and the pool/recycling fast paths.  The nullification
+        and absorption state is carried in locals and written back once.
+        """
+        if ctx.length == 0:
+            return []
+        records: List[StepRecord] = []
+        eps = self.epsilon
+        w = self.window
+        t0 = ctx.t0
+        m1_size = self._m1_size
+        pool = self._pool
+        history = self._history
+        collect = ctx.round_collector(eps)
+        # Same float as every per-step estimate_m1.variance this chunk.
+        var_m1 = self.predicted_error(eps, m1_size)
+        err_cache: dict = {}
+        last_release = self.last_release
+        last_t = self._last_publication_t
+        last_size = self._last_publication_size
+        for i in range(ctx.length):
+            t = t0 + i
+            users_m1 = pool.sample_run(m1_size)
+            frequencies = collect(i, users_m1)
+            diff = frequencies - last_release
+            dis = float(np.mean(diff * diff)) - var_m1
+
+            users_m2 = _EMPTY
+            to_nullify = last_size / m1_size - 1.0
+            if t - last_t <= to_nullify:
+                records.append(
+                    StepRecord(
+                        t=t,
+                        release=last_release,
+                        strategy=STRATEGY_NULLIFIED,
+                        dissimilarity_users=m1_size,
+                        reports=m1_size,
+                        dis=dis,
+                    )
+                )
+            else:
+                absorbable = t - (last_t + to_nullify)
+                n_potential = int(m1_size * min(absorbable, float(w)))
+                if n_potential >= 1:
+                    err = err_cache.get(n_potential)
+                    if err is None:
+                        err = self.predicted_error(eps, n_potential)
+                        err_cache[n_potential] = err
+                else:
+                    err = math.inf
+
+                if dis > err:
+                    users_m2 = pool.sample_run(n_potential)
+                    last_release = collect(i, users_m2)
+                    last_t = t
+                    last_size = n_potential
+                    records.append(
+                        StepRecord(
+                            t=t,
+                            release=last_release,
+                            strategy=STRATEGY_PUBLISH,
+                            publication_epsilon=eps,
+                            publication_users=n_potential,
+                            dissimilarity_users=m1_size,
+                            reports=m1_size + n_potential,
+                            dis=dis,
+                            err=err,
+                        )
+                    )
+                else:
+                    records.append(
+                        StepRecord(
+                            t=t,
+                            release=last_release,
+                            strategy=STRATEGY_APPROXIMATE,
+                            dissimilarity_users=m1_size,
+                            reports=m1_size,
+                            dis=dis,
+                            err=err,
+                        )
+                    )
+
+            history[t] = (users_m1, users_m2)
+            expired = t - w + 1
+            if expired >= 0:
+                pool.recycle_run(*history.pop(expired))
+        self.last_release = last_release
+        self._last_publication_t = last_t
+        self._last_publication_size = last_size
+        return records

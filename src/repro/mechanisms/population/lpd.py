@@ -21,11 +21,11 @@ Per timestamp:
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ...engine.collector import TimestepContext
+from ...engine.collector import ChunkContext, TimestepContext
 from ...engine.population import UserPool
 from ...engine.records import (
     STRATEGY_APPROXIMATE,
@@ -55,6 +55,7 @@ class LPD(StreamMechanism):
     name = "LPD"
     adaptive = True
     framework = "population"
+    chunk_kernel = True
 
     def __init__(self, u_min: int = 1):
         super().__init__()
@@ -150,3 +151,88 @@ class LPD(StreamMechanism):
             self._pool.recycle(m1_old)
             self._pool.recycle(m2_old)
         return record
+
+    def step_many(self, ctx: ChunkContext) -> List[StepRecord]:
+        """Streamlined chunk kernel, bit-identical to the :meth:`step` loop.
+
+        Population division cannot batch rounds: every timestamp's pool
+        draw and oracle draw interleave on the shared generator, and the
+        group sizes feed the next decision.  But the publish decision is
+        computable immediately after each M1 round, so this kernel is the
+        degenerate (exact-lookahead) case of speculation — a sequential
+        loop that issues exactly the per-step draws with zero discards —
+        and its win is hoisting the per-step dispatch: one prepared
+        round collector (validation and oracle setup hoisted) plus the
+        pool/recycling fast paths.
+        """
+        if ctx.length == 0:
+            return []
+        records: List[StepRecord] = []
+        eps = self.epsilon
+        w = self.window
+        t0 = ctx.t0
+        m1_size = self._m1_size
+        u_min = self.u_min
+        half_users = self.n_users // 2
+        pool = self._pool
+        used = self._used_publication
+        history = self._history
+        collect = ctx.round_collector(eps)
+        # Same float as every per-step estimate_m1.variance this chunk.
+        var_m1 = self.predicted_error(eps, m1_size)
+        err_cache: dict = {}
+        last_release = self.last_release
+        for i in range(ctx.length):
+            t = t0 + i
+            users_m1 = pool.sample_run(m1_size)
+            frequencies = collect(i, users_m1)
+            diff = frequencies - last_release
+            dis = float(np.mean(diff * diff)) - var_m1
+
+            remaining = half_users - int(used.window_sum(t))
+            n_potential = max(0, remaining // 2)
+            if n_potential >= u_min:
+                err = err_cache.get(n_potential)
+                if err is None:
+                    err = self.predicted_error(eps, n_potential)
+                    err_cache[n_potential] = err
+            else:
+                err = math.inf
+
+            if dis > err and n_potential >= u_min:
+                users_m2 = pool.sample_run(n_potential)
+                last_release = collect(i, users_m2)
+                records.append(
+                    StepRecord(
+                        t=t,
+                        release=last_release,
+                        strategy=STRATEGY_PUBLISH,
+                        publication_epsilon=eps,
+                        publication_users=n_potential,
+                        dissimilarity_users=m1_size,
+                        reports=m1_size + n_potential,
+                        dis=dis,
+                        err=err,
+                    )
+                )
+            else:
+                users_m2 = _EMPTY
+                records.append(
+                    StepRecord(
+                        t=t,
+                        release=last_release,
+                        strategy=STRATEGY_APPROXIMATE,
+                        dissimilarity_users=m1_size,
+                        reports=m1_size,
+                        dis=dis,
+                        err=err,
+                    )
+                )
+
+            used.record(t, float(users_m2.size))
+            history[t] = (users_m1, users_m2)
+            expired = t - w + 1
+            if expired >= 0:
+                pool.recycle_run(*history.pop(expired))
+        self.last_release = last_release
+        return records

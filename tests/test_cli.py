@@ -401,21 +401,21 @@ class TestServeRobustness:
         assert captured.out == ""  # never one-error-line-per-request
 
     def test_observe_failure_is_fatal_not_silent(self, capsys, monkeypatch):
-        # An error raised inside observe() lands *after* stream.push has
-        # advanced the stream, leaving the pair desynchronized — the
+        # An error raised inside session ingest lands *after* stream.push
+        # has advanced the stream, leaving the pair desynchronized — the
         # server must stop with rc 2 instead of emitting error lines
         # forever and exiting 0.
         from repro.engine.session import StreamSession
         from repro.exceptions import PopulationExhaustedError
 
-        real_observe = StreamSession.observe
+        real_observe_many = StreamSession.observe_many
 
-        def flaky_observe(self, t=None, **kwargs):
-            if t == 1:
+        def flaky_observe_many(self, t0=None, n=None, **kwargs):
+            if t0 == 1:
                 raise PopulationExhaustedError("no users left")
-            return real_observe(self, t, **kwargs)
+            return real_observe_many(self, t0, n, **kwargs)
 
-        monkeypatch.setattr(StreamSession, "observe", flaky_observe)
+        monkeypatch.setattr(StreamSession, "observe_many", flaky_observe_many)
         self._feed(monkeypatch, self._requests(3))
         code = main(self._serve())
         captured = capsys.readouterr()
