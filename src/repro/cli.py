@@ -173,6 +173,39 @@ def _build_parser() -> argparse.ArgumentParser:
         default="-",
         help="file with one JSON request per line ('-' = stdin)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="run the sharded asyncio socket server instead of the stdin "
+        "loop: partition the population across K worker processes and "
+        "answer queries from the merged release store (requires "
+        "--n-users; see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--n-users",
+        type=int,
+        default=None,
+        metavar="N",
+        help="population size (required with --shards; the stdin loop "
+        "infers it from the first ingest instead)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="with --shards: TCP port to listen on (default 0 = ephemeral; "
+        "the chosen port is printed in the JSON hello line)",
+    )
+    serve.add_argument(
+        "--no-fast",
+        dest="fast",
+        action="store_false",
+        help="run the literal per-user perturbation protocol instead of "
+        "the exact count-level samplers (CPU-bound; this is the regime "
+        "where --shards parallelism pays off)",
+    )
     _add_chunk_flag(serve)
     _add_state_dir_flags(serve)
 
@@ -621,6 +654,47 @@ def _serve_answer(engine, session, request: dict) -> dict:
     )
 
 
+def _cmd_serve_sharded(args) -> int:
+    """``serve --shards K``: the asyncio socket server over K workers.
+
+    Prints a JSON hello line (``{"event": "listening", "port": ...}``)
+    once the tier is up, then serves line-delimited JSON over TCP until
+    a ``shutdown`` request.  The merged answers conform to the serial
+    :class:`~repro.serving.ShardedSession` bit-for-bit; the contract is
+    documented in ``docs/SERVING.md``.
+    """
+    from .serving import ServeConfig, run_server
+
+    if args.n_users is None:
+        raise InvalidParameterError(
+            "--shards needs --n-users: the population partitions across "
+            "shards before the first ingest arrives"
+        )
+    if args.capacity < 0:
+        raise InvalidParameterError(
+            f"capacity must be >= 0, got {args.capacity}"
+        )
+    config = ServeConfig(
+        mechanism=args.method,
+        n_users=args.n_users,
+        domain_size=args.domain_size,
+        epsilon=args.epsilon,
+        window=args.window,
+        num_shards=args.shards,
+        oracle=args.oracle,
+        seed=args.seed,
+        postprocess=args.postprocess,
+        capacity=None if args.capacity == 0 else args.capacity,
+        chunk=args.chunk,
+        confidence=args.confidence,
+        state_dir=args.state_dir,
+        checkpoint_every=args.checkpoint_every,
+        port=args.port,
+        fast=args.fast,
+    )
+    return run_server(config)
+
+
 def _cmd_serve(args) -> int:
     """Standing query server: JSONL requests in, JSONL answers out.
 
@@ -643,6 +717,8 @@ def _cmd_serve(args) -> int:
     from .freq_oracles.postprocess import get_postprocessor
     from .mechanisms import get_mechanism
 
+    if args.shards is not None:
+        return _cmd_serve_sharded(args)
     if args.capacity < 0:
         raise InvalidParameterError(
             f"capacity must be >= 0, got {args.capacity}"
@@ -871,6 +947,7 @@ def _cmd_serve(args) -> int:
                                 postprocess=args.postprocess,
                                 record_trace=False,
                                 store=store,
+                                fast=args.fast,
                             ).start()
                             engine = QueryEngine(
                                 store, confidence=args.confidence
@@ -888,7 +965,17 @@ def _cmd_serve(args) -> int:
                     # so buffered snapshots go in first.
                     flush()
                     answer = _serve_answer(engine, session, request)
-                except (ReproError, KeyError, ValueError, TypeError) as error:
+                except (
+                    ReproError,
+                    KeyError,
+                    ValueError,
+                    TypeError,
+                    OverflowError,
+                ) as error:
+                    # OverflowError included: Python's json accepts
+                    # Infinity, and int(float("inf")) overflows — a
+                    # malformed ingest record must produce an error line,
+                    # not kill a server holding buffered timestamps.
                     # Buffered ingests answer first so output lines keep
                     # request order even around a bad request.
                     flush()

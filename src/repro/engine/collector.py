@@ -96,6 +96,58 @@ class Collector:
         """Install state captured by :meth:`state_dict`."""
         self.total_reports = int(state["total_reports"])
 
+    @staticmethod
+    def merge(estimates: Sequence[FOEstimate], oracle) -> FOEstimate:
+        """Merge per-shard estimates of one logical collection round.
+
+        All five oracles debias an additive integer sufficient statistic
+        (the support-count vector), so when a population is partitioned
+        across shards that each ran the *same* round (same oracle, same
+        epsilon, disjoint users), summing the shard supports in shard
+        order and re-debiasing reproduces the whole-population estimate
+        exactly: ``merge([aggregate(r_s) for s]) ==
+        aggregate(concat(r_s))`` bit-for-bit.  Estimates lacking
+        supports (hand-built ones) fall back to the count-weighted
+        frequency merge ``f = Σ n_s f_s / n`` — algebraically identical,
+        exact only up to float associativity.
+        """
+        estimates = list(estimates)
+        if not estimates:
+            raise InvalidParameterError("cannot merge zero estimates")
+        oracle = get_oracle(oracle)
+        epsilon = estimates[0].epsilon
+        d = estimates[0].domain_size
+        for est in estimates[1:]:
+            if est.epsilon != epsilon:
+                raise InvalidParameterError(
+                    f"shard estimates mix budgets {epsilon} and "
+                    f"{est.epsilon}; only same-round estimates merge"
+                )
+            if est.domain_size != d:
+                raise InvalidParameterError(
+                    f"shard estimates mix domain sizes {d} and "
+                    f"{est.domain_size}"
+                )
+        n = sum(int(est.n_reports) for est in estimates)
+        if all(est.supports is not None for est in estimates):
+            supports = estimates[0].supports.astype(np.float64, copy=True)
+            for est in estimates[1:]:
+                supports += est.supports
+            return oracle.estimate_from_supports(supports, n, d, epsilon)
+        frequencies = estimates[0].n_reports * estimates[0].frequencies
+        for est in estimates[1:]:
+            frequencies = frequencies + est.n_reports * est.frequencies
+        frequencies = frequencies / n
+        variance = sum(
+            (est.n_reports / n) ** 2 * est.variance for est in estimates
+        )
+        return FOEstimate(
+            frequencies=frequencies,
+            n_reports=n,
+            epsilon=epsilon,
+            variance=float(variance),
+        )
+
     def collect_run(
         self,
         t0: int,

@@ -54,6 +54,16 @@ class WALError(CheckpointError):
     """
 
 
+class ServingError(ReproError):
+    """The sharded serving tier lost a shard or got an inconsistent reply.
+
+    Raised by :mod:`repro.serving` when a worker process dies, reports a
+    failure, or answers out of protocol.  Ingestion cannot continue past
+    a lost shard (the merged store would silently drop a sub-population),
+    so the server treats this as fatal.
+    """
+
+
 class EvictedSpanError(ReproError):
     """A query touched timestamps already evicted from a bounded
     :class:`repro.query.ReleaseStore` ring buffer.

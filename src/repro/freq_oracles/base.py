@@ -29,7 +29,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Dict, Type
+from typing import Dict, Optional, Type
 
 import numpy as np
 
@@ -54,12 +54,21 @@ class FOEstimate:
     variance:
         Closed-form per-cell estimation variance, averaged over the domain,
         using the frequency-independent approximation of Eq. (2).
+    supports:
+        The round's *sufficient statistic*: the perturbed support-count
+        vector the estimate was debiased from (``None`` on estimates
+        built before support tracking, e.g. hand-constructed ones).
+        Supports are additive across disjoint reporting groups — summing
+        shard supports and re-debiasing reproduces the whole-group
+        estimate bit-for-bit, which is what makes collection rounds
+        shard-mergeable (see :meth:`repro.engine.collector.Collector.merge`).
     """
 
     frequencies: np.ndarray
     n_reports: int
     epsilon: float
     variance: float
+    supports: Optional[np.ndarray] = None
 
     @property
     def domain_size(self) -> int:
@@ -104,6 +113,86 @@ class FrequencyOracle(abc.ABC):
         epsilon: float,
     ) -> FOEstimate:
         """Debias per-user reports into an unbiased frequency estimate."""
+
+    # ------------------------------------------------------------------
+    # Sufficient statistics (shard mergeability)
+    # ------------------------------------------------------------------
+    # Every oracle in this library estimates frequencies as an affine map
+    # of an integer *support-count* vector: ``f = (c/n - q) / (p - q)``
+    # with oracle-specific constants ``(p, q)``.  The support counts of a
+    # union of report sets are the integer sums of the per-set counts, so
+    # exposing the two halves of ``aggregate`` separately makes collection
+    # rounds mergeable across population shards with *no* loss:
+    # ``estimate_from_supports(sum of shard supports)`` is bit-identical
+    # to aggregating the whole population's reports in one process.
+
+    def support_probabilities(
+        self, epsilon: float, domain_size: int
+    ) -> tuple[float, float]:
+        """The ``(p, q)`` constants of this oracle's support-count debias.
+
+        ``p`` is the probability a report supports its owner's value,
+        ``q`` the probability it supports any other fixed value (for HR
+        the baseline is exactly 1/2 by Hadamard orthogonality).
+
+        Not abstract so minimal third-party subclasses keep working; all
+        five built-in oracles implement it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose support probabilities"
+        )
+
+    def aggregate_supports(
+        self,
+        reports: np.ndarray,
+        domain_size: int,
+        epsilon: float,
+    ) -> np.ndarray:
+        """Integer support-count vector of a report set (length ``d``).
+
+        This is the additive half of :meth:`aggregate`: supports of
+        disjoint report sets sum exactly (they are integers), and
+        :meth:`estimate_from_supports` turns a (summed) vector back into
+        the estimate :meth:`aggregate` would have produced for the union.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not decompose aggregation into "
+            f"support counts"
+        )
+
+    def estimate_from_supports(
+        self,
+        supports: np.ndarray,
+        n_reports: int,
+        domain_size: int,
+        epsilon: float,
+    ) -> FOEstimate:
+        """Debias a support-count vector into an :class:`FOEstimate`.
+
+        Composes with :meth:`aggregate_supports`: for every oracle,
+        ``aggregate(reports, d, eps)`` equals
+        ``estimate_from_supports(aggregate_supports(reports, d, eps),
+        len(reports), d, eps)`` bit-for-bit — same floating-point
+        expressions on the same integers.
+        """
+        epsilon = self._check_epsilon(epsilon)
+        domain_size = self._check_domain(domain_size)
+        supports = np.asarray(supports, dtype=np.float64)
+        if supports.shape != (domain_size,):
+            raise InvalidParameterError(
+                f"supports must have shape ({domain_size},), got "
+                f"{supports.shape}"
+            )
+        n = int(n_reports)
+        p, q = self.support_probabilities(epsilon, domain_size)
+        freqs = self._debias(supports, n, p, q)
+        return FOEstimate(
+            frequencies=freqs,
+            n_reports=n,
+            epsilon=epsilon,
+            variance=self.variance(epsilon, n, domain_size),
+            supports=supports,
+        )
 
     @abc.abstractmethod
     def sample_aggregate(

@@ -45,20 +45,21 @@ class GRR(FrequencyOracle):
         alternatives += (alternatives >= values).astype(np.int64)
         return np.where(keep, values, alternatives)
 
-    def aggregate(self, reports, domain_size, epsilon) -> FOEstimate:
+    def support_probabilities(self, epsilon, domain_size):
+        epsilon = self._check_epsilon(epsilon)
+        domain_size = self._check_domain(domain_size)
+        return grr_probabilities(epsilon, domain_size)
+
+    def aggregate_supports(self, reports, domain_size, epsilon):
         epsilon = self._check_epsilon(epsilon)
         domain_size = self._check_domain(domain_size)
         reports = self._check_values(reports, domain_size)
-        n = reports.shape[0]
-        p, q = grr_probabilities(epsilon, domain_size)
-        counts = np.bincount(reports, minlength=domain_size).astype(np.float64)
-        freqs = self._debias(counts, n, p, q)
-        return FOEstimate(
-            frequencies=freqs,
-            n_reports=n,
-            epsilon=epsilon,
-            variance=self.variance(epsilon, n, domain_size),
-        )
+        return np.bincount(reports, minlength=domain_size)
+
+    def aggregate(self, reports, domain_size, epsilon) -> FOEstimate:
+        supports = self.aggregate_supports(reports, domain_size, epsilon)
+        n = np.asarray(reports).shape[0]
+        return self.estimate_from_supports(supports, n, domain_size, epsilon)
 
     def sample_aggregate(self, true_counts, epsilon, rng: SeedLike = None):
         epsilon = self._check_epsilon(epsilon)
@@ -89,6 +90,7 @@ class GRR(FrequencyOracle):
             n_reports=n,
             epsilon=epsilon,
             variance=self.variance(epsilon, n, domain_size),
+            supports=perturbed,
         )
 
     def sample_aggregate_batch(self, true_counts, epsilon, rng: SeedLike = None):

@@ -87,25 +87,30 @@ class HadamardResponse(FrequencyOracle):
         columns[wrong] = np.bitwise_xor(columns[wrong], lowest_bit[wrong])
         return columns.astype(np.int64)
 
-    def aggregate(self, reports, domain_size, epsilon) -> FOEstimate:
+    def support_probabilities(self, epsilon, domain_size):
+        """HR's ``(p, 1/2)``: the off-value baseline is exactly 1/2 by
+        Hadamard orthogonality, so the generic support debias reproduces
+        the module docstring's estimator verbatim."""
         epsilon = self._check_epsilon(epsilon)
+        self._check_domain(domain_size)
+        return hr_probability(epsilon), 0.5
+
+    def aggregate_supports(self, reports, domain_size, epsilon):
+        self._check_epsilon(epsilon)
         domain_size = self._check_domain(domain_size)
         reports = np.asarray(reports, dtype=np.int64)
         if reports.ndim != 1:
             raise ValueError("HR reports must be a 1-D index array")
-        n = reports.shape[0]
-        p = hr_probability(epsilon)
-        supports = np.empty(domain_size, dtype=np.float64)
+        supports = np.empty(domain_size, dtype=np.int64)
         for v in range(domain_size):
             signs = hadamard_entry(np.int64(v + 1), reports)
             supports[v] = np.count_nonzero(signs == 1)
-        freqs = (supports / n - 0.5) / (p - 0.5)
-        return FOEstimate(
-            frequencies=freqs,
-            n_reports=n,
-            epsilon=epsilon,
-            variance=self.variance(epsilon, n, domain_size),
-        )
+        return supports
+
+    def aggregate(self, reports, domain_size, epsilon) -> FOEstimate:
+        supports = self.aggregate_supports(reports, domain_size, epsilon)
+        n = np.asarray(reports).shape[0]
+        return self.estimate_from_supports(supports, n, domain_size, epsilon)
 
     def sample_aggregate(self, true_counts, epsilon, rng: SeedLike = None):
         epsilon = self._check_epsilon(epsilon)
@@ -126,6 +131,7 @@ class HadamardResponse(FrequencyOracle):
             n_reports=n,
             epsilon=epsilon,
             variance=self.variance(epsilon, n, domain_size),
+            supports=supports,
         )
 
     def sample_aggregate_batch(self, true_counts, epsilon, rng: SeedLike = None):

@@ -65,30 +65,32 @@ class OLH(FrequencyOracle):
             [a.astype(np.int64), b.astype(np.int64), y.astype(np.int64)]
         )
 
-    def aggregate(self, reports, domain_size, epsilon) -> FOEstimate:
+    def support_probabilities(self, epsilon, domain_size):
+        epsilon = self._check_epsilon(epsilon)
+        self._check_domain(domain_size)
+        g = olh_hash_range(epsilon)
+        e = math.exp(epsilon)
+        return e / (e + g - 1), 1.0 / g
+
+    def aggregate_supports(self, reports, domain_size, epsilon):
         epsilon = self._check_epsilon(epsilon)
         domain_size = self._check_domain(domain_size)
         reports = np.asarray(reports)
         if reports.ndim != 2 or reports.shape[1] != 3:
             raise ValueError("OLH reports must be (n, 3) rows of (a, b, y)")
-        n = reports.shape[0]
         g = olh_hash_range(epsilon)
-        e = math.exp(epsilon)
-        p = e / (e + g - 1)
-        q = 1.0 / g
         a = reports[:, 0].astype(np.uint64)
         b = reports[:, 1].astype(np.uint64)
         y = reports[:, 2].astype(np.int64)
-        supports = np.empty(domain_size, dtype=np.float64)
+        supports = np.empty(domain_size, dtype=np.int64)
         for k in range(domain_size):
             supports[k] = np.count_nonzero(_hash(a, b, np.uint64(k), g) == y)
-        freqs = self._debias(supports, n, p, q)
-        return FOEstimate(
-            frequencies=freqs,
-            n_reports=n,
-            epsilon=epsilon,
-            variance=self.variance(epsilon, n, domain_size),
-        )
+        return supports
+
+    def aggregate(self, reports, domain_size, epsilon) -> FOEstimate:
+        supports = self.aggregate_supports(reports, domain_size, epsilon)
+        n = np.asarray(reports).shape[0]
+        return self.estimate_from_supports(supports, n, domain_size, epsilon)
 
     def sample_aggregate(self, true_counts, epsilon, rng: SeedLike = None):
         epsilon = self._check_epsilon(epsilon)
@@ -111,6 +113,7 @@ class OLH(FrequencyOracle):
             n_reports=n,
             epsilon=epsilon,
             variance=self.variance(epsilon, n, domain_size),
+            supports=supports,
         )
 
     def sample_aggregate_batch(self, true_counts, epsilon, rng: SeedLike = None):

@@ -41,22 +41,23 @@ class SUE(FrequencyOracle):
         bits[np.arange(n), values] = rng.random(n) < p
         return bits
 
-    def aggregate(self, reports, domain_size, epsilon) -> FOEstimate:
+    def support_probabilities(self, epsilon, domain_size):
         epsilon = self._check_epsilon(epsilon)
+        self._check_domain(domain_size)
+        return sue_probabilities(epsilon)
+
+    def aggregate_supports(self, reports, domain_size, epsilon):
+        self._check_epsilon(epsilon)
         domain_size = self._check_domain(domain_size)
         reports = np.asarray(reports, dtype=bool)
         if reports.ndim != 2 or reports.shape[1] != domain_size:
             raise ValueError("SUE reports must be an (n, d) bit matrix")
-        n = reports.shape[0]
-        p, q = sue_probabilities(epsilon)
-        counts = reports.sum(axis=0).astype(np.float64)
-        freqs = self._debias(counts, n, p, q)
-        return FOEstimate(
-            frequencies=freqs,
-            n_reports=n,
-            epsilon=epsilon,
-            variance=self.variance(epsilon, n, domain_size),
-        )
+        return reports.sum(axis=0, dtype=np.int64)
+
+    def aggregate(self, reports, domain_size, epsilon) -> FOEstimate:
+        supports = self.aggregate_supports(reports, domain_size, epsilon)
+        n = np.asarray(reports).shape[0]
+        return self.estimate_from_supports(supports, n, domain_size, epsilon)
 
     def sample_aggregate(self, true_counts, epsilon, rng: SeedLike = None):
         epsilon = self._check_epsilon(epsilon)
@@ -74,6 +75,7 @@ class SUE(FrequencyOracle):
             n_reports=n,
             epsilon=epsilon,
             variance=self.variance(epsilon, n, domain_size),
+            supports=counts,
         )
 
     def sample_aggregate_batch(self, true_counts, epsilon, rng: SeedLike = None):

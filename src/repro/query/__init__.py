@@ -20,7 +20,7 @@ query`` CLI commands expose both paths; see ``docs/QUERIES.md``.
 
 from .engine import IntervalEstimate, QueryEngine, TopKEntry
 from .propagation import PRIOR_VARIANCE, next_release_variance
-from .store import ReleaseStore
+from .store import ReleaseStore, merge_release_rows
 
 __all__ = [
     "ReleaseStore",
@@ -29,4 +29,5 @@ __all__ = [
     "TopKEntry",
     "PRIOR_VARIANCE",
     "next_release_variance",
+    "merge_release_rows",
 ]

@@ -161,6 +161,28 @@ class QueryEngine:
             )
         return cls(store, confidence=confidence)
 
+    @classmethod
+    def from_shards(
+        cls,
+        stores,
+        shard_users,
+        *,
+        confidence: float = 0.95,
+    ) -> "QueryEngine":
+        """Build a cross-shard engine over per-shard release stores.
+
+        ``stores[s]`` is shard ``s``'s :class:`ReleaseStore` (its
+        ``shard_users[s]`` users' releases), as maintained by the
+        sharded serving tier (:mod:`repro.serving`).  The shards merge
+        through :meth:`ReleaseStore.merge` — population-weighted rows,
+        cross-shard-independent variances, publication groups cut
+        wherever any shard published — and every query then answers
+        exactly as a single-process engine over the merged store would.
+        See ``docs/SERVING.md`` for the merged-answer contract.
+        """
+        store = ReleaseStore.merge(stores, shard_users)
+        return cls(store, confidence=confidence)
+
     # ------------------------------------------------------------------
     def _resolve_t(self, t: Optional[int]) -> int:
         if t is None:

@@ -35,6 +35,62 @@ import numpy as np
 
 from ..exceptions import EvictedSpanError, InvalidParameterError
 
+#: Merged-row strategy precedence: any shard publishing makes the
+#: population row a publication (new realized noise entered the merge);
+#: otherwise any approximation outranks an all-nullified row.
+_STRATEGY_RANK = {"publish": 2, "approximate": 1, "nullified": 0}
+
+#: Sentinel for "inherit the first shard store's capacity".
+_INHERIT = object()
+
+
+def merge_release_rows(
+    releases,
+    variances,
+    strategies,
+    weights,
+) -> Tuple[np.ndarray, float, str]:
+    """Merge one timestamp's per-shard rows into the population row.
+
+    ``releases``/``variances``/``strategies`` hold shard ``s``'s released
+    histogram, its mean per-cell variance and its step strategy;
+    ``weights`` are the population fractions ``n_s / N`` in shard order.
+    Returns ``(release, variance, strategy)`` where:
+
+    * ``release = Σ_s w_s · r_s`` — the population estimate.  Because
+      every oracle's estimator is affine in its support counts, this
+      equals the estimate a single process would have debiased from the
+      summed supports (exact in algebra; accumulated in fixed shard
+      order so any two mergers of the same rows agree bit-for-bit).
+      With one shard it degenerates to ``1.0 · r_0``, bit-identical to
+      the solo row.
+    * ``variance = Σ_s w_s² · v_s`` — exact under cross-shard
+      independence (shards draw from independent generators).
+    * ``strategy`` — the highest-precedence shard strategy: ``publish``
+      if any shard published fresh noise at this timestamp (the merged
+      row then starts a new correlation group), else ``approximate`` if
+      any shard approximated, else ``nullified``.
+    """
+    if not (len(releases) == len(variances) == len(strategies) == len(weights)):
+        raise InvalidParameterError(
+            "releases, variances, strategies and weights must align"
+        )
+    if not releases:
+        raise InvalidParameterError("cannot merge zero shard rows")
+    release = weights[0] * np.asarray(releases[0], dtype=np.float64)
+    variance = weights[0] ** 2 * float(variances[0])
+    strategy = str(strategies[0])
+    for s in range(1, len(releases)):
+        release = release + weights[s] * np.asarray(
+            releases[s], dtype=np.float64
+        )
+        variance += weights[s] ** 2 * float(variances[s])
+        if _STRATEGY_RANK.get(str(strategies[s]), 0) > _STRATEGY_RANK.get(
+            strategy, 0
+        ):
+            strategy = str(strategies[s])
+    return release, variance, strategy
+
 
 class _Slot:
     """One retained timestamp: release row + running accumulators."""
@@ -210,6 +266,91 @@ class ReleaseStore:
         store._evicted = int(state["evicted"])
         store._publications = int(state["publications"])
         return store
+
+    # ------------------------------------------------------------------
+    # Shard merging
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(
+        cls,
+        stores: "List[ReleaseStore]",
+        shard_users: "List[int]",
+        *,
+        capacity=_INHERIT,
+    ) -> "ReleaseStore":
+        """Merge aligned per-shard stores into one population store.
+
+        ``stores[s]`` holds shard ``s``'s released estimates over its
+        ``shard_users[s]`` users; shards must have ingested the same
+        timestamps in lockstep (same ``len``, same retained span — the
+        sharded serving tier guarantees this by construction).  Each
+        retained timestamp merges through :func:`merge_release_rows`, so
+        the result is row-for-row identical to the merged store the
+        serving tier maintains incrementally over the same span.
+
+        The merged store's publication groups are rebuilt from the span
+        alone: a row starts a new correlation group iff some shard
+        published at that timestamp, except the first retained row,
+        which always opens a group (its predecessor's noise is outside
+        the span).  ``capacity`` defaults to the first store's.
+        """
+        stores = list(stores)
+        if not stores:
+            raise InvalidParameterError("cannot merge zero stores")
+        users = [int(u) for u in shard_users]
+        if len(users) != len(stores):
+            raise InvalidParameterError(
+                f"{len(stores)} stores but {len(users)} shard populations"
+            )
+        if any(u <= 0 for u in users):
+            raise InvalidParameterError("shard populations must be positive")
+        d = stores[0].domain_size
+        first = stores[0]
+        for store in stores[1:]:
+            if store.domain_size != d:
+                raise InvalidParameterError(
+                    f"stores mix domain sizes {d} and {store.domain_size}"
+                )
+            if (
+                store._next_t != first._next_t
+                or store.oldest_t != first.oldest_t
+            ):
+                raise InvalidParameterError(
+                    "shard stores are not aligned: all shards must have "
+                    "ingested the same timestamps with the same retention "
+                    f"(got spans [{first.oldest_t}, {first._next_t}) and "
+                    f"[{store.oldest_t}, {store._next_t}))"
+                )
+        total = sum(users)
+        weights = [u / total for u in users]
+        if capacity is _INHERIT:
+            capacity = first.capacity
+        merged = cls(d, capacity=capacity)
+        if first.oldest_t is None:
+            merged._next_t = first._next_t
+            merged._evicted = first._evicted
+            return merged
+        start = first.oldest_t
+        merged._next_t = start
+        merged._evicted = start
+        for t in range(start, first._next_t):
+            release, variance, strategy = merge_release_rows(
+                [store._slot(t).release for store in stores],
+                [store._slot(t).variance for store in stores],
+                [store._slot(t).strategy for store in stores],
+                weights,
+            )
+            merged.append(
+                t,
+                release,
+                variance,
+                strategy,
+                # The first retained row opens a group unconditionally:
+                # whether its noise continues an earlier publication is
+                # unknowable from the retained span.
+                fresh_publication=(t == start) or strategy == "publish",
+            )
+        return merged
 
     # ------------------------------------------------------------------
     # Introspection

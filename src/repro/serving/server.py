@@ -1,0 +1,787 @@
+"""Asyncio sharded serving front: sockets in, merged answers out.
+
+``repro serve --shards K`` runs this server: an asyncio TCP front-end on
+localhost accepting line-delimited JSON from any number of concurrent
+clients, backed by ``K`` shard worker processes
+(:mod:`repro.serving.worker`), each owning one sub-population's
+:class:`~repro.engine.session.StreamSession`.
+
+**Ordering.**  All client lines funnel through one dispatcher coroutine,
+so the server imposes a single global serialization: timestamps are
+assigned in arrival order, queries answer against exactly the ingests
+acknowledged before them, and the whole execution is equivalent to
+feeding the same line sequence to the serial
+:class:`~repro.serving.sharded.ShardedSession` — which is the property
+the conformance suite checks bit-for-bit.
+
+**Batching.**  Ingest lines buffer until ``chunk`` of them are pending,
+the queue drains empty, or a query arrives; the batch then flushes to
+all shards *in parallel* (one ``observe_many`` per shard) and the merged
+rows are acknowledged per line.  Batch boundaries provably cannot change
+any result (``observe_many`` is chunk-invariant and the merge is per
+timestamp), so dynamic batching is pure throughput.
+
+**Durability.**  With ``state_dir`` every shard keeps its own WAL +
+checkpoints under ``<dir>/shard-XX/`` and the front atomically writes
+``front.json`` (merged store snapshot + watermark) *after* all shard
+checkpoint acks — so ``W_front <= W_shard`` always holds.  On restart
+the front resumes its merged store from ``front.json``, rebuilds the
+``[W_front, min W_shard)`` gap from the shards' committed WAL rows, and
+skips re-sent timestamps per shard until every shard is live again.
+Resuming under a different ``--shards`` is refused
+(:class:`~repro.exceptions.CheckpointError`): resharding reshuffles the
+user partition and no shard's state remains valid.
+
+The wire protocol and the exactness contract are specified in
+``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import (
+    CheckpointError,
+    InvalidParameterError,
+    ReproError,
+    ServingError,
+)
+from ..query.engine import QueryEngine
+from ..query.store import ReleaseStore, merge_release_rows
+from .router import ShardRouter, shard_seed
+from .worker import shard_worker_main
+
+FRONT_FILE = "front.json"
+_FRONT_FORMAT = "repro-front"
+FRONT_VERSION = 1
+
+_B64_DTYPES = {"u1": np.uint8, "u2": np.uint16, "u4": np.uint32}
+
+#: Front-checkpoint config keys a resume must match exactly.  A
+#: ``num_shards`` mismatch is the reshard-refusal path: the hash
+#: partition changes with the shard count, so no shard's session state
+#: describes the users it would now own.
+_CONFIG_KEYS = (
+    "mechanism",
+    "oracle",
+    "postprocess",
+    "epsilon",
+    "window",
+    "n_users",
+    "domain_size",
+    "num_shards",
+    "capacity",
+    "fast",
+)
+
+
+@dataclass
+class ServeConfig:
+    """Configuration of a sharded serving tier (CLI ``serve --shards``)."""
+
+    mechanism: str
+    n_users: int
+    domain_size: int
+    epsilon: float
+    window: int
+    num_shards: int = 1
+    oracle: str = "grr"
+    seed: Optional[int] = None
+    postprocess: str = "none"
+    capacity: Optional[int] = 256
+    chunk: int = 1
+    confidence: float = 0.95
+    state_dir: Optional[str] = None
+    checkpoint_every: int = 1
+    host: str = "127.0.0.1"
+    port: int = 0
+    enforce_privacy: bool = True
+    fast: bool = True
+
+    def __post_init__(self):
+        from ..freq_oracles import get_oracle
+        from ..freq_oracles.postprocess import get_postprocessor
+        from ..mechanisms import get_mechanism
+
+        # Normalise names eagerly so workers, checkpoints and resume
+        # validation all see the same canonical strings.
+        self.mechanism = get_mechanism(self.mechanism).name
+        self.oracle = get_oracle(self.oracle).name
+        get_postprocessor(self.postprocess)
+        self.n_users = int(self.n_users)
+        self.domain_size = int(self.domain_size)
+        self.epsilon = float(self.epsilon)
+        self.window = int(self.window)
+        self.num_shards = int(self.num_shards)
+        self.chunk = int(self.chunk)
+        if self.n_users < 1:
+            raise InvalidParameterError(
+                f"n_users must be positive, got {self.n_users}"
+            )
+        if self.domain_size < 2:
+            raise InvalidParameterError(
+                f"domain_size must be >= 2, got {self.domain_size}"
+            )
+        if self.epsilon <= 0:
+            raise InvalidParameterError(
+                f"epsilon must be positive, got {self.epsilon}"
+            )
+        if self.window < 1:
+            raise InvalidParameterError(
+                f"window must be >= 1, got {self.window}"
+            )
+        if self.chunk < 1:
+            raise InvalidParameterError(
+                f"chunk must be >= 1, got {self.chunk}"
+            )
+        if self.capacity is not None:
+            self.capacity = int(self.capacity)
+            if self.capacity < self.chunk:
+                raise InvalidParameterError(
+                    f"capacity {self.capacity} must cover a whole ingest "
+                    f"chunk ({self.chunk}): merged rows are read back from "
+                    f"the shard stores after each flush"
+                )
+        if not 0.0 < self.confidence < 1.0:
+            raise InvalidParameterError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.checkpoint_every < 1:
+            raise InvalidParameterError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+
+    @property
+    def retain(self) -> int:
+        """Stream retention ring: must hold a whole pushed-but-unobserved
+        chunk, same rule as the solo server."""
+        return max(4, self.chunk)
+
+    def recorded(self) -> dict:
+        """The config keys persisted in (and validated against) front.json."""
+        return {
+            "mechanism": self.mechanism,
+            "oracle": self.oracle,
+            "postprocess": self.postprocess,
+            "epsilon": self.epsilon,
+            "window": self.window,
+            "n_users": self.n_users,
+            "domain_size": self.domain_size,
+            "num_shards": self.num_shards,
+            "capacity": self.capacity,
+            "fast": self.fast,
+        }
+
+
+class _WorkerHandle:
+    """One shard worker process + its command pipe (front side)."""
+
+    def __init__(self, index: int, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+
+    def call(self, *message):
+        """Send one command, block for its reply (run in an executor)."""
+        try:
+            self.conn.send(message)
+            reply = self.conn.recv()
+        except (EOFError, OSError) as error:
+            raise ServingError(
+                f"shard {self.index} worker died mid-command "
+                f"({message[0]!r})"
+            ) from error
+        if reply[0] == "error":
+            raise ServingError(f"shard {self.index}: {reply[1]}")
+        return reply
+
+
+class ShardServer:
+    """The sharded serving tier: workers, merged store, asyncio front."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.router = ShardRouter(config.n_users, config.num_shards)
+        self.merged = ReleaseStore(config.domain_size, capacity=config.capacity)
+        self.engine = QueryEngine(self.merged, confidence=config.confidence)
+        self.workers: List[_WorkerHandle] = []
+        self.worker_next: List[int] = []
+        self.replay_cache: List[Dict[int, dict]] = []
+        self.state_root = (
+            None if config.state_dir is None else Path(config.state_dir)
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=config.num_shards,
+            thread_name_prefix="shard-io",
+        )
+        self._buffer: list = []
+        self._queue: Optional[asyncio.Queue] = None
+        self._flushed_chunks = 0
+        self._skip_remaining = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        """Timestamps merged into the population store so far."""
+        return self.merged._next_t
+
+    # ------------------------------------------------------------------
+    # Bootstrap (blocking; runs before the event loop)
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardServer":
+        """Resume the front store, spawn workers, rebuild the crash gap."""
+        if self._started:
+            raise InvalidParameterError("server already started")
+        if self.state_root is not None:
+            self.state_root.mkdir(parents=True, exist_ok=True)
+            self._load_front()
+        front_mark = self.watermark
+        ctx = multiprocessing.get_context("spawn")
+        config = self.config
+        for s in range(config.num_shards):
+            worker_config = {
+                "mechanism": config.mechanism,
+                "oracle": config.oracle,
+                "postprocess": config.postprocess,
+                "epsilon": config.epsilon,
+                "window": config.window,
+                "n_users": int(self.router.counts[s]),
+                "domain_size": config.domain_size,
+                "capacity": config.capacity,
+                "retain": config.retain,
+                "seed": shard_seed(config.seed, s, config.num_shards),
+                "enforce_privacy": config.enforce_privacy,
+                "fast": config.fast,
+                "state_dir": (
+                    None
+                    if self.state_root is None
+                    else str(self.state_root / f"shard-{s:02d}")
+                ),
+                "replay_from": front_mark,
+            }
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=shard_worker_main,
+                args=(child_conn, worker_config),
+                daemon=True,
+            )
+            process.start()
+            # The front's copy must close so a dead front EOFs the worker.
+            child_conn.close()
+            self.workers.append(_WorkerHandle(s, process, parent_conn))
+        for handle in self.workers:
+            try:
+                reply = handle.conn.recv()
+            except (EOFError, OSError) as error:
+                raise ServingError(
+                    f"shard {handle.index} worker died during bootstrap"
+                ) from error
+            if reply[0] == "error":
+                message = str(reply[1])
+                if message.startswith("CheckpointError:"):
+                    raise CheckpointError(
+                        f"shard {handle.index}: {message}"
+                    )
+                raise ServingError(f"shard {handle.index}: {message}")
+            _, shard_mark, wal_rows = reply
+            if shard_mark < front_mark:
+                raise CheckpointError(
+                    f"shard {handle.index} is behind the front checkpoint "
+                    f"(shard watermark {shard_mark} < front watermark "
+                    f"{front_mark}); the state dir mixes two runs"
+                )
+            self.worker_next.append(int(shard_mark))
+            self.replay_cache.append({int(r["t"]): r for r in wal_rows})
+        # Rebuild merged rows the crash cut off: every shard has durable
+        # rows for [front_mark, min shard watermark).
+        catch_up_to = min(self.worker_next)
+        for t in range(front_mark, catch_up_to):
+            self.merged.append(t, *self._merged_row(t, {}))
+        self._skip_remaining = self.watermark
+        self._started = True
+        return self
+
+    def _merged_row(self, t: int, fresh: Dict[int, tuple]):
+        """Merge timestamp ``t`` across shards from live replies + caches.
+
+        ``fresh[s]`` is shard ``s``'s just-computed ``(release, variance,
+        strategy)``; shards absent from it were ahead of ``t`` and serve
+        the row from their replay cache (their WAL already had it).
+        """
+        releases, variances, strategies = [], [], []
+        for s in range(self.config.num_shards):
+            if s in fresh:
+                release, variance, strategy = fresh[s]
+            else:
+                row = self.replay_cache[s].pop(t, None)
+                if row is None or "variance" not in row:
+                    raise CheckpointError(
+                        f"shard {s}'s write-ahead log is missing released "
+                        f"row t={t}; cannot rebuild the merged store"
+                    )
+                release = np.asarray(row["release"], dtype=np.float64)
+                variance = float(row["variance"])
+                strategy = str(row["strategy"])
+            releases.append(release)
+            variances.append(variance)
+            strategies.append(strategy)
+        return merge_release_rows(
+            releases, variances, strategies, self.router.weights
+        )
+
+    # ------------------------------------------------------------------
+    # front.json
+    # ------------------------------------------------------------------
+    def _load_front(self) -> None:
+        path = self.state_root / FRONT_FILE
+        if not path.exists():
+            return
+        from ..persist.codec import decode
+
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"{path} is not valid JSON: {error}"
+            ) from error
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _FRONT_FORMAT
+        ):
+            raise CheckpointError(f"{path} is not a front checkpoint")
+        if payload.get("version") != FRONT_VERSION:
+            raise CheckpointError(
+                f"unsupported front checkpoint version "
+                f"{payload.get('version')!r} (this build reads "
+                f"{FRONT_VERSION})"
+            )
+        recorded = payload.get("config")
+        if not isinstance(recorded, dict):
+            raise CheckpointError(f"{path} has no 'config' section")
+        expect = self.config.recorded()
+        mismatches = [
+            f"{key} is {recorded.get(key)!r} in the checkpoint but "
+            f"{expect[key]!r} now"
+            for key in _CONFIG_KEYS
+            if recorded.get(key) != expect[key]
+        ]
+        if mismatches:
+            hint = ""
+            if recorded.get("num_shards") != expect["num_shards"]:
+                hint = (
+                    " (resharding a durable serving tier is not supported: "
+                    "the user partition is a function of the shard count, "
+                    "so per-shard session state cannot be reused)"
+                )
+            raise CheckpointError(
+                "state dir front checkpoint disagrees with the serve "
+                "configuration: " + "; ".join(mismatches) + hint
+            )
+        try:
+            self.merged = ReleaseStore.from_state(decode(payload["store"]))
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"corrupt front checkpoint store: {error}"
+            ) from error
+        if self.merged._next_t != int(payload.get("watermark", -1)):
+            raise CheckpointError(
+                f"front checkpoint watermark {payload.get('watermark')!r} "
+                f"disagrees with its store ({self.merged._next_t})"
+            )
+        self.engine = QueryEngine(
+            self.merged, confidence=self.config.confidence
+        )
+
+    def _write_front(self) -> None:
+        """Atomically persist the merged store + watermark.
+
+        Runs only after every shard's checkpoint ack, so on disk the
+        front watermark never exceeds any shard's — the invariant the
+        resume path's gap rebuild relies on.
+        """
+        from ..persist.codec import encode
+
+        payload = {
+            "format": _FRONT_FORMAT,
+            "version": FRONT_VERSION,
+            "config": self.config.recorded(),
+            "watermark": self.watermark,
+            "store": encode(self.merged.state_dict()),
+        }
+        path = self.state_root / FRONT_FILE
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name, suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Ingest path
+    # ------------------------------------------------------------------
+    def _parse_ingest(self, request: dict) -> np.ndarray:
+        """One ingest request -> validated ``(n_users,)`` int64 snapshot."""
+        if "b64" in request:
+            dtype_tag = request.get("dtype", "u1")
+            if dtype_tag not in _B64_DTYPES:
+                raise InvalidParameterError(
+                    f"ingest dtype must be one of {sorted(_B64_DTYPES)}, "
+                    f"got {dtype_tag!r}"
+                )
+            raw = base64.b64decode(request["b64"], validate=True)
+            values = np.frombuffer(
+                raw, dtype=_B64_DTYPES[dtype_tag]
+            ).astype(np.int64)
+        else:
+            values = np.asarray(
+                [int(v) for v in request["values"]], dtype=np.int64
+            )
+        if values.shape != (self.config.n_users,):
+            raise InvalidParameterError(
+                f"ingest snapshot must carry {self.config.n_users} values, "
+                f"got {values.shape[0] if values.ndim == 1 else values.shape}"
+            )
+        if values.size and (
+            int(values.min()) < 0
+            or int(values.max()) >= self.config.domain_size
+        ):
+            raise InvalidParameterError(
+                f"ingest values outside [0, {self.config.domain_size})"
+            )
+        return values
+
+    async def _flush(self) -> None:
+        """Ingest the buffered snapshots through all shards in parallel."""
+        if not self._buffer:
+            return
+        entries, self._buffer = self._buffer, []
+        block = np.stack([values for values, _ in entries])
+        m = block.shape[0]
+        t0 = self.watermark
+        parts = self.router.split_block(block)
+        loop = asyncio.get_running_loop()
+        futures = {}
+        for s, handle in enumerate(self.workers):
+            # Per-shard skip: a shard resumed ahead of the merged store
+            # already ingested the first rows of this batch; it receives
+            # only the suffix it has not seen.
+            start_i = max(0, self.worker_next[s] - t0)
+            if start_i < m:
+                futures[s] = (
+                    start_i,
+                    loop.run_in_executor(
+                        self._pool,
+                        handle.call,
+                        "ingest",
+                        t0 + start_i,
+                        parts[s][start_i:],
+                    ),
+                )
+        results: Dict[int, tuple] = {}
+        for s, (start_i, future) in futures.items():
+            reply = await future
+            results[s] = (start_i, reply[1])
+        acks = []
+        for i in range(m):
+            t = t0 + i
+            fresh = {}
+            for s, (start_i, rows) in results.items():
+                if i >= start_i:
+                    fresh[s] = rows[i - start_i]
+            release, variance, strategy = self._merged_row(t, fresh)
+            self.merged.append(t, release, variance, strategy)
+            acks.append({"op": "ingest", "t": t, "strategy": strategy})
+        for s in range(self.config.num_shards):
+            self.worker_next[s] = max(self.worker_next[s], t0 + m)
+        self._flushed_chunks += 1
+        if (
+            self.state_root is not None
+            and self._flushed_chunks % self.config.checkpoint_every == 0
+        ):
+            await self._checkpoint()
+        for (_, writer), ack in zip(entries, acks):
+            await self._send(writer, ack)
+
+    async def _checkpoint(self) -> None:
+        """Coordinated checkpoint: all shards first, front.json last."""
+        if self.state_root is None:
+            raise CheckpointError(
+                "the server has no --state-dir to checkpoint into"
+            )
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(
+                loop.run_in_executor(self._pool, handle.call, "checkpoint")
+                for handle in self.workers
+            )
+        )
+        self._write_front()
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    async def _answer(self, request: dict) -> dict:
+        """Answer one parsed query against the merged store."""
+        op = request.get("op")
+        engine = self.engine
+        t = request.get("t")
+        as_of = {"as_of": self.merged.latest_t}
+        if op == "point":
+            answer = engine.point(request["item"], t=t).as_dict()
+            return {"op": op, "item": request["item"], **answer, **as_of}
+        if op == "topk":
+            entries = engine.topk(request.get("k", 5), t=t)
+            return {
+                "op": op,
+                "items": [e.as_dict() for e in entries],
+                **as_of,
+            }
+        if op == "range":
+            answer = engine.range_count(request["lo"], request["hi"], t=t)
+            return {
+                "op": op,
+                "lo": request["lo"],
+                "hi": request["hi"],
+                **answer.as_dict(),
+                **as_of,
+            }
+        if op == "sliding":
+            answer = engine.sliding(
+                request["t0"],
+                request["t1"],
+                request.get("agg", "sum"),
+                item=request["item"],
+            )
+            return {
+                "op": op,
+                "item": request["item"],
+                **answer.as_dict(),
+                **as_of,
+            }
+        if op == "summary":
+            return await self._summary()
+        raise InvalidParameterError(
+            f"unknown op {op!r}; expected ingest/point/topk/range/sliding/"
+            f"summary/checkpoint/shutdown"
+        )
+
+    async def _summary(self) -> dict:
+        loop = asyncio.get_running_loop()
+        replies = await asyncio.gather(
+            *(
+                loop.run_in_executor(self._pool, handle.call, "summary")
+                for handle in self.workers
+            )
+        )
+        shard_summaries = [reply[1] for reply in replies]
+        steps = self.watermark
+        total_reports = sum(s["total_reports"] for s in shard_summaries)
+        store = self.merged
+        return {
+            "op": "summary",
+            "mechanism": self.config.mechanism,
+            "oracle": self.config.oracle,
+            "epsilon": self.config.epsilon,
+            "window": self.config.window,
+            "num_shards": self.config.num_shards,
+            "shard_users": [int(c) for c in self.router.counts],
+            "steps": steps,
+            "publications": store.publication_count,
+            "total_reports": total_reports,
+            "cfpu": (
+                total_reports / (self.config.n_users * steps)
+                if steps
+                else 0.0
+            ),
+            "max_window_spend": max(
+                s["max_window_spend"] for s in shard_summaries
+            ),
+            "retained": len(store),
+            "oldest_t": store.oldest_t,
+            "latest_t": store.latest_t,
+            "evicted": store.evicted,
+        }
+
+    # ------------------------------------------------------------------
+    # Asyncio front
+    # ------------------------------------------------------------------
+    async def _send(self, writer, payload: dict) -> None:
+        try:
+            writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; its acks are moot
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                if not line.strip():
+                    continue
+                await self._queue.put((line, writer))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        except asyncio.CancelledError:
+            # Loop teardown after shutdown: exit cleanly so Python 3.11's
+            # stream-protocol callback doesn't log the cancellation.
+            return
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    async def _dispatch(self) -> None:
+        """The single serialization point: drain requests, batch, answer."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                # Idle: nothing else is pending, so a partial batch
+                # flushes now instead of waiting for more arrivals.
+                await self._flush()
+                item = await self._queue.get()
+            line, writer = item
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise InvalidParameterError(
+                        "each request must be a JSON object"
+                    )
+                op = request.get("op")
+                if op == "ingest":
+                    values = self._parse_ingest(request)
+                    if self._skip_remaining > 0:
+                        # Replayed feed: this timestamp was merged before
+                        # the restart; acknowledge without re-applying.
+                        t_skip = self.watermark - self._skip_remaining
+                        self._skip_remaining -= 1
+                        await self._send(
+                            writer,
+                            {"op": "ingest", "t": t_skip, "skipped": True},
+                        )
+                        continue
+                    self._buffer.append((values, writer))
+                    if len(self._buffer) >= self.config.chunk:
+                        await self._flush()
+                elif op == "checkpoint":
+                    await self._flush()
+                    await self._checkpoint()
+                    await self._send(
+                        writer,
+                        {"op": "checkpoint", "watermark": self.watermark},
+                    )
+                elif op == "shutdown":
+                    await self._flush()
+                    if self.state_root is not None:
+                        await self._checkpoint()
+                    await self._send(
+                        writer,
+                        {"op": "shutdown", "watermark": self.watermark},
+                    )
+                    return
+                else:
+                    # Queries answer against everything ingested so far.
+                    await self._flush()
+                    await self._send(writer, await self._answer(request))
+            except ServingError:
+                raise  # a lost shard is fatal; the server cannot continue
+            except (
+                ReproError,
+                KeyError,
+                ValueError,
+                TypeError,
+                OverflowError,
+            ) as error:
+                await self._flush()
+                await self._send(
+                    writer,
+                    {"error": f"{type(error).__name__}: {error}"},
+                )
+
+    async def _amain(self, stdout) -> int:
+        self._queue = asyncio.Queue()
+        server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        port = server.sockets[0].getsockname()[1]
+        # The hello line is the service-discovery contract: drivers read
+        # it from stdout to find the ephemeral port and the resume
+        # watermark (the number of feed lines to expect skipped acks for).
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": self.config.host,
+                    "port": port,
+                    "shards": self.config.num_shards,
+                    "watermark": self.watermark,
+                }
+            ),
+            file=stdout,
+            flush=True,
+        )
+        try:
+            await self._dispatch()
+        finally:
+            server.close()
+            await server.wait_closed()
+        return 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers and release the executor (idempotent)."""
+        for handle in self.workers:
+            try:
+                handle.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for handle in self.workers:
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.workers = []
+        self._pool.shutdown(wait=False)
+
+
+def run_server(config: ServeConfig, *, stdout=None) -> int:
+    """Bootstrap the tier and serve until a ``shutdown`` request.
+
+    Blocking entry point used by ``repro serve --shards``.  Prints the
+    hello line (ephemeral port + watermark) to ``stdout`` once listening.
+    """
+    server = ShardServer(config)
+    server.start()
+    try:
+        return asyncio.run(server._amain(stdout or sys.stdout))
+    finally:
+        server.close()

@@ -1,0 +1,220 @@
+"""Serial sharded session: the semantics oracle of the serving tier.
+
+:class:`ShardedSession` runs every shard in one process, in shard order
+— no sockets, no worker processes, no batching nondeterminism — so it
+*defines* what the sharded deployment must compute.  The asyncio server
+(:mod:`repro.serving.server`) is conformance-tested against it
+bit-for-bit: both build per-shard sessions from the same
+:func:`~repro.serving.router.shard_seed` derivation and merge shard rows
+with the same :func:`~repro.query.merge_release_rows` arithmetic in the
+same shard order, and ``observe_many`` is chunk-invariant, so how the
+server batches concurrent ingest lines cannot change a single float.
+
+With ``num_shards=1`` everything degenerates to the solo path: the one
+shard owns all users in order, the master seed passes through unchanged,
+and the merged store is bit-identical to a solo
+:class:`~repro.engine.session.StreamSession` publishing into a store.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..engine.session import StreamSession
+from ..exceptions import InvalidParameterError
+from ..query.engine import QueryEngine
+from ..query.store import ReleaseStore, merge_release_rows
+from ..rng import SeedLike
+from ..streams.online import OnlineStream
+from .router import ShardRouter, shard_seed
+
+
+class ShardedSession:
+    """N shard sessions over a hash-partitioned population, one store.
+
+    Parameters mirror :class:`~repro.engine.session.StreamSession` where
+    they exist there; in addition:
+
+    num_shards:
+        Number of population shards (>= 1).
+    capacity:
+        Ring size of every store — the per-shard stores and the merged
+        store (``None`` retains full history).  Bounded capacity bounds
+        :meth:`ingest_many` chunk sizes (rows are merged from the shard
+        stores after each chunk).
+    retain:
+        Snapshot ring of each shard's :class:`~repro.streams.OnlineStream`;
+        must cover the largest chunk ingested at once.
+    """
+
+    def __init__(
+        self,
+        mechanism,
+        *,
+        n_users: int,
+        domain_size: int,
+        epsilon: float,
+        window: int,
+        num_shards: int = 1,
+        oracle="grr",
+        seed: SeedLike = None,
+        postprocess: str = "none",
+        capacity: Optional[int] = 256,
+        retain: int = 4,
+        confidence: float = 0.95,
+        enforce_privacy: bool = True,
+        fast: bool = True,
+    ):
+        self.router = ShardRouter(n_users, num_shards)
+        self.n_users = int(n_users)
+        self.domain_size = int(domain_size)
+        self.num_shards = int(num_shards)
+        self.capacity = capacity
+        self.retain = int(retain)
+        self.streams: List[OnlineStream] = []
+        self.stores: List[ReleaseStore] = []
+        self.sessions: List[StreamSession] = []
+        for s in range(self.num_shards):
+            stream = OnlineStream(
+                n_users=int(self.router.counts[s]),
+                domain_size=self.domain_size,
+                retain=self.retain,
+            )
+            store = ReleaseStore(self.domain_size, capacity=capacity)
+            session = StreamSession(
+                mechanism,
+                stream,
+                epsilon=epsilon,
+                window=window,
+                oracle=oracle,
+                seed=shard_seed(seed, s, self.num_shards),
+                postprocess=postprocess,
+                record_trace=False,
+                store=store,
+                enforce_privacy=enforce_privacy,
+                fast=fast,
+            )
+            self.streams.append(stream)
+            self.stores.append(store)
+            self.sessions.append(session)
+        self.merged = ReleaseStore(self.domain_size, capacity=capacity)
+        self.engine = QueryEngine(self.merged, confidence=confidence)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def steps_observed(self) -> int:
+        """Timestamps ingested so far."""
+        return self.merged._next_t
+
+    @property
+    def total_reports(self) -> int:
+        """LDP reports collected across all shards."""
+        return sum(session.total_reports for session in self.sessions)
+
+    def start(self) -> "ShardedSession":
+        """Start every shard session (in shard order)."""
+        if self._started:
+            raise InvalidParameterError("sharded session already started")
+        for session in self.sessions:
+            session.start()
+        self._started = True
+        return self
+
+    # ------------------------------------------------------------------
+    def _check_block(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows)
+        if rows.ndim == 1:
+            rows = rows[np.newaxis, :]
+        if rows.ndim != 2 or rows.shape[1] != self.n_users:
+            raise InvalidParameterError(
+                f"ingest block must have shape (m, {self.n_users}), got "
+                f"{rows.shape}"
+            )
+        if not np.issubdtype(rows.dtype, np.integer):
+            raise InvalidParameterError(
+                f"ingest values must be integers, got dtype {rows.dtype}"
+            )
+        if rows.size and (
+            int(rows.min()) < 0 or int(rows.max()) >= self.domain_size
+        ):
+            raise InvalidParameterError(
+                f"ingest values outside [0, {self.domain_size})"
+            )
+        m = rows.shape[0]
+        if m > self.retain:
+            raise InvalidParameterError(
+                f"chunk of {m} rows exceeds the stream retain ring "
+                f"({self.retain})"
+            )
+        if self.capacity is not None and m > self.capacity:
+            raise InvalidParameterError(
+                f"chunk of {m} rows exceeds the store capacity "
+                f"({self.capacity}); rows must stay retained until merged"
+            )
+        return rows
+
+    def ingest_many(self, rows) -> List[dict]:
+        """Ingest an ``(m, n_users)`` block of consecutive snapshots.
+
+        Every shard pushes its columns and advances ``m`` steps via
+        ``observe_many``; the ``m`` merged rows then append to the
+        merged store in timestamp order.  The block is validated up
+        front (shape, integrality, domain bounds) so no shard can fail
+        mid-chunk and desynchronize the tier.  Returns one ack dict
+        ``{"t", "strategy"}`` per row — the same acks the socket server
+        sends its clients.
+        """
+        if not self._started:
+            raise InvalidParameterError("call start() before ingest_many()")
+        rows = self._check_block(rows)
+        m = rows.shape[0]
+        if m == 0:
+            return []
+        t0 = self.merged._next_t
+        parts = self.router.split_block(rows)
+        for s, session in enumerate(self.sessions):
+            for i in range(m):
+                self.streams[s].push(parts[s][i])
+            session.observe_many(t0, m)
+        acks = []
+        weights = self.router.weights
+        for i in range(m):
+            t = t0 + i
+            release, variance, strategy = merge_release_rows(
+                [store.release_at(t) for store in self.stores],
+                [store.variance_at(t) for store in self.stores],
+                [store.strategy_at(t) for store in self.stores],
+                weights,
+            )
+            self.merged.append(t, release, variance, strategy)
+            acks.append({"t": t, "strategy": strategy})
+        return acks
+
+    def ingest(self, values) -> dict:
+        """Ingest one snapshot; returns its merged ack."""
+        return self.ingest_many(np.asarray(values)[np.newaxis, :])[0]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Aggregated running counters across the tier."""
+        steps = self.steps_observed
+        total = self.total_reports
+        first = self.sessions[0]
+        return {
+            "mechanism": first.mechanism.name,
+            "oracle": first.oracle.name,
+            "epsilon": first.epsilon,
+            "window": first.window,
+            "num_shards": self.num_shards,
+            "shard_users": [int(c) for c in self.router.counts],
+            "steps": steps,
+            "publications": self.merged.publication_count,
+            "total_reports": total,
+            "cfpu": total / (self.n_users * steps) if steps else 0.0,
+            "max_window_spend": max(
+                session.max_window_spend for session in self.sessions
+            ),
+        }

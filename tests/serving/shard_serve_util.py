@@ -1,0 +1,187 @@
+"""Shared helpers for the sharded-serving conformance suite.
+
+The subprocess tests here talk to a real ``repro serve --shards K``
+process over its TCP socket, exactly as an operator's client would:
+spawn the CLI, parse the one-line JSON hello for the ephemeral port,
+then exchange line-delimited JSON.  The serial
+:class:`repro.serving.ShardedSession` built by :func:`serial_reference`
+is the semantics oracle every server answer is diffed against.
+
+This module is imported by several test files in a directory without an
+``__init__.py``; keep its basename globally unique across ``tests/``.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Default tier geometry shared by the conformance tests: small enough
+#: to keep subprocess tests fast, large enough that every shard of an
+#: 8-way split owns users.
+DEFAULTS = {
+    "method": "LBD",
+    "oracle": "grr",
+    "domain": 8,
+    "epsilon": 1.0,
+    "window": 6,
+    "seed": 7,
+    "chunk": 4,
+    "postprocess": "none",
+}
+
+
+def serve_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def sharded_cmd(*, shards, n_users, extra=(), **overrides):
+    cfg = {**DEFAULTS, **overrides}
+    return [
+        sys.executable, "-m", "repro", "serve",
+        "--shards", str(shards), "--n-users", str(n_users),
+        "--method", cfg["method"], "--oracle", cfg["oracle"],
+        "--domain-size", str(cfg["domain"]),
+        "--epsilon", str(cfg["epsilon"]),
+        "--window", str(cfg["window"]), "--seed", str(cfg["seed"]),
+        "--postprocess", cfg["postprocess"],
+        "--chunk", str(cfg["chunk"]), "--capacity", "0",
+        *extra,
+    ]
+
+
+def feed_block(steps, n_users, domain, seed=3):
+    """The canonical seeded stream: an ``(steps, n_users)`` value block."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, domain, size=(steps, n_users), dtype=np.int64)
+
+
+def serial_reference(block, *, shards, capacity=None, **overrides):
+    """Replay ``block`` through the in-process ShardedSession oracle."""
+    from repro.serving import ShardedSession
+
+    cfg = {**DEFAULTS, **overrides}
+    chunk = cfg["chunk"]
+    session = ShardedSession(
+        cfg["method"],
+        n_users=block.shape[1],
+        domain_size=cfg["domain"],
+        epsilon=cfg["epsilon"],
+        window=cfg["window"],
+        num_shards=shards,
+        oracle=cfg["oracle"],
+        seed=cfg["seed"],
+        postprocess=cfg["postprocess"],
+        capacity=capacity,
+        retain=max(4, chunk),
+    ).start()
+    for i in range(0, block.shape[0], chunk):
+        session.ingest_many(block[i : i + chunk])
+    return session
+
+
+class ServerClient:
+    """One line-delimited JSON connection to the sharded server."""
+
+    def __init__(self, port, timeout=120):
+        self.sock = socket.create_connection(
+            ("127.0.0.1", port), timeout=timeout
+        )
+        self.rfile = self.sock.makefile("r", encoding="utf-8")
+        self.wfile = self.sock.makefile("w", encoding="utf-8")
+
+    def send(self, request):
+        self.wfile.write(json.dumps(request) + "\n")
+        self.wfile.flush()
+
+    def send_raw(self, line):
+        self.wfile.write(line + "\n")
+        self.wfile.flush()
+
+    def recv(self):
+        line = self.rfile.readline()
+        assert line, "server closed the connection mid-conversation"
+        return json.loads(line)
+
+    def ask(self, request):
+        self.send(request)
+        return self.recv()
+
+    def close(self):
+        for stream in (self.rfile, self.wfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        self.sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class ShardServerProc:
+    """A live ``repro serve --shards K`` subprocess, hello already read."""
+
+    def __init__(self, cmd):
+        self.proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=serve_env(),
+        )
+        line = self.proc.stdout.readline()
+        if not line:
+            stderr = self.proc.stderr.read()
+            self.proc.wait(timeout=30)
+            raise AssertionError(
+                f"server exited (rc={self.proc.returncode}) before its "
+                f"hello line:\n{stderr}"
+            )
+        self.hello = json.loads(line)
+        assert self.hello["event"] == "listening", self.hello
+        self.port = int(self.hello["port"])
+
+    def client(self, timeout=120):
+        return ServerClient(self.port, timeout=timeout)
+
+    def shutdown(self, timeout=60):
+        """Graceful shutdown; returns (reply, returncode)."""
+        with self.client() as client:
+            reply = client.ask({"op": "shutdown"})
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+        return reply, self.proc.wait(timeout=timeout)
+
+    def kill(self):
+        """SIGKILL — the crash-injection path."""
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+        self.proc.wait(timeout=30)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        if self.proc.poll() is None:
+            self.kill()
+
+
+def assert_same_answer(got, want, *, ignore=("as_of",)):
+    """Exact equality of two answer dicts, modulo server-only keys."""
+    got = {k: v for k, v in got.items() if k not in ignore}
+    want = {k: v for k, v in want.items() if k not in ignore}
+    assert got == want, f"\nserver: {got}\nserial: {want}"

@@ -1,0 +1,136 @@
+"""Satellite: shard-merged collection equals whole-population collection.
+
+Seeded property-style sweeps (plain ``numpy`` RNG loops — no hypothesis
+dependency): for every one of the five frequency oracles, across random
+domain sizes, population sizes, budgets and shard counts, aggregating
+each shard's reports separately and merging through
+:meth:`repro.engine.collector.Collector.merge` must reproduce the
+single-process aggregation of the full report set **bit for bit** —
+frequencies, variance, report count and the support sufficient
+statistic.  This exactness is the foundation the whole serving tier's
+merge contract rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.collector import Collector
+from repro.exceptions import InvalidParameterError
+from repro.freq_oracles import FOEstimate, get_oracle
+
+ORACLES = ["grr", "oue", "sue", "olh", "hr"]
+SHARD_COUNTS = [2, 3, 4, 8]
+TRIALS = 8
+
+
+def _random_round(rng):
+    """One random collection round's geometry."""
+    d = int(rng.integers(2, 40))
+    n = int(rng.integers(60, 400))
+    epsilon = float(rng.choice([0.5, 1.0, 2.0]))
+    return d, n, epsilon
+
+
+def _shard_indices(n, k, rng):
+    """A random disjoint covering partition of ``range(n)`` into ``k``
+    non-empty groups — shards are arbitrary user subsets, not slices."""
+    perm = rng.permutation(n)
+    cuts = np.sort(rng.choice(np.arange(1, n), size=k - 1, replace=False))
+    return np.split(perm, cuts)
+
+
+@pytest.mark.parametrize("oracle_name", ORACLES)
+def test_shard_merge_is_bit_exact(oracle_name):
+    oracle = get_oracle(oracle_name)
+    rng = np.random.default_rng(abs(hash_seed(oracle_name)))
+    for trial in range(TRIALS):
+        d, n, epsilon = _random_round(rng)
+        k = SHARD_COUNTS[trial % len(SHARD_COUNTS)]
+        values = rng.integers(0, d, size=n)
+        reports = oracle.perturb(values, d, epsilon, rng)
+
+        whole = oracle.aggregate(reports, d, epsilon)
+        parts = [
+            oracle.aggregate(reports[idx], d, epsilon)
+            for idx in _shard_indices(n, k, rng)
+        ]
+        merged = Collector.merge(parts, oracle_name)
+
+        context = f"{oracle_name} trial={trial} d={d} n={n} k={k}"
+        assert merged.n_reports == whole.n_reports == n, context
+        assert merged.epsilon == whole.epsilon, context
+        assert np.array_equal(
+            merged.frequencies, whole.frequencies
+        ), context
+        assert merged.variance == whole.variance, context
+        assert whole.supports is not None, context
+        assert np.array_equal(merged.supports, whole.supports), context
+
+
+def hash_seed(name):
+    """A stable per-oracle seed (PYTHONHASHSEED-independent)."""
+    return sum((i + 1) * ord(c) for i, c in enumerate(name))
+
+
+@pytest.mark.parametrize("oracle_name", ORACLES)
+def test_merge_of_one_estimate_is_identity(oracle_name):
+    oracle = get_oracle(oracle_name)
+    rng = np.random.default_rng(17)
+    reports = oracle.perturb(rng.integers(0, 6, size=100), 6, 1.0, rng)
+    whole = oracle.aggregate(reports, 6, 1.0)
+    merged = Collector.merge([whole], oracle_name)
+    assert np.array_equal(merged.frequencies, whole.frequencies)
+    assert merged.variance == whole.variance
+    assert merged.n_reports == whole.n_reports
+
+
+def test_supportless_estimates_fall_back_to_weighted_merge():
+    """Hand-built estimates (no sufficient statistic) still merge via
+    the count-weighted frequency average."""
+    a = FOEstimate(
+        frequencies=np.array([0.5, 0.5]),
+        n_reports=100,
+        epsilon=1.0,
+        variance=0.01,
+    )
+    b = FOEstimate(
+        frequencies=np.array([0.9, 0.1]),
+        n_reports=300,
+        epsilon=1.0,
+        variance=0.02,
+    )
+    merged = Collector.merge([a, b], "grr")
+    np.testing.assert_allclose(
+        merged.frequencies, (100 * a.frequencies + 300 * b.frequencies) / 400
+    )
+    np.testing.assert_allclose(
+        merged.variance, (100 / 400) ** 2 * 0.01 + (300 / 400) ** 2 * 0.02
+    )
+    assert merged.n_reports == 400
+
+
+def test_merge_rejects_mismatched_rounds():
+    base = dict(frequencies=np.zeros(3), n_reports=10, variance=0.1)
+    with pytest.raises(InvalidParameterError, match="zero estimates"):
+        Collector.merge([], "grr")
+    with pytest.raises(InvalidParameterError, match="mix budgets"):
+        Collector.merge(
+            [
+                FOEstimate(epsilon=1.0, **base),
+                FOEstimate(epsilon=2.0, **base),
+            ],
+            "grr",
+        )
+    with pytest.raises(InvalidParameterError, match="mix domain sizes"):
+        Collector.merge(
+            [
+                FOEstimate(epsilon=1.0, **base),
+                FOEstimate(
+                    frequencies=np.zeros(4),
+                    n_reports=10,
+                    epsilon=1.0,
+                    variance=0.1,
+                ),
+            ],
+            "grr",
+        )

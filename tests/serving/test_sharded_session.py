@@ -1,0 +1,199 @@
+"""ShardedSession conformance: the serial reference vs the solo session.
+
+Two tiers of guarantee, per ``docs/SERVING.md``:
+
+* **Exact** — with one shard the tier *is* the solo session: same seed,
+  same draws, weight-1.0 merge.  Asserted bit-for-bit for all seven
+  mechanisms.  Chunking is also exact: how ingest is batched cannot
+  change any float.
+* **Statistical** — with K > 1 the shards draw independent noise, so
+  merged releases differ from a solo run bit-wise but must agree within
+  the propagated confidence tolerance ``z * sqrt(var_merged +
+  var_solo)`` cell by cell (both runs estimate the same seeded stream).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.session import StreamSession
+from repro.exceptions import InvalidParameterError
+from repro.query import ReleaseStore
+from repro.serving import ShardedSession
+from repro.streams.online import OnlineStream
+
+from shard_serve_util import feed_block
+
+MECHANISMS = ["LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA"]
+
+N_USERS = 160
+DOMAIN = 8
+EPSILON = 1.0
+WINDOW = 4
+STEPS = 24
+SEED = 21
+
+
+def _solo_store(mechanism, block, *, chunk=4, seed=SEED):
+    """Replay ``block`` through a plain StreamSession into a store."""
+    stream = OnlineStream(
+        n_users=block.shape[1], domain_size=DOMAIN, retain=max(4, chunk)
+    )
+    store = ReleaseStore(DOMAIN, capacity=None)
+    session = StreamSession(
+        mechanism,
+        stream,
+        epsilon=EPSILON,
+        window=WINDOW,
+        oracle="grr",
+        seed=seed,
+        record_trace=False,
+        store=store,
+    ).start()
+    for i in range(0, block.shape[0], chunk):
+        part = block[i : i + chunk]
+        for row in part:
+            stream.push(row)
+        session.observe_many(i, part.shape[0])
+    return store
+
+
+def _sharded_store(mechanism, block, *, shards, chunk=4, seed=SEED):
+    session = ShardedSession(
+        mechanism,
+        n_users=block.shape[1],
+        domain_size=DOMAIN,
+        epsilon=EPSILON,
+        window=WINDOW,
+        num_shards=shards,
+        oracle="grr",
+        seed=seed,
+        capacity=None,
+        retain=max(4, chunk),
+    ).start()
+    for i in range(0, block.shape[0], chunk):
+        session.ingest_many(block[i : i + chunk])
+    return session.merged
+
+
+class TestSoloBitIdentity:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_one_shard_equals_the_solo_session(self, mechanism):
+        """K=1: same seed passthrough, identity routing, 1.0-weight
+        merge — every release, variance and strategy is bit-identical
+        to a plain StreamSession over the same stream."""
+        block = feed_block(STEPS, N_USERS, DOMAIN, seed=31)
+        solo = _solo_store(mechanism, block)
+        merged = _sharded_store(mechanism, block, shards=1)
+        assert len(merged) == len(solo) == STEPS
+        for t in range(STEPS):
+            assert np.array_equal(
+                merged.release_at(t), solo.release_at(t)
+            ), (mechanism, t)
+            assert merged.variance_at(t) == solo.variance_at(t)
+            assert merged.strategy_at(t) == solo.strategy_at(t)
+
+
+class TestChunkInvariance:
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_batching_cannot_change_results(self, shards):
+        """observe_many is chunk-invariant, so the tier's dynamic
+        batching is correctness-neutral: any chunking of the same feed
+        produces the same merged store bit-for-bit."""
+        block = feed_block(STEPS, N_USERS, DOMAIN, seed=37)
+        stores = [
+            _sharded_store("LBD", block, shards=shards, chunk=chunk)
+            for chunk in (1, 3, 4)
+        ]
+        for other in stores[1:]:
+            for t in range(STEPS):
+                assert np.array_equal(
+                    stores[0].release_at(t), other.release_at(t)
+                ), t
+                assert stores[0].strategy_at(t) == other.strategy_at(t)
+
+
+class TestStatisticalContract:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    @pytest.mark.parametrize("mechanism", ["LBD", "LPA"])
+    def test_merged_releases_match_solo_within_tolerance(
+        self, mechanism, shards
+    ):
+        """K>1 draws independent noise per shard, so equality is
+        statistical: cell-wise |merged - solo| bounded by the propagated
+        deviation z*sqrt(var_m + var_s) of the two independent unbiased
+        estimates of the same (stationary) seeded stream."""
+        z = 8.0  # deterministic seeds: generous z keeps this exact-stable
+        block = feed_block(STEPS, N_USERS, DOMAIN, seed=41)
+        solo = _solo_store(mechanism, block)
+        merged = _sharded_store(mechanism, block, shards=shards)
+        for t in range(STEPS):
+            tolerance = z * np.sqrt(
+                max(merged.variance_at(t), 0.0)
+                + max(solo.variance_at(t), 0.0)
+            )
+            gap = np.abs(merged.release_at(t) - solo.release_at(t))
+            assert float(gap.max()) <= tolerance, (
+                f"{mechanism} K={shards} t={t}: max gap {gap.max():.4f} "
+                f"> tolerance {tolerance:.4f}"
+            )
+
+
+class TestSessionSurface:
+    def _session(self, **overrides):
+        kwargs = dict(
+            n_users=40,
+            domain_size=5,
+            epsilon=1.0,
+            window=3,
+            num_shards=2,
+            seed=1,
+            capacity=8,
+            retain=4,
+        )
+        kwargs.update(overrides)
+        return ShardedSession("LBD", **kwargs)
+
+    def test_ingest_requires_start(self):
+        session = self._session()
+        with pytest.raises(InvalidParameterError, match="start"):
+            session.ingest(np.zeros(40, dtype=np.int64))
+
+    def test_double_start_is_rejected(self):
+        session = self._session().start()
+        with pytest.raises(InvalidParameterError, match="already started"):
+            session.start()
+
+    def test_block_validation(self):
+        session = self._session().start()
+        ok = np.zeros((2, 40), dtype=np.int64)
+        with pytest.raises(InvalidParameterError, match="shape"):
+            session.ingest_many(np.zeros((2, 39), dtype=np.int64))
+        with pytest.raises(InvalidParameterError, match="integers"):
+            session.ingest_many(np.zeros((2, 40), dtype=np.float64))
+        with pytest.raises(InvalidParameterError, match="outside"):
+            session.ingest_many(np.full((2, 40), 5, dtype=np.int64))
+        with pytest.raises(InvalidParameterError, match="retain"):
+            session.ingest_many(np.zeros((5, 40), dtype=np.int64))
+        session.ingest_many(ok)  # the valid block still ingests
+
+    def test_chunk_must_fit_store_capacity(self):
+        session = self._session(capacity=2, retain=8).start()
+        with pytest.raises(InvalidParameterError, match="capacity"):
+            session.ingest_many(np.zeros((3, 40), dtype=np.int64))
+
+    def test_acks_and_summary(self):
+        session = self._session().start()
+        block = feed_block(4, 40, 5, seed=2)
+        acks = session.ingest_many(block[:3])
+        acks.append(session.ingest(block[3]))
+        assert [a["t"] for a in acks] == [0, 1, 2, 3]
+        assert all(
+            a["strategy"] in {"publish", "approximate", "nullified"}
+            for a in acks
+        )
+        summary = session.summary()
+        assert summary["steps"] == 4
+        assert summary["num_shards"] == 2
+        assert sum(summary["shard_users"]) == 40
+        assert summary["total_reports"] == session.total_reports > 0
+        assert summary["max_window_spend"] <= 1.0 + 1e-9

@@ -1,0 +1,197 @@
+"""Release-store merge arithmetic: rows, whole stores, query engines.
+
+:func:`repro.query.merge_release_rows` is the single merge primitive the
+entire tier shares (serial reference, asyncio server, offline
+``ReleaseStore.merge``).  These tests pin its algebra — fixed shard
+order, population weighting, strategy precedence — and prove the
+whole-store merge is row-for-row identical to merging incrementally, the
+way the serving tier does it live.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.query import QueryEngine, ReleaseStore, merge_release_rows
+
+
+def _random_store(d, span, rng, *, capacity=None, start=0):
+    """A shard store with ``span`` random rows appended from ``start``."""
+    store = ReleaseStore(d, capacity=capacity)
+    store._next_t = start
+    store._evicted = start
+    for t in range(start, start + span):
+        strategy = ["publish", "approximate", "nullified"][
+            int(rng.integers(3))
+        ]
+        store.append(
+            t,
+            rng.normal(size=d),
+            float(rng.uniform(0.001, 0.1)),
+            strategy,
+        )
+    return store
+
+
+class TestMergeRows:
+    def test_single_shard_row_is_bit_identical(self):
+        """K=1 merges through weight 1.0 — IEEE-exact identity."""
+        rng = np.random.default_rng(2)
+        release = rng.normal(size=6)
+        merged, variance, strategy = merge_release_rows(
+            [release], [0.0625], ["approximate"], [1.0]
+        )
+        assert np.array_equal(merged, release)
+        assert variance == 0.0625
+        assert strategy == "approximate"
+
+    def test_weighted_sum_in_fixed_shard_order(self):
+        rng = np.random.default_rng(3)
+        releases = [rng.normal(size=4) for _ in range(3)]
+        variances = [0.01, 0.02, 0.04]
+        weights = [0.5, 0.3, 0.2]
+        merged, variance, _ = merge_release_rows(
+            releases, variances, ["publish"] * 3, weights
+        )
+        expected = (
+            weights[0] * releases[0]
+            + weights[1] * releases[1]
+            + weights[2] * releases[2]
+        )
+        assert np.array_equal(merged, expected)
+        assert variance == (
+            0.5**2 * 0.01 + 0.3**2 * 0.02 + 0.2**2 * 0.04
+        )
+
+    @pytest.mark.parametrize(
+        "strategies,expected",
+        [
+            (["nullified", "nullified"], "nullified"),
+            (["nullified", "approximate"], "approximate"),
+            (["approximate", "publish"], "publish"),
+            (["publish", "nullified", "approximate"], "publish"),
+            (["approximate", "approximate"], "approximate"),
+        ],
+    )
+    def test_strategy_precedence(self, strategies, expected):
+        """publish > approximate > nullified: the merged row counts as a
+        fresh publication iff any shard published."""
+        k = len(strategies)
+        _, _, strategy = merge_release_rows(
+            [np.zeros(2)] * k, [0.0] * k, strategies, [1.0 / k] * k
+        )
+        assert strategy == expected
+
+    def test_misaligned_inputs_are_rejected(self):
+        with pytest.raises(InvalidParameterError, match="align"):
+            merge_release_rows([np.zeros(2)], [0.0, 0.0], ["publish"], [1.0])
+        with pytest.raises(InvalidParameterError, match="zero shard"):
+            merge_release_rows([], [], [], [])
+
+
+class TestStoreMerge:
+    def test_matches_incremental_merge_row_for_row(self):
+        """ReleaseStore.merge == the merged store the serving tier would
+        have built appending merge_release_rows output per timestamp."""
+        rng = np.random.default_rng(11)
+        d, span = 5, 12
+        stores = [_random_store(d, span, rng) for _ in range(3)]
+        users = [30, 50, 20]
+        weights = [u / 100 for u in users]
+
+        merged = ReleaseStore.merge(stores, users)
+        incremental = ReleaseStore(d, capacity=None)
+        for t in range(span):
+            release, variance, strategy = merge_release_rows(
+                [s.release_at(t) for s in stores],
+                [s.variance_at(t) for s in stores],
+                [s.strategy_at(t) for s in stores],
+                weights,
+            )
+            incremental.append(t, release, variance, strategy)
+
+        assert len(merged) == len(incremental) == span
+        for t in range(span):
+            assert np.array_equal(
+                merged.release_at(t), incremental.release_at(t)
+            ), t
+            assert merged.variance_at(t) == incremental.variance_at(t), t
+            assert merged.strategy_at(t) == incremental.strategy_at(t), t
+
+    def test_first_retained_row_opens_a_publication_group(self):
+        """On a truncated span the first row's predecessor noise is gone,
+        so it must start its own correlation group even when no shard
+        published at that timestamp."""
+        rng = np.random.default_rng(13)
+        d = 3
+        store = ReleaseStore(d, capacity=None)
+        store._next_t = 4
+        store._evicted = 4
+        for t in range(4, 8):
+            store.append(t, rng.normal(size=d), 0.01, "approximate")
+        merged = ReleaseStore.merge([store], [10])
+        assert merged.oldest_t == 4
+        first_group = merged.publication_id_at(4)
+        assert first_group >= 1  # not the zero prior
+        assert all(
+            merged.publication_id_at(t) == first_group for t in range(5, 8)
+        )
+
+    def test_empty_stores_merge_to_an_empty_store(self):
+        merged = ReleaseStore.merge(
+            [ReleaseStore(4), ReleaseStore(4)], [10, 10]
+        )
+        assert len(merged) == 0
+        assert merged.latest_t is None
+
+    def test_capacity_defaults_to_the_first_stores(self):
+        a = ReleaseStore(2, capacity=7)
+        b = ReleaseStore(2, capacity=7)
+        assert ReleaseStore.merge([a, b], [1, 1]).capacity == 7
+        assert (
+            ReleaseStore.merge([a, b], [1, 1], capacity=None).capacity
+            is None
+        )
+
+    def test_misuse_is_rejected(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(InvalidParameterError, match="zero stores"):
+            ReleaseStore.merge([], [])
+        with pytest.raises(InvalidParameterError, match="populations"):
+            ReleaseStore.merge([ReleaseStore(3)], [10, 20])
+        with pytest.raises(InvalidParameterError, match="positive"):
+            ReleaseStore.merge([ReleaseStore(3), ReleaseStore(3)], [10, 0])
+        with pytest.raises(InvalidParameterError, match="domain sizes"):
+            ReleaseStore.merge(
+                [ReleaseStore(3), ReleaseStore(4)], [10, 10]
+            )
+        aligned = _random_store(3, 5, rng)
+        behind = _random_store(3, 4, rng)
+        with pytest.raises(InvalidParameterError, match="not aligned"):
+            ReleaseStore.merge([aligned, behind], [10, 10])
+
+
+class TestEngineFromShards:
+    def test_queries_answer_over_the_merged_store(self):
+        """QueryEngine.from_shards is exactly QueryEngine over
+        ReleaseStore.merge — same point/range/sliding floats."""
+        rng = np.random.default_rng(19)
+        d, span = 4, 10
+        stores = [_random_store(d, span, rng) for _ in range(2)]
+        users = [60, 40]
+        engine = QueryEngine.from_shards(stores, users, confidence=0.9)
+        direct = QueryEngine(
+            ReleaseStore.merge(stores, users), confidence=0.9
+        )
+        for t in (0, span - 1):
+            got = engine.point(1, t=t).as_dict()
+            want = direct.point(1, t=t).as_dict()
+            assert got == want
+        assert (
+            engine.range_count(0, 2, t=span - 1).as_dict()
+            == direct.range_count(0, 2, t=span - 1).as_dict()
+        )
+        assert (
+            engine.sliding(2, span - 1, "sum", item=0).as_dict()
+            == direct.sliding(2, span - 1, "sum", item=0).as_dict()
+        )
