@@ -21,7 +21,7 @@ import pytest
 from repro.analysis import mean_squared_error
 from repro.engine import run_stream
 from repro.extensions import exponential_smoothing
-from repro.queries import (
+from repro.query import (
     MeanPopulationAbsorption,
     MeanPopulationUniform,
     make_sine_numeric_stream,

@@ -9,7 +9,7 @@ adaptive absorption method (MPA) and the three numeric mechanisms.
 Run:  python examples/fleet_telemetry_mean.py
 """
 
-from repro.queries import (
+from repro.query import (
     MeanPopulationAbsorption,
     MeanPopulationUniform,
     make_sine_numeric_stream,

@@ -4,6 +4,7 @@ cost, and the paper's closed-form utility theory (Section 7.1.4 metrics).
 
 from .changepoint import (
     ChangePointReport,
+    CusumDetector,
     cusum_detect,
     score_change_points,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "publication_variance_lpa",
     "theorem_6_1_gap",
     "ChangePointReport",
+    "CusumDetector",
     "cusum_detect",
     "score_change_points",
     "topk_sets",

@@ -32,6 +32,55 @@ class ChangePointReport:
         return self.matched / len(self.true_points) if self.true_points else 0.0
 
 
+class CusumDetector:
+    """Incremental two-sided CUSUM detector: one value per ``push``.
+
+    The stateful core of :func:`cusum_detect`, exposed so standing
+    queries (:mod:`repro.query.standing`) can feed a live release
+    stream one timestamp at a time without re-scanning history.  The
+    first pushed value becomes the reference; each later push updates
+    the one-sided statistics and returns ``True`` iff it raises an
+    alarm.  Feeding a series value by value produces exactly the
+    alarms :func:`cusum_detect` reports on the whole array — same
+    float operations in the same order.
+    """
+
+    def __init__(
+        self,
+        drift: float,
+        threshold: float,
+        reset_after_alarm: bool = True,
+    ):
+        if drift < 0 or threshold <= 0:
+            raise InvalidParameterError(
+                "drift must be >= 0, threshold > 0"
+            )
+        self.drift = drift
+        self.threshold = threshold
+        self.reset_after_alarm = reset_after_alarm
+        self._reference = None
+        self._high = 0.0
+        self._low = 0.0
+        self.pushed = 0
+
+    def push(self, value) -> bool:
+        """Consume the next series value; ``True`` iff it alarms."""
+        value = np.float64(value)
+        self.pushed += 1
+        if self._reference is None:
+            self._reference = value
+            return False
+        deviation = value - self._reference
+        self._high = max(0.0, self._high + deviation - self.drift)
+        self._low = max(0.0, self._low - deviation - self.drift)
+        if self._high > self.threshold or self._low > self.threshold:
+            if self.reset_after_alarm:
+                self._reference = value
+                self._high = self._low = 0.0
+            return True
+        return False
+
+
 def cusum_detect(
     series: np.ndarray,
     drift: float,
@@ -49,20 +98,13 @@ def cusum_detect(
     series = np.asarray(series, dtype=np.float64)
     if series.ndim != 1 or series.size == 0:
         raise InvalidParameterError("series must be a non-empty 1-D array")
-    if drift < 0 or threshold <= 0:
-        raise InvalidParameterError("drift must be >= 0, threshold > 0")
+    detector = CusumDetector(
+        drift, threshold, reset_after_alarm=reset_after_alarm
+    )
     alarms: List[int] = []
-    reference = series[0]
-    high = low = 0.0
-    for t in range(1, series.size):
-        deviation = series[t] - reference
-        high = max(0.0, high + deviation - drift)
-        low = max(0.0, low - deviation - drift)
-        if high > threshold or low > threshold:
+    for t in range(series.size):
+        if detector.push(series[t]):
             alarms.append(t)
-            if reset_after_alarm:
-                reference = series[t]
-                high = low = 0.0
     return alarms
 
 

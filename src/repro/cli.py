@@ -216,7 +216,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "run", metavar="RUN_JSON", help="session saved by `run --save-json`"
     )
     query.add_argument(
-        "op", choices=["point", "topk", "range", "sliding", "info"]
+        "op",
+        nargs="?",
+        default=None,
+        choices=["point", "topk", "range", "sliding", "info"],
+        help="classic verb (or use --expr for the full DSL)",
+    )
+    query.add_argument(
+        "--expr",
+        default=None,
+        metavar="EXPR",
+        help="DSL text query, e.g. "
+        '"topk(5) where item in {0..9} @ t=200" — see docs/QUERIES.md',
     )
     query.add_argument("--t", type=int, default=None, help="timestamp (default: last)")
     query.add_argument("--item", type=int, default=None)
@@ -226,7 +237,11 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--t0", type=int, default=None)
     query.add_argument("--t1", type=int, default=None)
     query.add_argument(
-        "--agg", choices=["sum", "mean", "max"], default="mean"
+        "--agg",
+        choices=["sum", "mean", "max"],
+        default="sum",
+        help="sliding aggregate (default sum, same as the engine and "
+        "the serve protocol)",
     )
     query.add_argument("--confidence", type=float, default=0.95)
 
@@ -613,34 +628,20 @@ def _cmd_stream(args) -> int:
     return 0
 
 
-def _serve_answer(engine, session, request: dict) -> dict:
-    """Answer one parsed ``serve`` request against the live engine."""
+def _serve_answer(planner, session, request: dict) -> dict:
+    """Answer one parsed ``serve`` request against the live engine.
+
+    Every query op lowers through the :class:`~repro.query.QueryPlanner`
+    — the four classic verbs keep their legacy reply shapes, and the
+    DSL composites (``filter``/``groupby``/``changepoint``/
+    ``threshold``, plus ``{"op": "query"}`` envelopes carrying text
+    ``expr``) answer over the same store.
+    """
+    from .query.dsl import QUERY_OPS, query_from_request
+
     op = request.get("op")
-    t = request.get("t")
-    if op == "point":
-        answer = engine.point(request["item"], t=t).as_dict()
-        return {"op": op, "item": request["item"], **answer}
-    if op == "topk":
-        entries = engine.topk(request.get("k", 5), t=t)
-        return {"op": op, "items": [e.as_dict() for e in entries]}
-    if op == "range":
-        answer = engine.range_count(request["lo"], request["hi"], t=t)
-        return {
-            "op": op,
-            "lo": request["lo"],
-            "hi": request["hi"],
-            **answer.as_dict(),
-        }
-    if op == "sliding":
-        answer = engine.sliding(
-            request["t0"],
-            request["t1"],
-            request.get("agg", "sum"),
-            item=request["item"],
-        )
-        return {"op": op, "item": request["item"], **answer.as_dict()}
     if op == "summary":
-        store = engine.store
+        store = planner.engine_for(None).store
         return {
             "op": op,
             **session.summary(),
@@ -649,8 +650,62 @@ def _serve_answer(engine, session, request: dict) -> dict:
             "latest_t": store.latest_t,
             "evicted": store.evicted,
         }
+    if op != "query" and op not in QUERY_OPS:
+        raise InvalidParameterError(
+            f"unknown op {op!r}; expected ingest/"
+            + "/".join(QUERY_OPS)
+            + "/query/standing/summary"
+        )
+    return planner.answer(query_from_request(request))
+
+
+def _serve_standing(registry, request: dict) -> dict:
+    """Register / unregister / list standing queries (stdin loop).
+
+    Alert events print as their own stdout lines after the ingest acks
+    of each flushed chunk (the solo loop's single client is stdout).
+    """
+    from .query.dsl import parse_expr, query_from_request
+
+    action = request.get("action")
+    if action == "register":
+        if "expr" in request:
+            expr = request["expr"]
+            if not isinstance(expr, str):
+                raise InvalidParameterError(
+                    f"'expr' must be a string, got {expr!r}"
+                )
+            query = parse_expr(expr)
+        elif "q" in request:
+            query = query_from_request(request["q"])
+        else:
+            raise InvalidParameterError(
+                "a standing register needs 'expr' (text syntax) or 'q' "
+                "(wire form)"
+            )
+        standing = registry.register(request.get("id"), query)
+        return {"op": "standing", "action": action, **standing.describe()}
+    if action == "unregister":
+        sid = request.get("id")
+        if not isinstance(sid, str):
+            raise InvalidParameterError(
+                f"a standing unregister needs a string 'id', got {sid!r}"
+            )
+        return {
+            "op": "standing",
+            "action": action,
+            "id": sid,
+            "removed": registry.unregister(sid),
+        }
+    if action == "list":
+        return {
+            "op": "standing",
+            "action": action,
+            "standing": registry.describe(),
+        }
     raise InvalidParameterError(
-        f"unknown op {op!r}; expected ingest/point/topk/range/sliding/summary"
+        f"unknown standing action {action!r}; expected "
+        f"register/unregister/list"
     )
 
 
@@ -710,7 +765,12 @@ def _cmd_serve(args) -> int:
     import json
 
     from .engine import StreamSession
-    from .query import QueryEngine, ReleaseStore
+    from .query import (
+        QueryEngine,
+        QueryPlanner,
+        ReleaseStore,
+        StandingRegistry,
+    )
     from .streams import OnlineStream
 
     from .freq_oracles import get_oracle
@@ -759,6 +819,8 @@ def _cmd_serve(args) -> int:
         session: Optional[StreamSession] = None
         stream: Optional[OnlineStream] = None
         engine: Optional[QueryEngine] = None
+        planner: Optional[QueryPlanner] = None
+        registry: Optional[StandingRegistry] = None
         if checkpoint is not None:
             session, stream = _resume_session(
                 checkpoint,
@@ -787,6 +849,8 @@ def _cmd_serve(args) -> int:
                     f"capacity {capacity!r} on the command line"
                 )
             engine = QueryEngine(session.store, confidence=args.confidence)
+            planner = QueryPlanner(engine)
+            registry = StandingRegistry(planner)
         wal = None
         if state is not None:
             from .persist import Checkpoint
@@ -893,6 +957,11 @@ def _cmd_serve(args) -> int:
                     )
                     start += 1
             pending.clear()
+            # Standing queries advance over exactly the timestamps this
+            # flush ingested; alerts are their own stdout lines.
+            if registry is not None:
+                for _, event in registry.poll():
+                    print(json.dumps(event), flush=True)
 
         try:
             for line in source:
@@ -952,6 +1021,8 @@ def _cmd_serve(args) -> int:
                             engine = QueryEngine(
                                 store, confidence=args.confidence
                             )
+                            planner = QueryPlanner(engine)
+                            registry = StandingRegistry(planner)
                         pending.append(values)
                         if len(pending) >= args.chunk:
                             flush()
@@ -962,9 +1033,14 @@ def _cmd_serve(args) -> int:
                             "request first"
                         )
                     # Queries answer against everything ingested so far,
-                    # so buffered snapshots go in first.
+                    # so buffered snapshots go in first.  (Standing
+                    # registrations too: the watermark they anchor at is
+                    # the one the client saw acked.)
                     flush()
-                    answer = _serve_answer(engine, session, request)
+                    if request.get("op") == "standing":
+                        answer = _serve_standing(registry, request)
+                    else:
+                        answer = _serve_answer(planner, session, request)
                 except (
                     ReproError,
                     KeyError,
@@ -1000,12 +1076,21 @@ def _cmd_query(args) -> int:
     import json
 
     from .io import load_session
-    from .query import QueryEngine
+    from .query import QueryEngine, QueryPlanner, parse_expr
 
+    if (args.op is None) == (args.expr is None):
+        raise InvalidParameterError(
+            "query takes exactly one of a classic verb "
+            "(point/topk/range/sliding/info) or --expr EXPR"
+        )
     result = load_session(args.run)
     engine = QueryEngine.from_result(result, confidence=args.confidence)
-    if args.op == "info":
+    if args.expr is not None:
+        planner = QueryPlanner(engine)
+        answer = planner.answer(parse_expr(args.expr))
+    elif args.op == "info":
         answer = {
+            "op": "info",
             "mechanism": result.mechanism,
             "oracle": result.oracle,
             "epsilon": result.epsilon,
@@ -1018,17 +1103,20 @@ def _cmd_query(args) -> int:
         if args.item is None:
             raise InvalidParameterError("point queries need --item")
         answer = {
+            "op": "point",
             "item": args.item,
             **engine.point(args.item, t=args.t).as_dict(),
         }
     elif args.op == "topk":
         answer = {
-            "items": [e.as_dict() for e in engine.topk(args.k, t=args.t)]
+            "op": "topk",
+            "items": [e.as_dict() for e in engine.topk(args.k, t=args.t)],
         }
     elif args.op == "range":
         if args.lo is None or args.hi is None:
             raise InvalidParameterError("range queries need --lo and --hi")
         answer = {
+            "op": "range",
             "lo": args.lo,
             "hi": args.hi,
             **engine.range_count(args.lo, args.hi, t=args.t).as_dict(),
@@ -1039,6 +1127,7 @@ def _cmd_query(args) -> int:
         t0 = 0 if args.t0 is None else args.t0
         t1 = result.horizon - 1 if args.t1 is None else args.t1
         answer = {
+            "op": "sliding",
             "item": args.item,
             "t0": t0,
             "t1": t1,

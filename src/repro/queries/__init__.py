@@ -1,25 +1,35 @@
-"""Other query types over LDP streams (paper footnote 2).
+"""Deprecated alias package: use :mod:`repro.query` instead.
 
-* :mod:`~repro.queries.numeric` — bounded-value mean-estimation
-  mechanisms (Duchi, Piecewise, Hybrid);
-* :mod:`~repro.queries.stream_mean` — ``w``-event LDP mean release over
-  infinite streams via population division (MPU / MPA).
+The numeric-stream estimators moved into the main query namespace —
+``repro.queries.numeric`` is now :mod:`repro.query.numeric` and
+``repro.queries.stream_mean`` is :mod:`repro.query.stream_mean`.  These
+shims keep old imports working (with a :class:`DeprecationWarning`);
+they will be removed in a future release.
 """
 
-from .numeric import (
+import warnings
+
+from ..query.numeric import (
     DuchiMechanism,
     HybridMechanism,
     NumericMechanism,
     PiecewiseMechanism,
     get_numeric_mechanism,
 )
-from .stream_mean import (
+from ..query.stream_mean import (
     MeanPopulationAbsorption,
     MeanPopulationUniform,
     MeanSessionResult,
     MeanStepRecord,
     NumericStream,
     make_sine_numeric_stream,
+)
+
+warnings.warn(
+    "repro.queries is deprecated: the numeric-stream estimators moved "
+    "into repro.query (repro.query.numeric / repro.query.stream_mean)",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

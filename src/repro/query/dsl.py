@@ -1,0 +1,951 @@
+"""Typed standing-query DSL: one AST for every query surface.
+
+The query layer answers four hard-coded verbs; real monitoring wants
+*composable* questions — "the top 5 among categories 0..9 at t=200",
+"alert me when item 2's share clears 20% by two sigmas", "did the
+level change?".  This module is the shared language for those
+questions, spoken identically by the solo ``repro serve`` loop, the
+sharded asyncio server, and the ``repro query`` CLI:
+
+* **AST** — frozen dataclass nodes.  :class:`Point`, :class:`TopK`,
+  :class:`Range` and :class:`Sliding` mirror the four
+  :class:`~repro.query.engine.QueryEngine` verbs field-for-field;
+  :class:`Filter` restricts a verb to a category subset,
+  :class:`GroupBy` answers a subset-sum per named group, :class:`Join`
+  windows two sessions' release streams, and :class:`Changepoint` /
+  :class:`Threshold` are the alert predicates the standing-query
+  registry (:mod:`repro.query.standing`) evaluates incrementally.
+* **JSON wire form** — :meth:`Query.to_wire` /
+  :func:`query_from_wire`.  The wire field names and defaults are
+  exactly the engine's (``item``/``t``/``k``/``lo``/``hi``/``t0``/
+  ``t1``/``agg``), so every legacy serve request is already a valid
+  wire query.
+* **Text syntax** — :func:`parse_expr` / :func:`format_expr`, a
+  one-line grammar for humans (``repro query --expr`` and the serve
+  ``{"op": "query", "expr": ...}`` envelope)::
+
+      topk(5) where item in {0..9} @ t=200
+      range(0, 10) @ t=5
+      mean(2) @ 10..40
+      groupby(low: {0..3}; high: {4..7}) @ t=12
+      join(diff, 2, 10..40, left, right)
+      changepoint(2, drift=0.01, threshold=0.1)
+      threshold(point(3) > 0.2, sigmas=2)
+
+Nothing in here touches a store: the AST is pure data, validated on
+construction.  :mod:`repro.query.planner` lowers it onto
+``QueryEngine``/``ReleaseStore`` primitives; the full grammar and the
+lowering rules are documented in ``docs/QUERIES.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, fields, replace
+from typing import ClassVar, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+#: Aggregates a :class:`Sliding` query accepts (mirrors the engine).
+AGGREGATES = ("sum", "mean", "max")
+
+#: Comparators a :class:`Threshold` predicate accepts.
+COMPARATORS = (">", ">=", "<", "<=")
+
+#: Join combinators: windowed mean difference / Pearson correlation.
+JOIN_HOW = ("diff", "corr")
+
+#: Wire ``op`` tags understood by :func:`query_from_wire`.
+QUERY_OPS = (
+    "point",
+    "topk",
+    "range",
+    "sliding",
+    "filter",
+    "groupby",
+    "join",
+    "changepoint",
+    "threshold",
+)
+
+
+def _int(name: str, value, *, optional: bool = False) -> Optional[int]:
+    if value is None and optional:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise InvalidParameterError(
+            f"{name} must be an int, got {value!r}"
+        )
+    return int(value)
+
+
+def _float(name: str, value) -> float:
+    if isinstance(value, bool) or not isinstance(
+        value, (int, float, np.integer, np.floating)
+    ):
+        raise InvalidParameterError(
+            f"{name} must be a number, got {value!r}"
+        )
+    value = float(value)
+    if not math.isfinite(value):
+        raise InvalidParameterError(f"{name} must be finite, got {value}")
+    return value
+
+
+def _item(value) -> int:
+    value = _int("item", value)
+    if value < 0:
+        raise InvalidParameterError(f"item must be >= 0, got {value}")
+    return value
+
+
+def _source(value) -> Optional[str]:
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise InvalidParameterError(
+            f"source must be a non-empty string, got {value!r}"
+        )
+    return value
+
+
+def _items(name: str, value) -> Tuple[int, ...]:
+    try:
+        raw = list(value)
+    except TypeError:
+        raise InvalidParameterError(
+            f"{name} must be an iterable of ints, got {value!r}"
+        ) from None
+    if not raw:
+        raise InvalidParameterError(f"{name} must not be empty")
+    items = tuple(sorted({_int(name + " entry", v) for v in raw}))
+    if items[0] < 0:
+        raise InvalidParameterError(
+            f"{name} entries must be >= 0, got {items[0]}"
+        )
+    return items
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base of every AST node; concrete nodes define ``op``."""
+
+    op: ClassVar[str] = ""
+
+    def to_wire(self) -> dict:
+        """The JSON-serializable wire form (same field names as the
+        engine methods; ``None`` fields are omitted)."""
+        payload = {"op": self.op}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value is None:
+                continue
+            payload[field.name] = _wire_value(value)
+        return payload
+
+    def __str__(self) -> str:
+        return format_expr(self)
+
+
+def _wire_value(value):
+    if isinstance(value, Query):
+        return value.to_wire()
+    if isinstance(value, tuple):
+        first_pair = (
+            value
+            and isinstance(value[0], tuple)
+            and len(value[0]) == 2
+            and isinstance(value[0][0], str)
+        )
+        if first_pair:  # GroupBy groups: ordered name -> items
+            return {name: list(items) for name, items in value}
+        return list(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Point(Query):
+    """Released frequency of one ``item`` at ``t`` (default latest)."""
+
+    op: ClassVar[str] = "point"
+    item: int
+    t: Optional[int] = None
+    source: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "item", _item(self.item))
+        object.__setattr__(self, "t", _int("t", self.t, optional=True))
+        object.__setattr__(self, "source", _source(self.source))
+
+
+@dataclass(frozen=True)
+class TopK(Query):
+    """The ``k`` heaviest items at ``t`` (default latest)."""
+
+    op: ClassVar[str] = "topk"
+    k: int = 5
+    t: Optional[int] = None
+    source: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "k", _int("k", self.k))
+        object.__setattr__(self, "t", _int("t", self.t, optional=True))
+        object.__setattr__(self, "source", _source(self.source))
+        if self.k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {self.k}")
+
+
+@dataclass(frozen=True)
+class Range(Query):
+    """Total frequency of the categorical range ``[lo, hi)`` at ``t``."""
+
+    op: ClassVar[str] = "range"
+    lo: int
+    hi: int
+    t: Optional[int] = None
+    source: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "lo", _int("lo", self.lo))
+        object.__setattr__(self, "hi", _int("hi", self.hi))
+        object.__setattr__(self, "t", _int("t", self.t, optional=True))
+        object.__setattr__(self, "source", _source(self.source))
+        if not 0 <= self.lo <= self.hi:
+            raise InvalidParameterError(
+                f"range must satisfy 0 <= lo <= hi, got "
+                f"[{self.lo}, {self.hi})"
+            )
+
+
+@dataclass(frozen=True)
+class Sliding(Query):
+    """Aggregate one ``item`` over the closed span ``[t0, t1]``."""
+
+    op: ClassVar[str] = "sliding"
+    item: int
+    t0: int
+    t1: int
+    agg: str = "sum"
+    source: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "item", _item(self.item))
+        object.__setattr__(self, "t0", _int("t0", self.t0))
+        object.__setattr__(self, "t1", _int("t1", self.t1))
+        object.__setattr__(self, "source", _source(self.source))
+        if self.agg not in AGGREGATES:
+            raise InvalidParameterError(
+                f"agg must be one of {AGGREGATES}, got {self.agg!r}"
+            )
+        if self.t0 > self.t1:
+            raise InvalidParameterError(
+                f"span must satisfy t0 <= t1, got [{self.t0}, {self.t1}]"
+            )
+
+
+#: Verbs a :class:`Filter` may wrap.
+_FILTERABLE = (Point, TopK, Range, Sliding)
+
+
+@dataclass(frozen=True)
+class Filter(Query):
+    """Restrict a verb to a category subset (``where item in {...}``).
+
+    * ``Filter(TopK(k), items)`` — the ``k`` heaviest *within* the
+      subset;
+    * ``Filter(Range(lo, hi), items)`` — the subset-sum over
+      ``items ∩ [lo, hi)`` (an empty intersection is estimate 0 with a
+      zero-width interval, like an empty range);
+    * ``Filter(Point(i), items)`` / ``Filter(Sliding(...), items)`` —
+      membership guards: the inner item must be in the subset.
+    """
+
+    op: ClassVar[str] = "filter"
+    query: Query
+    items: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.query, _FILTERABLE):
+            raise InvalidParameterError(
+                f"filter can only wrap point/topk/range/sliding, got "
+                f"{getattr(type(self.query), 'op', None) or self.query!r}"
+            )
+        object.__setattr__(self, "items", _items("items", self.items))
+        if isinstance(self.query, (Point, Sliding)):
+            if self.query.item not in self.items:
+                raise InvalidParameterError(
+                    f"filtered item {self.query.item} is not in the "
+                    f"filter set {list(self.items)}"
+                )
+
+
+@dataclass(frozen=True)
+class GroupBy(Query):
+    """Subset-sum per named group of categories, at one timestamp.
+
+    ``groups`` is an ordered ``(name, items)`` tuple (a mapping is
+    accepted and its iteration order kept).  Groups may overlap; each
+    answers independently with the same variance rule as a filtered
+    range.
+    """
+
+    op: ClassVar[str] = "groupby"
+    groups: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    t: Optional[int] = None
+    source: Optional[str] = None
+
+    def __post_init__(self):
+        raw = self.groups
+        if isinstance(raw, Mapping):
+            raw = tuple(raw.items())
+        try:
+            pairs = tuple((name, items) for name, items in raw)
+        except (TypeError, ValueError):
+            raise InvalidParameterError(
+                f"groups must map names to item sets, got {self.groups!r}"
+            ) from None
+        if not pairs:
+            raise InvalidParameterError("groupby needs at least one group")
+        names = [name for name, _ in pairs]
+        for name in names:
+            if not isinstance(name, str) or not name:
+                raise InvalidParameterError(
+                    f"group names must be non-empty strings, got {name!r}"
+                )
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(
+                f"group names must be unique, got {names}"
+            )
+        object.__setattr__(
+            self,
+            "groups",
+            tuple(
+                (name, _items(f"group {name!r}", items))
+                for name, items in pairs
+            ),
+        )
+        object.__setattr__(self, "t", _int("t", self.t, optional=True))
+        object.__setattr__(self, "source", _source(self.source))
+
+
+@dataclass(frozen=True)
+class Join(Query):
+    """Window two sources' release streams for one item over
+    ``[t0, t1]``.
+
+    ``how="diff"`` — difference of the two windowed means, with the
+    cross-session-independent variance sum; ``how="corr"`` — Pearson
+    correlation of the two release series (Fisher-approximation
+    stderr).  ``left``/``right`` name sources registered with the
+    planner.
+    """
+
+    op: ClassVar[str] = "join"
+    left: str
+    right: str
+    item: int
+    t0: int
+    t1: int
+    how: str = "diff"
+
+    def __post_init__(self):
+        for side, name in (("left", self.left), ("right", self.right)):
+            if not isinstance(name, str) or not name:
+                raise InvalidParameterError(
+                    f"join {side} must name a source, got {name!r}"
+                )
+        object.__setattr__(self, "item", _item(self.item))
+        object.__setattr__(self, "t0", _int("t0", self.t0))
+        object.__setattr__(self, "t1", _int("t1", self.t1))
+        if self.how not in JOIN_HOW:
+            raise InvalidParameterError(
+                f"join how must be one of {JOIN_HOW}, got {self.how!r}"
+            )
+        if self.t0 > self.t1:
+            raise InvalidParameterError(
+                f"span must satisfy t0 <= t1, got [{self.t0}, {self.t1}]"
+            )
+
+
+@dataclass(frozen=True)
+class Changepoint(Query):
+    """CUSUM change-point alarms on one item's release series.
+
+    ``drift`` is the per-step slack, ``threshold`` the alarm level
+    (see :func:`repro.analysis.changepoint.cusum_detect`).  ``t0``/
+    ``t1`` default to the oldest/latest retained timestamp at
+    evaluation time.
+    """
+
+    op: ClassVar[str] = "changepoint"
+    item: int
+    drift: float
+    threshold: float
+    t0: Optional[int] = None
+    t1: Optional[int] = None
+    source: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "item", _item(self.item))
+        object.__setattr__(self, "drift", _float("drift", self.drift))
+        object.__setattr__(
+            self, "threshold", _float("threshold", self.threshold)
+        )
+        object.__setattr__(self, "t0", _int("t0", self.t0, optional=True))
+        object.__setattr__(self, "t1", _int("t1", self.t1, optional=True))
+        object.__setattr__(self, "source", _source(self.source))
+        if self.drift < 0 or self.threshold <= 0:
+            raise InvalidParameterError(
+                "drift must be >= 0 and threshold > 0, got "
+                f"drift={self.drift}, threshold={self.threshold}"
+            )
+        if (
+            self.t0 is not None
+            and self.t1 is not None
+            and self.t0 > self.t1
+        ):
+            raise InvalidParameterError(
+                f"span must satisfy t0 <= t1, got [{self.t0}, {self.t1}]"
+            )
+
+
+#: Scalar-valued queries a :class:`Threshold` may wrap (``Filter`` is
+#: admitted when its inner verb is scalar-valued, i.e. not TopK).
+_SCALAR = (Point, Range, Sliding)
+
+
+@dataclass(frozen=True)
+class Threshold(Query):
+    """Noise-aware threshold predicate over a scalar query.
+
+    Triggered when the estimate clears ``value`` by ``sigmas`` standard
+    errors — THRESH's fixed noise-multiple update rule
+    (:mod:`repro.related.thresh`) turned into a standing predicate:
+    ``estimate - sigmas·stderr > value`` for ``>`` (mirrored for the
+    other comparators).  ``sigmas=0`` is a plain comparison.
+    """
+
+    op: ClassVar[str] = "threshold"
+    query: Query
+    cmp: str
+    value: float
+    sigmas: float = 0.0
+
+    def __post_init__(self):
+        inner = self.query
+        if isinstance(inner, Filter):
+            inner = inner.query
+        if not isinstance(inner, _SCALAR):
+            raise InvalidParameterError(
+                "threshold needs a scalar query (point/range/sliding, "
+                f"optionally filtered), got {type(self.query).op!r}"
+            )
+        if self.cmp not in COMPARATORS:
+            raise InvalidParameterError(
+                f"cmp must be one of {COMPARATORS}, got {self.cmp!r}"
+            )
+        object.__setattr__(self, "value", _float("value", self.value))
+        object.__setattr__(self, "sigmas", _float("sigmas", self.sigmas))
+        if self.sigmas < 0:
+            raise InvalidParameterError(
+                f"sigmas must be >= 0, got {self.sigmas}"
+            )
+
+
+def pin_t(query: Query, t: int) -> Query:
+    """A copy of a latest-``t`` query pinned to one timestamp.
+
+    The standing-query registry uses this to evaluate a predicate at
+    every new timestamp in turn; only nodes with a ``t`` field (and
+    :class:`Filter`/:class:`Threshold` wrappers around them) can pin.
+    """
+    if isinstance(query, Threshold):
+        return replace(query, query=pin_t(query.query, t))
+    if isinstance(query, Filter):
+        return replace(query, query=pin_t(query.query, t))
+    if isinstance(query, (Point, TopK, Range, GroupBy)):
+        return replace(query, t=_int("t", t))
+    raise InvalidParameterError(
+        f"cannot pin a timestamp on a {type(query).op or 'query'!r} query"
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON wire form
+# ----------------------------------------------------------------------
+def _wire_get(request: Mapping, key: str, *, required: bool = False):
+    value = request.get(key)
+    if required and value is None:
+        raise InvalidParameterError(
+            f"{request.get('op')!r} query needs {key!r}"
+        )
+    return value
+
+
+def query_from_wire(request: Mapping) -> Query:
+    """Parse one wire-form mapping into an AST node.
+
+    Field names and defaults match the :class:`QueryEngine` methods
+    (``topk`` defaults to ``k=5``, ``sliding`` to ``agg="sum"``), so
+    the legacy serve requests parse unchanged.  Unknown ``op`` values
+    and missing required fields raise
+    :class:`~repro.exceptions.InvalidParameterError`.
+    """
+    if not isinstance(request, Mapping):
+        raise InvalidParameterError(
+            f"a wire query must be a JSON object, got {request!r}"
+        )
+    op = request.get("op")
+    source = request.get("source")
+    if op == "point":
+        return Point(
+            _wire_get(request, "item", required=True),
+            t=request.get("t"),
+            source=source,
+        )
+    if op == "topk":
+        return TopK(
+            request.get("k", 5), t=request.get("t"), source=source
+        )
+    if op == "range":
+        return Range(
+            _wire_get(request, "lo", required=True),
+            _wire_get(request, "hi", required=True),
+            t=request.get("t"),
+            source=source,
+        )
+    if op == "sliding":
+        return Sliding(
+            _wire_get(request, "item", required=True),
+            _wire_get(request, "t0", required=True),
+            _wire_get(request, "t1", required=True),
+            agg=request.get("agg", "sum"),
+            source=source,
+        )
+    if op == "filter":
+        return Filter(
+            query_from_wire(_wire_get(request, "query", required=True)),
+            _wire_get(request, "items", required=True),
+        )
+    if op == "groupby":
+        groups = _wire_get(request, "groups", required=True)
+        if not isinstance(groups, Mapping):
+            raise InvalidParameterError(
+                f"groupby groups must be an object mapping names to "
+                f"item lists, got {groups!r}"
+            )
+        return GroupBy(
+            tuple(groups.items()), t=request.get("t"), source=source
+        )
+    if op == "join":
+        return Join(
+            _wire_get(request, "left", required=True),
+            _wire_get(request, "right", required=True),
+            _wire_get(request, "item", required=True),
+            _wire_get(request, "t0", required=True),
+            _wire_get(request, "t1", required=True),
+            how=request.get("how", "diff"),
+        )
+    if op == "changepoint":
+        return Changepoint(
+            _wire_get(request, "item", required=True),
+            _wire_get(request, "drift", required=True),
+            _wire_get(request, "threshold", required=True),
+            t0=request.get("t0"),
+            t1=request.get("t1"),
+            source=source,
+        )
+    if op == "threshold":
+        return Threshold(
+            query_from_wire(_wire_get(request, "query", required=True)),
+            _wire_get(request, "cmp", required=True),
+            _wire_get(request, "value", required=True),
+            sigmas=request.get("sigmas", 0.0),
+        )
+    raise InvalidParameterError(
+        f"unknown query op {op!r}; expected one of {QUERY_OPS}"
+    )
+
+
+def query_from_request(request: Mapping) -> Query:
+    """Parse a serve-protocol request line into an AST node.
+
+    Accepts the direct wire form (``op`` is a query tag) and the
+    ``{"op": "query", ...}`` envelope carrying either ``"expr"`` (text
+    syntax) or ``"q"`` (nested wire form).
+    """
+    if not isinstance(request, Mapping):
+        raise InvalidParameterError(
+            f"a query request must be a JSON object, got {request!r}"
+        )
+    if request.get("op") == "query":
+        expr = request.get("expr")
+        if expr is not None:
+            if not isinstance(expr, str):
+                raise InvalidParameterError(
+                    f"'expr' must be a string, got {expr!r}"
+                )
+            return parse_expr(expr)
+        nested = request.get("q")
+        if nested is None:
+            raise InvalidParameterError(
+                "a 'query' request needs 'expr' (text syntax) or 'q' "
+                "(wire form)"
+            )
+        return query_from_wire(nested)
+    return query_from_wire(request)
+
+
+# ----------------------------------------------------------------------
+# Text syntax
+# ----------------------------------------------------------------------
+_TOKEN = re.compile(
+    r"""
+    (?P<float>\d+\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<dotdot>\.\.)
+  | (?P<cmp>>=|<=|>|<)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<sym>[(){},;:@=\-])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Tokens:
+    """Token cursor for the recursive-descent expression parser."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = []
+        for match in _TOKEN.finditer(text):
+            kind = match.lastgroup
+            if kind == "ws":
+                continue
+            if kind == "bad":
+                raise InvalidParameterError(
+                    f"unexpected character {match.group()!r} at column "
+                    f"{match.start()} in {text!r}"
+                )
+            self.tokens.append((kind, match.group(), match.start()))
+        self.pos = 0
+
+    def peek(self, offset: int = 0):
+        index = self.pos + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return ("eof", "", len(self.text))
+
+    def next(self):
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def accept(self, value: str) -> bool:
+        if self.peek()[1] == value:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, value: str):
+        kind, got, column = self.peek()
+        if got != value:
+            raise InvalidParameterError(
+                f"expected {value!r} at column {column}, got "
+                f"{got or 'end of input'!r} in {self.text!r}"
+            )
+        self.pos += 1
+
+    def expect_int(self) -> int:
+        kind, got, column = self.peek()
+        if kind != "int":
+            raise InvalidParameterError(
+                f"expected an integer at column {column}, got "
+                f"{got or 'end of input'!r} in {self.text!r}"
+            )
+        self.pos += 1
+        return int(got)
+
+    def expect_number(self) -> float:
+        negative = self.accept("-")
+        kind, got, column = self.peek()
+        if kind not in ("int", "float"):
+            raise InvalidParameterError(
+                f"expected a number at column {column}, got "
+                f"{got or 'end of input'!r} in {self.text!r}"
+            )
+        self.pos += 1
+        value = float(got)
+        return -value if negative else value
+
+    def expect_name(self) -> str:
+        kind, got, column = self.peek()
+        if kind != "name":
+            raise InvalidParameterError(
+                f"expected a name at column {column}, got "
+                f"{got or 'end of input'!r} in {self.text!r}"
+            )
+        self.pos += 1
+        return got
+
+
+def _parse_set(tokens: _Tokens) -> Tuple[int, ...]:
+    """``{a, b, c}`` or ``{a..b}`` (inclusive) -> sorted unique tuple."""
+    tokens.expect("{")
+    first = tokens.expect_int()
+    if tokens.accept(".."):
+        last = tokens.expect_int()
+        tokens.expect("}")
+        if last < first:
+            raise InvalidParameterError(
+                f"item range {{{first}..{last}}} is empty"
+            )
+        return tuple(range(first, last + 1))
+    items = [first]
+    while tokens.accept(","):
+        items.append(tokens.expect_int())
+    tokens.expect("}")
+    return _items("items", items)
+
+
+def _parse_at(tokens: _Tokens):
+    """``@ t=T`` -> ("t", T) | ``@ A..B`` -> ("span", A, B) | None."""
+    if not tokens.accept("@"):
+        return None
+    if tokens.peek()[1] == "t" and tokens.peek(1)[1] == "=":
+        tokens.next()
+        tokens.next()
+        return ("t", tokens.expect_int())
+    t0 = tokens.expect_int()
+    tokens.expect("..")
+    t1 = tokens.expect_int()
+    return ("span", t0, t1)
+
+
+def _at_t(at, what: str) -> Optional[int]:
+    if at is None:
+        return None
+    if at[0] != "t":
+        raise InvalidParameterError(
+            f"{what} takes '@ t=T', not a '@ a..b' span"
+        )
+    return at[1]
+
+
+def _parse_plain(tokens: _Tokens) -> Query:
+    verb = tokens.expect_name()
+    if verb == "point":
+        tokens.expect("(")
+        item = tokens.expect_int()
+        tokens.expect(")")
+        build = lambda at: Point(item, t=_at_t(at, "point"))  # noqa: E731
+    elif verb == "topk":
+        tokens.expect("(")
+        k = tokens.expect_int()
+        tokens.expect(")")
+        build = lambda at: TopK(k, t=_at_t(at, "topk"))  # noqa: E731
+    elif verb == "range":
+        tokens.expect("(")
+        lo = tokens.expect_int()
+        tokens.expect(",")
+        hi = tokens.expect_int()
+        tokens.expect(")")
+        build = lambda at: Range(  # noqa: E731
+            lo, hi, t=_at_t(at, "range")
+        )
+    elif verb in AGGREGATES:
+        tokens.expect("(")
+        item = tokens.expect_int()
+        tokens.expect(")")
+
+        def build(at, verb=verb, item=item):
+            if at is None or at[0] != "span":
+                raise InvalidParameterError(
+                    f"{verb}({item}) needs a '@ t0..t1' span"
+                )
+            return Sliding(item, at[1], at[2], agg=verb)
+
+    elif verb == "groupby":
+        tokens.expect("(")
+        groups = []
+        while True:
+            name = tokens.expect_name()
+            tokens.expect(":")
+            groups.append((name, _parse_set(tokens)))
+            if not tokens.accept(";"):
+                break
+        tokens.expect(")")
+        build = lambda at: GroupBy(  # noqa: E731
+            tuple(groups), t=_at_t(at, "groupby")
+        )
+    elif verb == "join":
+        tokens.expect("(")
+        how = tokens.expect_name()
+        tokens.expect(",")
+        item = tokens.expect_int()
+        tokens.expect(",")
+        t0 = tokens.expect_int()
+        tokens.expect("..")
+        t1 = tokens.expect_int()
+        tokens.expect(",")
+        left = tokens.expect_name()
+        tokens.expect(",")
+        right = tokens.expect_name()
+        tokens.expect(")")
+        return Join(left, right, item, t0, t1, how=how)
+    elif verb == "changepoint":
+        tokens.expect("(")
+        item = tokens.expect_int()
+        tokens.expect(",")
+        tokens.expect("drift")
+        tokens.expect("=")
+        drift = tokens.expect_number()
+        tokens.expect(",")
+        tokens.expect("threshold")
+        tokens.expect("=")
+        threshold = tokens.expect_number()
+        tokens.expect(")")
+        at = _parse_at(tokens)
+        if at is None:
+            return Changepoint(item, drift, threshold)
+        if at[0] != "span":
+            raise InvalidParameterError(
+                "changepoint takes '@ t0..t1', not '@ t=T'"
+            )
+        return Changepoint(item, drift, threshold, t0=at[1], t1=at[2])
+    else:
+        raise InvalidParameterError(
+            f"unknown query verb {verb!r}; expected point/topk/range/"
+            f"sum/mean/max/groupby/join/changepoint/threshold"
+        )
+
+    where = None
+    if tokens.peek()[1] == "where":
+        tokens.next()
+        tokens.expect("item")
+        tokens.expect("in")
+        where = _parse_set(tokens)
+    query = build(_parse_at(tokens))
+    if where is not None:
+        query = Filter(query, where)
+    return query
+
+
+def parse_expr(text: str) -> Query:
+    """Parse the one-line text syntax into an AST node.
+
+    >>> parse_expr("topk(5) where item in {0..9} @ t=200")
+    Filter(query=TopK(k=5, t=200, source=None), items=(0, 1, 2, 3, 4, \
+5, 6, 7, 8, 9))
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise InvalidParameterError("empty query expression")
+    tokens = _Tokens(text)
+    if tokens.peek()[1] == "threshold" and tokens.peek(1)[1] == "(":
+        tokens.next()
+        tokens.next()
+        inner = _parse_plain(tokens)
+        kind, cmp, column = tokens.next()
+        if kind != "cmp":
+            raise InvalidParameterError(
+                f"expected a comparator (>, >=, <, <=) at column "
+                f"{column} in {text!r}"
+            )
+        value = tokens.expect_number()
+        sigmas = 0.0
+        if tokens.accept(","):
+            tokens.expect("sigmas")
+            tokens.expect("=")
+            sigmas = tokens.expect_number()
+        tokens.expect(")")
+        query = Threshold(inner, cmp, value, sigmas=sigmas)
+    else:
+        query = _parse_plain(tokens)
+    kind, got, column = tokens.peek()
+    if kind != "eof":
+        raise InvalidParameterError(
+            f"trailing input {got!r} at column {column} in {text!r}"
+        )
+    return query
+
+
+def _format_number(value: float) -> str:
+    return f"{value:g}"
+
+
+def _format_set(items: Tuple[int, ...]) -> str:
+    if len(items) > 2 and items == tuple(
+        range(items[0], items[-1] + 1)
+    ):
+        return f"{{{items[0]}..{items[-1]}}}"
+    return "{" + ", ".join(str(i) for i in items) + "}"
+
+
+def _format_at(query) -> str:
+    return f" @ t={query.t}" if query.t is not None else ""
+
+
+def format_expr(query: Query) -> str:
+    """The text syntax for an AST node (inverse of :func:`parse_expr`).
+
+    >>> format_expr(Threshold(Point(3), ">", 0.2, sigmas=2.0))
+    'threshold(point(3) > 0.2, sigmas=2)'
+    """
+    if isinstance(query, Threshold):
+        inner = format_expr(query.query)
+        sigmas = (
+            f", sigmas={_format_number(query.sigmas)}"
+            if query.sigmas
+            else ""
+        )
+        return (
+            f"threshold({inner} {query.cmp} "
+            f"{_format_number(query.value)}{sigmas})"
+        )
+    if isinstance(query, Filter):
+        inner = query.query
+        where = f" where item in {_format_set(query.items)}"
+        if isinstance(inner, Sliding):
+            return (
+                f"{inner.agg}({inner.item}){where} "
+                f"@ {inner.t0}..{inner.t1}"
+            )
+        return format_expr(inner).replace(
+            _format_at(inner), ""
+        ) + where + _format_at(inner)
+    if isinstance(query, Point):
+        return f"point({query.item})" + _format_at(query)
+    if isinstance(query, TopK):
+        return f"topk({query.k})" + _format_at(query)
+    if isinstance(query, Range):
+        return f"range({query.lo}, {query.hi})" + _format_at(query)
+    if isinstance(query, Sliding):
+        return f"{query.agg}({query.item}) @ {query.t0}..{query.t1}"
+    if isinstance(query, GroupBy):
+        groups = "; ".join(
+            f"{name}: {_format_set(items)}"
+            for name, items in query.groups
+        )
+        return f"groupby({groups})" + _format_at(query)
+    if isinstance(query, Join):
+        return (
+            f"join({query.how}, {query.item}, {query.t0}..{query.t1}, "
+            f"{query.left}, {query.right})"
+        )
+    if isinstance(query, Changepoint):
+        span = (
+            f" @ {query.t0}..{query.t1}"
+            if query.t0 is not None and query.t1 is not None
+            else ""
+        )
+        return (
+            f"changepoint({query.item}, "
+            f"drift={_format_number(query.drift)}, "
+            f"threshold={_format_number(query.threshold)})" + span
+        )
+    raise InvalidParameterError(f"cannot format {query!r}")

@@ -41,7 +41,7 @@ import numpy as np
 from ..exceptions import InvalidParameterError
 from ..freq_oracles import get_oracle
 from .propagation import PRIOR_VARIANCE, next_release_variance
-from .store import ReleaseStore
+from .store import _INHERIT, ReleaseStore
 
 _AGGREGATES = ("sum", "mean", "max")
 
@@ -135,6 +135,7 @@ class QueryEngine:
         """
         from ..io import load_session, session_from_dict
 
+        _z(confidence)  # validate eagerly, before any loading work
         if isinstance(result, (str, Path)):
             result = load_session(result)
         elif isinstance(result, Mapping):
@@ -167,6 +168,7 @@ class QueryEngine:
         stores,
         shard_users,
         *,
+        capacity=_INHERIT,
         confidence: float = 0.95,
     ) -> "QueryEngine":
         """Build a cross-shard engine over per-shard release stores.
@@ -178,9 +180,13 @@ class QueryEngine:
         cross-shard-independent variances, publication groups cut
         wherever any shard published — and every query then answers
         exactly as a single-process engine over the merged store would.
-        See ``docs/SERVING.md`` for the merged-answer contract.
+        ``capacity`` is the merged store's retention (``None`` = full
+        history, same meaning as everywhere else; default: inherit the
+        first shard store's).  See ``docs/SERVING.md`` for the
+        merged-answer contract.
         """
-        store = ReleaseStore.merge(stores, shard_users)
+        _z(confidence)  # validate eagerly, before any merging work
+        store = ReleaseStore.merge(stores, shard_users, capacity=capacity)
         return cls(store, confidence=confidence)
 
     # ------------------------------------------------------------------
@@ -218,12 +224,13 @@ class QueryEngine:
             confidence=self.confidence,
         )
 
-    def topk(self, k: int, t: Optional[int] = None) -> List[TopKEntry]:
+    def topk(self, k: int = 5, t: Optional[int] = None) -> List[TopKEntry]:
         """The ``k`` heaviest items at ``t``, by released estimate.
 
-        Ties break toward the smaller item id (stable sort), so answers
-        are deterministic and identical across solo/group executions of
-        the same session.
+        ``k`` defaults to 5, matching the serve protocol and the DSL
+        wire form.  Ties break toward the smaller item id (stable
+        sort), so answers are deterministic and identical across
+        solo/group executions of the same session.
         """
         t = self._resolve_t(t)
         d = self.store.domain_size

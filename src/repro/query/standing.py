@@ -1,0 +1,242 @@
+"""Standing queries: alert predicates evaluated incrementally per chunk.
+
+A *standing query* is a DSL alert predicate registered against a live
+release stream: after every flushed ingest chunk the registry walks the
+timestamps appended since its last poll and emits one alert event per
+triggering timestamp.  Two query shapes can stand:
+
+* :class:`~repro.query.dsl.Threshold` whose inner scalar query
+  (``Point``/``Range``, optionally filtered) leaves ``t`` unset — the
+  registry pins each new timestamp in turn
+  (:func:`~repro.query.dsl.pin_t`) and evaluates through the planner,
+  so each per-timestamp verdict is *exactly* the answer a fresh
+  one-shot evaluation at that timestamp would give.  Alerts are
+  level-triggered: every timestamp the predicate holds emits an event.
+* :class:`~repro.query.dsl.Changepoint` with ``t1`` unset — the item's
+  released series feeds an incremental
+  :class:`~repro.analysis.changepoint.CusumDetector` (the stateful
+  core :func:`~repro.analysis.changepoint.cusum_detect` itself runs
+  on), so the incremental alarm stream is bit-identical to re-running
+  the full detector over ``[t0, latest]`` after every chunk.  ``t0``
+  defaults to the registration watermark.
+
+Incremental evaluation is therefore equivalent to full re-evaluation
+at every chunk boundary — the acceptance property
+``tests/query/test_standing.py`` pins at 1/2/4 shards — *as long as
+the span stays retained*.  If the store's ring buffer evicts
+timestamps the registry never saw, it skips them (counted in
+``StandingQuery.skipped``) rather than failing; run with
+``capacity=None`` (``--capacity 0``) when alert streams must be
+gap-free.
+
+Registrations live in server memory only: a durable serve resume
+starts with an empty registry (clients re-register, and ``t0``
+anchors at the resumed watermark).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.changepoint import CusumDetector
+from ..exceptions import InvalidParameterError
+from .dsl import (
+    Changepoint,
+    Filter,
+    Point,
+    Query,
+    Range,
+    Threshold,
+    format_expr,
+    pin_t,
+)
+from .planner import QueryPlanner
+
+#: Inner verbs a standing threshold may watch (scalar, pinnable).
+_STANDING_SCALAR = (Point, Range)
+
+
+class StandingQuery:
+    """One registered alert predicate plus its incremental state."""
+
+    def __init__(
+        self,
+        sid: str,
+        query: Query,
+        planner: QueryPlanner,
+        *,
+        start_t: int,
+        context=None,
+    ):
+        if not isinstance(sid, str) or not sid:
+            raise InvalidParameterError(
+                f"a standing query id must be a non-empty string, "
+                f"got {sid!r}"
+            )
+        self.sid = sid
+        self.query = query
+        self.context = context
+        self._planner = planner
+        self.skipped = 0
+        self._detector: Optional[CusumDetector] = None
+        if isinstance(query, Threshold):
+            inner = query.query
+            base = inner.query if isinstance(inner, Filter) else inner
+            if not isinstance(base, _STANDING_SCALAR):
+                raise InvalidParameterError(
+                    "a standing threshold must watch a point or range "
+                    "(optionally filtered); sliding spans are fixed "
+                    "windows and cannot stand"
+                )
+            if base.t is not None:
+                raise InvalidParameterError(
+                    "a standing threshold must leave t unset — the "
+                    "registry pins each new timestamp as it arrives"
+                )
+            self.kind = "threshold"
+            self._engine = planner.engine_for(base.source)
+            self._next_t = int(start_t)
+        elif isinstance(query, Changepoint):
+            if query.t1 is not None:
+                raise InvalidParameterError(
+                    "a standing changepoint must leave t1 unset — it "
+                    "tracks the stream as it grows"
+                )
+            self.kind = "changepoint"
+            self._engine = planner.engine_for(query.source)
+            if not 0 <= query.item < self._engine.store.domain_size:
+                raise InvalidParameterError(
+                    f"item {query.item} outside the domain "
+                    f"[0, {self._engine.store.domain_size})"
+                )
+            self._detector = CusumDetector(query.drift, query.threshold)
+            self.t0 = query.t0 if query.t0 is not None else int(start_t)
+            self._next_t = self.t0
+        else:
+            raise InvalidParameterError(
+                f"only threshold and changepoint queries can stand, "
+                f"got {type(query).op or type(query).__name__!r}"
+            )
+
+    @property
+    def next_t(self) -> int:
+        """The first timestamp the next poll will evaluate."""
+        return self._next_t
+
+    def describe(self) -> dict:
+        return {
+            "id": self.sid,
+            "kind": self.kind,
+            "expr": format_expr(self.query),
+            "next_t": self._next_t,
+            "skipped": self.skipped,
+        }
+
+    def poll(self) -> List[dict]:
+        """Evaluate every not-yet-seen timestamp; one event per alert."""
+        store = self._engine.store
+        latest = store.latest_t
+        if latest is None or self._next_t > latest:
+            return []
+        start = self._next_t
+        oldest = store.oldest_t
+        if oldest is not None and start < oldest:
+            self.skipped += oldest - start
+            start = oldest
+        events = []
+        for t in range(start, latest + 1):
+            event = self._evaluate_at(t)
+            if event is not None:
+                events.append(event)
+        self._next_t = latest + 1
+        return events
+
+    def _evaluate_at(self, t: int) -> Optional[dict]:
+        if self.kind == "threshold":
+            result = self._planner.evaluate(pin_t(self.query, t))
+            if not result.triggered:
+                return None
+            return {
+                "event": "alert",
+                "id": self.sid,
+                "kind": "threshold",
+                "t": t,
+                "expr": format_expr(self.query),
+                "cmp": self.query.cmp,
+                "value": self.query.value,
+                "margin": result.margin,
+                **result.interval.as_dict(),
+            }
+        value = self._engine.store.release_at(t)[self.query.item]
+        if not self._detector.push(value):
+            return None
+        return {
+            "event": "alert",
+            "id": self.sid,
+            "kind": "changepoint",
+            "t": t,
+            "item": self.query.item,
+            "t0": self.t0,
+            "expr": format_expr(self.query),
+        }
+
+
+class StandingRegistry:
+    """All standing queries registered against one planner's sources."""
+
+    def __init__(self, planner: QueryPlanner):
+        self._planner = planner
+        self._queries: Dict[str, StandingQuery] = {}
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def register(
+        self, sid: str, query: Query, *, context=None
+    ) -> StandingQuery:
+        """Register a predicate; alerts start at the current watermark."""
+        if sid in self._queries:
+            raise InvalidParameterError(
+                f"standing query id {sid!r} is already registered"
+            )
+        standing = StandingQuery(
+            sid,
+            query,
+            self._planner,
+            start_t=self._watermark(query),
+            context=context,
+        )
+        self._queries[sid] = standing
+        return standing
+
+    def _watermark(self, query: Query) -> int:
+        """The next timestamp the watched store will append."""
+        if isinstance(query, Threshold):
+            inner = query.query
+            base = (
+                inner.query if isinstance(inner, Filter) else inner
+            )
+            source = getattr(base, "source", None)
+        else:
+            source = getattr(query, "source", None)
+        try:
+            store = self._planner.engine_for(source).store
+        except InvalidParameterError:
+            return 0  # StandingQuery raises the precise error next
+        latest = store.latest_t
+        return 0 if latest is None else latest + 1
+
+    def unregister(self, sid: str) -> bool:
+        return self._queries.pop(sid, None) is not None
+
+    def describe(self) -> List[dict]:
+        return [sq.describe() for sq in self._queries.values()]
+
+    def poll(self) -> List[Tuple[StandingQuery, dict]]:
+        """Advance every standing query; ``(standing, event)`` pairs in
+        registration order, each query's events in timestamp order."""
+        out: List[Tuple[StandingQuery, dict]] = []
+        for standing in self._queries.values():
+            for event in standing.poll():
+                out.append((standing, event))
+        return out

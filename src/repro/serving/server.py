@@ -58,7 +58,10 @@ from ..exceptions import (
     ReproError,
     ServingError,
 )
+from ..query.dsl import QUERY_OPS, parse_expr, query_from_request
 from ..query.engine import QueryEngine
+from ..query.planner import QueryPlanner
+from ..query.standing import StandingRegistry
 from ..query.store import ReleaseStore, merge_release_rows
 from .router import ShardRouter, shard_seed
 from .worker import shard_worker_main
@@ -216,6 +219,8 @@ class ShardServer:
         self.router = ShardRouter(config.n_users, config.num_shards)
         self.merged = ReleaseStore(config.domain_size, capacity=config.capacity)
         self.engine = QueryEngine(self.merged, confidence=config.confidence)
+        self.planner = QueryPlanner(self.engine)
+        self.standing = StandingRegistry(self.planner)
         self.workers: List[_WorkerHandle] = []
         self.worker_next: List[int] = []
         self.replay_cache: List[Dict[int, dict]] = []
@@ -405,6 +410,10 @@ class ShardServer:
         self.engine = QueryEngine(
             self.merged, confidence=self.config.confidence
         )
+        # The query surface answers against the resumed store; standing
+        # registrations are per-connection and start empty on resume.
+        self.planner = QueryPlanner(self.engine)
+        self.standing = StandingRegistry(self.planner)
 
     def _write_front(self) -> None:
         """Atomically persist the merged store + watermark.
@@ -524,6 +533,11 @@ class ShardServer:
             await self._checkpoint()
         for (_, writer), ack in zip(entries, acks):
             await self._send(writer, ack)
+        # Standing queries advance over exactly the rows this flush
+        # merged; alerts go to the connection that registered them.
+        for standing, event in self.standing.poll():
+            if standing.context is not None:
+                await self._send(standing.context, event)
 
     async def _checkpoint(self) -> None:
         """Coordinated checkpoint: all shards first, front.json last."""
@@ -544,48 +558,76 @@ class ShardServer:
     # Query path
     # ------------------------------------------------------------------
     async def _answer(self, request: dict) -> dict:
-        """Answer one parsed query against the merged store."""
+        """Answer one parsed query against the merged store.
+
+        Every query op lowers through the planner
+        (:mod:`repro.query.planner`), so the answer is exactly what the
+        equivalent hand-composed ``QueryEngine`` calls produce — the
+        four classic verbs keep their legacy reply shapes
+        byte-for-byte, and the DSL composites (``filter``/``groupby``/
+        ``changepoint``/``threshold``, plus ``{"op": "query"}``
+        envelopes carrying ``expr`` text) ride the same path.
+        """
         op = request.get("op")
-        engine = self.engine
-        t = request.get("t")
-        as_of = {"as_of": self.merged.latest_t}
-        if op == "point":
-            answer = engine.point(request["item"], t=t).as_dict()
-            return {"op": op, "item": request["item"], **answer, **as_of}
-        if op == "topk":
-            entries = engine.topk(request.get("k", 5), t=t)
-            return {
-                "op": op,
-                "items": [e.as_dict() for e in entries],
-                **as_of,
-            }
-        if op == "range":
-            answer = engine.range_count(request["lo"], request["hi"], t=t)
-            return {
-                "op": op,
-                "lo": request["lo"],
-                "hi": request["hi"],
-                **answer.as_dict(),
-                **as_of,
-            }
-        if op == "sliding":
-            answer = engine.sliding(
-                request["t0"],
-                request["t1"],
-                request.get("agg", "sum"),
-                item=request["item"],
-            )
-            return {
-                "op": op,
-                "item": request["item"],
-                **answer.as_dict(),
-                **as_of,
-            }
         if op == "summary":
             return await self._summary()
+        if op != "query" and op not in QUERY_OPS:
+            raise InvalidParameterError(
+                f"unknown op {op!r}; expected ingest/"
+                + "/".join(QUERY_OPS)
+                + "/query/standing/summary/checkpoint/shutdown"
+            )
+        query = query_from_request(request)
+        as_of = {"as_of": self.merged.latest_t}
+        return {**self.planner.answer(query), **as_of}
+
+    def _standing_request(self, request: dict, writer) -> dict:
+        """Register / unregister / list standing queries.
+
+        The registering connection is the alert sink: every event the
+        query emits from later ingest flushes is written to it.
+        """
+        action = request.get("action")
+        if action == "register":
+            sid = request.get("id")
+            if "expr" in request:
+                expr = request["expr"]
+                if not isinstance(expr, str):
+                    raise InvalidParameterError(
+                        f"'expr' must be a string, got {expr!r}"
+                    )
+                query = parse_expr(expr)
+            elif "q" in request:
+                query_from = request["q"]
+                query = query_from_request(query_from)
+            else:
+                raise InvalidParameterError(
+                    "a standing register needs 'expr' (text syntax) or "
+                    "'q' (wire form)"
+                )
+            standing = self.standing.register(sid, query, context=writer)
+            return {"op": "standing", "action": action, **standing.describe()}
+        if action == "unregister":
+            sid = request.get("id")
+            if not isinstance(sid, str):
+                raise InvalidParameterError(
+                    f"a standing unregister needs a string 'id', got {sid!r}"
+                )
+            return {
+                "op": "standing",
+                "action": action,
+                "id": sid,
+                "removed": self.standing.unregister(sid),
+            }
+        if action == "list":
+            return {
+                "op": "standing",
+                "action": action,
+                "standing": self.standing.describe(),
+            }
         raise InvalidParameterError(
-            f"unknown op {op!r}; expected ingest/point/topk/range/sliding/"
-            f"summary/checkpoint/shutdown"
+            f"unknown standing action {action!r}; expected "
+            f"register/unregister/list"
         )
 
     async def _summary(self) -> dict:
@@ -689,6 +731,14 @@ class ShardServer:
                     self._buffer.append((values, writer))
                     if len(self._buffer) >= self.config.chunk:
                         await self._flush()
+                elif op == "standing":
+                    # Registration sees every ingest acked before it:
+                    # buffered snapshots flush first, so the watermark
+                    # the query anchors at is the one the client saw.
+                    await self._flush()
+                    await self._send(
+                        writer, self._standing_request(request, writer)
+                    )
                 elif op == "checkpoint":
                     await self._flush()
                     await self._checkpoint()

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import cusum_detect, score_change_points, topk_precision
-from repro.queries import get_numeric_mechanism
+from repro.query import get_numeric_mechanism
 
 numeric_names = st.sampled_from(["duchi", "piecewise", "hybrid"])
 epsilons = st.floats(min_value=0.2, max_value=5.0, allow_nan=False)

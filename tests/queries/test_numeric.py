@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.queries import (
+from repro.query import (
     DuchiMechanism,
     HybridMechanism,
     PiecewiseMechanism,

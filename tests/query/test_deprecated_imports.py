@@ -1,0 +1,66 @@
+"""The old ``repro.queries`` package warns but still works."""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+
+def _fresh_import(module: str):
+    """Import ``module`` with the shim cache cleared, so the module-level
+    DeprecationWarning fires even if another test imported it first."""
+    for name in list(sys.modules):
+        if name == "repro.queries" or name.startswith("repro.queries."):
+            del sys.modules[name]
+    return importlib.import_module(module)
+
+
+@pytest.mark.parametrize(
+    "module",
+    ["repro.queries", "repro.queries.numeric", "repro.queries.stream_mean"],
+)
+def test_old_module_warns_deprecation(module):
+    with pytest.warns(DeprecationWarning, match="repro.quer"):
+        _fresh_import(module)
+
+
+def test_old_names_are_the_new_objects():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = _fresh_import("repro.queries")
+        legacy_numeric = _fresh_import("repro.queries.numeric")
+        legacy_mean = _fresh_import("repro.queries.stream_mean")
+    import repro.query as query
+    from repro.query import numeric, stream_mean
+
+    assert legacy.DuchiMechanism is numeric.DuchiMechanism
+    assert legacy.get_numeric_mechanism is numeric.get_numeric_mechanism
+    assert legacy.NumericStream is stream_mean.NumericStream
+    assert legacy.MeanSessionResult is stream_mean.MeanSessionResult
+    assert legacy_numeric.PiecewiseMechanism is numeric.PiecewiseMechanism
+    assert legacy_mean.make_sine_numeric_stream is (
+        stream_mean.make_sine_numeric_stream
+    )
+    # and the canonical package re-exports them too
+    assert query.DuchiMechanism is numeric.DuchiMechanism
+
+
+def test_old_package_all_still_importable():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = _fresh_import("repro.queries")
+    for name in legacy.__all__:
+        assert getattr(legacy, name) is not None
+
+
+def test_legacy_objects_still_run():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = _fresh_import("repro.queries")
+    import numpy as np
+
+    mech = legacy.get_numeric_mechanism("duchi")
+    reports = mech.perturb(np.full(256, 0.5), 1.0, rng=11)
+    estimate = mech.estimate_mean(np.asarray(reports))
+    assert -1.0 <= estimate <= 1.5

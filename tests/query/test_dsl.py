@@ -1,0 +1,235 @@
+"""Query DSL: AST validation, wire form, and text syntax round trips."""
+
+import json
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.query import (
+    Changepoint,
+    Filter,
+    GroupBy,
+    Join,
+    Point,
+    Range,
+    Sliding,
+    Threshold,
+    TopK,
+    format_expr,
+    parse_expr,
+    pin_t,
+    query_from_request,
+    query_from_wire,
+)
+
+ROUND_TRIP_EXPRS = [
+    "point(3)",
+    "point(3) @ t=17",
+    "topk(5)",
+    "topk(5) @ t=200",
+    "topk(5) where item in {0..9} @ t=200",
+    "topk(2) where item in {1, 4, 6}",
+    "range(0, 10)",
+    "range(2, 7) @ t=5",
+    "range(0, 10) where item in {0..4} @ t=3",
+    "sum(2) @ 0..3",
+    "mean(2) @ 10..40",
+    "max(0) @ 1..2",
+    "groupby(low: {0..3}; high: {4..7})",
+    "groupby(a: {0, 2}; b: {5}) @ t=12",
+    "join(diff, 2, 10..40, left, right)",
+    "join(corr, 2, 10..40, a, b)",
+    "changepoint(2, drift=0.01, threshold=0.1)",
+    "changepoint(2, drift=0.01, threshold=0.1) @ 3..9",
+    "threshold(point(3) > 0.2, sigmas=2)",
+    "threshold(range(0, 4) <= 0.5)",
+    "threshold(point(1) where item in {0..3} >= 0.1, sigmas=1.5)",
+    "threshold(mean(2) @ 0..9 < 0.25)",
+]
+
+
+@pytest.mark.parametrize("expr", ROUND_TRIP_EXPRS)
+def test_text_round_trip(expr):
+    query = parse_expr(expr)
+    assert parse_expr(format_expr(query)) == query
+    # str() is the text syntax
+    assert str(query) == format_expr(query)
+
+
+@pytest.mark.parametrize("expr", ROUND_TRIP_EXPRS)
+def test_wire_round_trip(expr):
+    query = parse_expr(expr)
+    wire = query.to_wire()
+    json.dumps(wire)  # must be JSON-serializable
+    assert query_from_wire(wire) == query
+    # the wire form parses from a plain JSON round trip too
+    assert query_from_wire(json.loads(json.dumps(wire))) == query
+
+
+def test_wire_field_names_match_engine_methods():
+    assert Point(3, t=7).to_wire() == {"op": "point", "item": 3, "t": 7}
+    assert TopK(5).to_wire() == {"op": "topk", "k": 5}
+    assert Range(2, 9, t=1).to_wire() == {
+        "op": "range",
+        "lo": 2,
+        "hi": 9,
+        "t": 1,
+    }
+    assert Sliding(4, 0, 9, agg="mean").to_wire() == {
+        "op": "sliding",
+        "item": 4,
+        "t0": 0,
+        "t1": 9,
+        "agg": "mean",
+    }
+
+
+def test_wire_defaults_match_engine_defaults():
+    assert query_from_wire({"op": "topk"}) == TopK(5)
+    assert query_from_wire({"op": "sliding", "item": 1, "t0": 0, "t1": 3}) \
+        == Sliding(1, 0, 3, agg="sum")
+    assert query_from_wire(
+        {"op": "threshold",
+         "query": {"op": "point", "item": 0},
+         "cmp": ">", "value": 0.5}
+    ).sigmas == 0.0
+
+
+def test_item_range_set_is_inclusive():
+    query = parse_expr("topk(3) where item in {2..5}")
+    assert query.items == (2, 3, 4, 5)
+
+
+def test_set_entries_sorted_and_deduplicated():
+    assert Filter(TopK(2), [5, 1, 5, 3]).items == (1, 3, 5)
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: Point(-1),
+        lambda: Point("x"),
+        lambda: TopK(0),
+        lambda: Range(4, 2),
+        lambda: Range(-1, 2),
+        lambda: Sliding(1, 5, 2),
+        lambda: Sliding(1, 0, 5, agg="median"),
+        lambda: Filter(TopK(2), []),
+        lambda: Filter(GroupBy((("a", (0,)),)), (0,)),
+        lambda: Filter(Point(7), (0, 1)),  # item outside the filter set
+        lambda: GroupBy(()),
+        lambda: GroupBy((("a", (0,)), ("a", (1,)))),  # duplicate name
+        lambda: GroupBy((("", (0,)),)),
+        lambda: Join("", "b", 0, 0, 5),
+        lambda: Join("a", "b", 0, 0, 5, how="zip"),
+        lambda: Join("a", "b", 0, 9, 5),
+        lambda: Changepoint(0, -0.1, 1.0),
+        lambda: Changepoint(0, 0.1, 0.0),
+        lambda: Changepoint(0, 0.1, 1.0, t0=9, t1=5),
+        lambda: Threshold(TopK(3), ">", 0.5),  # not scalar-valued
+        lambda: Threshold(Point(0), "!=", 0.5),
+        lambda: Threshold(Point(0), ">", float("nan")),
+        lambda: Threshold(Point(0), ">", 0.5, sigmas=-1.0),
+    ],
+)
+def test_node_validation_raises_invalid_parameter(build):
+    with pytest.raises(InvalidParameterError):
+        build()
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        "",
+        "   ",
+        "frobnicate(3)",
+        "point()",
+        "point(3) @ 1..5",       # point takes @ t=T, not a span
+        "sum(2)",                 # sliding needs a span
+        "sum(2) @ t=3",
+        "topk(5) where item in {}",
+        "topk(5) where item in {5..2}",
+        "point(3) trailing",
+        "threshold(point(0) ! 0.5)",
+        "threshold(topk(3) > 0.5)",
+        "join(zip, 2, 0..5, a, b)",
+        "point(3.5)",
+        "range(0 10)",
+    ],
+)
+def test_parse_errors_are_invalid_parameter(expr):
+    with pytest.raises(InvalidParameterError):
+        parse_expr(expr)
+
+
+def test_float_tokens_do_not_eat_span_dots():
+    # `10..40` must lex as INT DOTDOT INT, not FLOAT(10.) '.' 40.
+    query = parse_expr("mean(2) @ 10..40")
+    assert (query.t0, query.t1) == (10, 40)
+    thr = parse_expr("threshold(point(0) > 0.25, sigmas=1.5)")
+    assert thr.value == 0.25 and thr.sigmas == 1.5
+
+
+def test_negative_threshold_values_parse():
+    assert parse_expr("threshold(point(0) > -0.5)").value == -0.5
+
+
+def test_query_from_request_envelope():
+    direct = query_from_request({"op": "point", "item": 2})
+    assert direct == Point(2)
+    via_expr = query_from_request({"op": "query", "expr": "point(2)"})
+    assert via_expr == Point(2)
+    via_wire = query_from_request(
+        {"op": "query", "q": {"op": "point", "item": 2}}
+    )
+    assert via_wire == Point(2)
+    with pytest.raises(InvalidParameterError):
+        query_from_request({"op": "query"})
+    with pytest.raises(InvalidParameterError):
+        query_from_request({"op": "query", "expr": 7})
+    with pytest.raises(InvalidParameterError):
+        query_from_request({"op": "mystery"})
+    with pytest.raises(InvalidParameterError):
+        query_from_request("point(2)")
+
+
+def test_wire_missing_required_fields():
+    for bad in [
+        {"op": "point"},
+        {"op": "range", "lo": 0},
+        {"op": "sliding", "item": 1, "t0": 0},
+        {"op": "filter", "items": [1]},
+        {"op": "groupby", "groups": [["a", [0]]]},  # must be an object
+        {"op": "join", "left": "a", "right": "b", "item": 0, "t0": 0},
+        {"op": "changepoint", "item": 0, "drift": 0.1},
+        {"op": "threshold", "query": {"op": "point", "item": 0}},
+    ]:
+        with pytest.raises(InvalidParameterError):
+            query_from_wire(bad)
+
+
+def test_groupby_wire_preserves_group_order():
+    wire = GroupBy((("z", (1,)), ("a", (0, 2)))).to_wire()
+    assert list(wire["groups"]) == ["z", "a"]
+    assert query_from_wire(wire).groups == (("z", (1,)), ("a", (0, 2)))
+
+
+def test_pin_t():
+    assert pin_t(Point(3), 9) == Point(3, t=9)
+    assert pin_t(TopK(2), 4) == TopK(2, t=4)
+    assert pin_t(Filter(Range(0, 4), (1, 2)), 7) == Filter(
+        Range(0, 4, t=7), (1, 2)
+    )
+    pinned = pin_t(Threshold(Point(1), ">", 0.5), 11)
+    assert pinned.query == Point(1, t=11)
+    with pytest.raises(InvalidParameterError):
+        pin_t(Sliding(0, 0, 5), 3)
+    with pytest.raises(InvalidParameterError):
+        pin_t(Join("a", "b", 0, 0, 5), 3)
+
+
+def test_frozen_nodes_are_hashable_and_immutable():
+    query = Point(3, t=1)
+    assert hash(query) == hash(Point(3, t=1))
+    with pytest.raises(AttributeError):
+        query.item = 4

@@ -1,0 +1,127 @@
+"""The three ``QueryEngine`` factories share one parameter contract:
+the same ``confidence=`` kwarg, the same eager validation errors, and
+the same capacity semantics."""
+
+import numpy as np
+import pytest
+
+from repro.engine import StreamSession
+from repro.exceptions import InvalidParameterError
+from repro.query import QueryEngine, ReleaseStore
+from repro.serving import ShardedSession
+
+HORIZON = 20
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.streams import make_lns
+
+    stream = make_lns(n_users=500, horizon=HORIZON, seed=7)
+    session = StreamSession(
+        "LBD", stream, epsilon=1.0, window=6, seed=3, horizon=HORIZON
+    )
+    session.start()
+    for t in range(HORIZON):
+        session.observe(t)
+    return session.finalize()
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    session = ShardedSession(
+        "lbd",
+        n_users=48,
+        domain_size=6,
+        epsilon=1.0,
+        window=6,
+        num_shards=2,
+        oracle="grr",
+        seed=7,
+        capacity=8,
+        retain=HORIZON,
+    ).start()
+    rows = np.random.default_rng(2).integers(
+        0, 6, size=(HORIZON, 48)
+    )
+    for i in range(0, HORIZON, 4):
+        session.ingest_many(rows[i:i + 4])
+    return session
+
+
+def shard_args(session):
+    return [s for s in session.stores], [
+        int(c) for c in session.router.counts
+    ]
+
+
+def test_all_factories_accept_confidence(result, sharded):
+    stores, users = shard_args(sharded)
+    for engine in (
+        QueryEngine(ReleaseStore(4), confidence=0.9),
+        QueryEngine.from_result(result, confidence=0.9),
+        QueryEngine.from_shards(stores, users, confidence=0.9),
+    ):
+        assert engine.confidence == 0.9
+
+
+@pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 2.0])
+def test_all_factories_validate_confidence_eagerly(
+    result, sharded, confidence
+):
+    stores, users = shard_args(sharded)
+    expect = pytest.raises(
+        InvalidParameterError, match=r"confidence must be in \(0, 1\)"
+    )
+    with expect:
+        QueryEngine(ReleaseStore(4), confidence=confidence)
+    with expect:
+        QueryEngine.from_result(result, confidence=confidence)
+    with expect:
+        QueryEngine.from_shards(stores, users, confidence=confidence)
+
+
+def test_from_result_bad_confidence_skips_loading(tmp_path):
+    # eager validation: the artifact is never opened, so a bogus path
+    # still fails on the confidence error, not a file error
+    with pytest.raises(InvalidParameterError, match="confidence"):
+        QueryEngine.from_result(
+            tmp_path / "never-written.json", confidence=5.0
+        )
+
+
+def test_from_shards_capacity_default_inherits(sharded):
+    stores, users = shard_args(sharded)
+    engine = QueryEngine.from_shards(stores, users)
+    assert engine.store.capacity == stores[0].capacity == 8
+
+
+def test_from_shards_capacity_override(sharded):
+    stores, users = shard_args(sharded)
+    assert QueryEngine.from_shards(
+        stores, users, capacity=None
+    ).store.capacity is None
+    engine = QueryEngine.from_shards(stores, users, capacity=4)
+    assert engine.store.capacity == 4
+    assert engine.store.oldest_t == HORIZON - 4
+
+
+def test_from_result_capacity_bounds_retention(result):
+    engine = QueryEngine.from_result(result, capacity=5)
+    assert engine.store.oldest_t == HORIZON - 5
+    with pytest.raises(Exception):  # evicted timestamp
+        engine.point(0, t=0)
+
+
+def test_default_confidence_is_95_everywhere(result, sharded):
+    stores, users = shard_args(sharded)
+    assert QueryEngine(ReleaseStore(4)).confidence == 0.95
+    assert QueryEngine.from_result(result).confidence == 0.95
+    assert QueryEngine.from_shards(stores, users).confidence == 0.95
+
+
+def test_topk_default_k_matches_wire_default(sharded):
+    stores, users = shard_args(sharded)
+    engine = QueryEngine.from_shards(stores, users)
+    assert len(engine.topk()) == 5
+    assert engine.topk() == engine.topk(5)

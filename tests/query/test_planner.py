@@ -1,0 +1,311 @@
+"""Planner lowering: every DSL answer bit-identical to hand-composed
+``QueryEngine``/``ReleaseStore`` calls."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.changepoint import cusum_detect
+from repro.exceptions import InvalidParameterError
+from repro.query import (
+    Changepoint,
+    Filter,
+    GroupBy,
+    Join,
+    Point,
+    QueryEngine,
+    QueryPlanner,
+    Range,
+    ReleaseStore,
+    Sliding,
+    Threshold,
+    TopK,
+    TopKEntry,
+    parse_expr,
+)
+
+D = 8
+T = 24
+
+
+def make_store(seed: int, capacity=None) -> ReleaseStore:
+    """A store with re-release runs (correlated spans) and drifting
+    variance, like an adaptive mechanism writes."""
+    rng = np.random.default_rng(seed)
+    store = ReleaseStore(D, capacity=capacity)
+    release = rng.random(D)
+    release /= release.sum()
+    variance = 0.01
+    for t in range(T):
+        publish = t == 0 or rng.random() < 0.6
+        if publish:
+            release = rng.random(D)
+            release /= release.sum()
+            variance = float(rng.uniform(0.005, 0.02))
+            store.append(t, release, variance, "publish",
+                         fresh_publication=True)
+        else:
+            store.append(t, release, variance, "approximate",
+                         fresh_publication=False)
+    return store
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(make_store(1))
+
+
+@pytest.fixture(scope="module")
+def planner(engine):
+    return QueryPlanner(engine)
+
+
+def same_interval(a, b):
+    assert a.estimate == b.estimate
+    assert a.stderr == b.stderr
+    assert a.confidence == b.confidence
+
+
+def test_point_bit_identical(engine, planner):
+    for t in (None, 0, 13):
+        same_interval(
+            planner.evaluate(Point(3, t=t)), engine.point(3, t=t)
+        )
+
+
+def test_topk_bit_identical(engine, planner):
+    got = planner.evaluate(TopK(4, t=9))
+    want = engine.topk(4, t=9)
+    assert got == want
+
+
+def test_range_bit_identical(engine, planner):
+    same_interval(
+        planner.evaluate(Range(2, 7, t=5)), engine.range_count(2, 7, t=5)
+    )
+    same_interval(  # empty range
+        planner.evaluate(Range(3, 3)), engine.range_count(3, 3)
+    )
+
+
+def test_sliding_bit_identical(engine, planner):
+    for agg in ("sum", "mean", "max"):
+        same_interval(
+            planner.evaluate(Sliding(2, 4, 19, agg=agg)),
+            engine.sliding(4, 19, agg, item=2),
+        )
+
+
+def test_filtered_point_and_sliding_are_the_plain_answer(engine, planner):
+    same_interval(
+        planner.evaluate(Filter(Point(2, t=7), (0, 2, 5))),
+        engine.point(2, t=7),
+    )
+    same_interval(
+        planner.evaluate(Filter(Sliding(5, 0, 9), (1, 5))),
+        engine.sliding(0, 9, "sum", item=5),
+    )
+
+
+def test_filtered_topk_bit_identical_to_hand_composition(engine, planner):
+    items = (0, 2, 3, 5, 7)
+    k = 3
+    t = 11
+    got = planner.evaluate(Filter(TopK(k, t=t), items))
+    # Hand-composed equivalent: one point() per item, ranked by
+    # (-estimate, item), truncated to k.
+    answers = [(i, engine.point(i, t=t)) for i in items]
+    answers.sort(key=lambda pair: (-pair[1].estimate, pair[0]))
+    want = [
+        TopKEntry(rank=r, item=i, interval=iv)
+        for r, (i, iv) in enumerate(answers[:k], start=1)
+    ]
+    assert got == want
+
+
+def test_filtered_topk_clamps_k_to_subset(planner):
+    got = planner.evaluate(Filter(TopK(5, t=3), (1, 6)))
+    assert [e.rank for e in got] == [1, 2]
+
+
+def test_filtered_range_is_subset_sum(engine, planner):
+    items = (0, 1, 4, 6, 7)
+    t = 9
+    got = planner.evaluate(Filter(Range(0, 6, t=t), items))
+    subset = [i for i in items if 0 <= i < 6]
+    estimate = 0.0
+    for i in subset:
+        estimate += engine.point(i, t=t).estimate
+    stderr = math.sqrt(len(subset) * engine.store.variance_at(t))
+    assert got.estimate == estimate
+    assert got.stderr == stderr
+
+
+def test_filtered_range_empty_intersection_is_zero(planner):
+    got = planner.evaluate(Filter(Range(0, 2, t=4), (5, 6)))
+    assert (got.estimate, got.stderr) == (0.0, 0.0)
+
+
+def test_groupby_bit_identical_to_subset_sums(engine, planner):
+    groups = (("low", (0, 1, 2)), ("high", (5, 7)))
+    t = 14
+    got = planner.evaluate(GroupBy(groups, t=t))
+    assert list(got) == ["low", "high"]
+    for name, items in groups:
+        estimate = 0.0
+        for i in items:
+            estimate += engine.point(i, t=t).estimate
+        assert got[name].estimate == estimate
+        assert got[name].stderr == math.sqrt(
+            len(items) * engine.store.variance_at(t)
+        )
+
+
+def test_join_diff_bit_identical():
+    left = QueryEngine(make_store(1))
+    right = QueryEngine(make_store(2))
+    planner = QueryPlanner({"left": left, "right": right})
+    got = planner.evaluate(Join("left", "right", 3, 5, 18))
+    a = left.sliding(5, 18, "mean", item=3)
+    b = right.sliding(5, 18, "mean", item=3)
+    assert got.estimate == a.estimate - b.estimate
+    assert got.stderr == float(np.hypot(a.stderr, b.stderr))
+
+
+def test_join_corr_bit_identical():
+    left = QueryEngine(make_store(1))
+    right = QueryEngine(make_store(2))
+    planner = QueryPlanner({"left": left, "right": right})
+    got = planner.evaluate(Join("left", "right", 3, 5, 18, how="corr"))
+    a = left.store.span_releases(5, 18)[:, 3]
+    b = right.store.span_releases(5, 18)[:, 3]
+    da, db = a - a.mean(), b - b.mean()
+    r = float(da @ db) / math.sqrt(float(da @ da) * float(db @ db))
+    n = 18 - 5 + 1
+    assert got.estimate == r
+    assert got.stderr == (1.0 - r * r) / math.sqrt(n - 3)
+    assert -1.0 <= got.estimate <= 1.0
+
+
+def test_join_corr_needs_four_timestamps():
+    engine = QueryEngine(make_store(1))
+    planner = QueryPlanner({"a": engine, "b": engine})
+    with pytest.raises(InvalidParameterError, match="at least 4"):
+        planner.plan(Join("a", "b", 0, 5, 7, how="corr"))
+
+
+def test_changepoint_matches_cusum_detect(engine, planner):
+    got = planner.evaluate(Changepoint(2, 0.002, 0.05, t0=3, t1=20))
+    series = engine.store.span_releases(3, 20)[:, 2]
+    want = cusum_detect(series, 0.002, 0.05)
+    assert got.alarms == tuple(3 + a for a in want)
+    # defaults: full retained span
+    full = planner.evaluate(Changepoint(2, 0.002, 0.05))
+    assert (full.t0, full.t1) == (0, T - 1)
+    assert full.alarms == tuple(
+        a for a in cusum_detect(
+            engine.store.span_releases(0, T - 1)[:, 2], 0.002, 0.05
+        )
+    )
+
+
+def test_threshold_noise_multiple_rule(engine, planner):
+    iv = engine.point(4, t=10)
+    for sigmas in (0.0, 1.0, 3.0):
+        margin = sigmas * iv.stderr
+        for cmp, want in (
+            (">", iv.estimate - margin > 0.1),
+            (">=", iv.estimate - margin >= 0.1),
+            ("<", iv.estimate + margin < 0.1),
+            ("<=", iv.estimate + margin <= 0.1),
+        ):
+            got = planner.evaluate(
+                Threshold(Point(4, t=10), cmp, 0.1, sigmas=sigmas)
+            )
+            assert got.triggered == want
+            assert got.margin == margin
+            same_interval(got.interval, iv)
+
+
+def test_parsed_expression_answers_equal_constructed_ast(planner):
+    for expr, query in [
+        ("point(3) @ t=13", Point(3, t=13)),
+        ("topk(4) where item in {0..5}", Filter(TopK(4), tuple(range(6)))),
+        ("threshold(point(0) > 0.05, sigmas=2)",
+         Threshold(Point(0), ">", 0.05, sigmas=2.0)),
+    ]:
+        assert planner.answer(parse_expr(expr)) == planner.answer(query)
+
+
+def test_answer_shapes_match_legacy_serve_replies(engine, planner):
+    point = planner.answer(Point(1, t=5))
+    assert point == {
+        "op": "point",
+        "item": 1,
+        **engine.point(1, t=5).as_dict(),
+    }
+    topk = planner.answer(TopK(2, t=5))
+    assert topk == {
+        "op": "topk",
+        "items": [e.as_dict() for e in engine.topk(2, t=5)],
+    }
+    rng_ = planner.answer(Range(1, 4, t=5))
+    assert rng_ == {
+        "op": "range",
+        "lo": 1,
+        "hi": 4,
+        **engine.range_count(1, 4, t=5).as_dict(),
+    }
+    sliding = planner.answer(Sliding(1, 2, 9, agg="mean"))
+    assert sliding == {
+        "op": "sliding",
+        "item": 1,
+        **engine.sliding(2, 9, "mean", item=1).as_dict(),
+    }
+
+
+def test_composite_answer_shapes(planner):
+    filtered = planner.answer(Filter(TopK(2, t=5), (0, 1, 2)))
+    assert filtered["op"] == "topk" and filtered["where"] == [0, 1, 2]
+    grouped = planner.answer(GroupBy((("a", (0, 1)),), t=5))
+    assert set(grouped["groups"]) == {"a"}
+    assert grouped["t"] == 5
+    alarmed = planner.answer(Changepoint(0, 0.002, 0.05))
+    assert alarmed["op"] == "changepoint"
+    assert isinstance(alarmed["alarms"], list)
+    verdict = planner.answer(Threshold(Point(0), ">", 0.0))
+    assert verdict["triggered"] in (True, False)
+    assert verdict["query"] == {"op": "point", "item": 0}
+
+
+def test_plan_explains_primitive_steps(planner):
+    plan = planner.plan(Filter(TopK(2, t=5), (0, 3)))
+    assert plan.steps
+    assert any("point" in step for step in plan.steps)
+    assert plan.run() == planner.evaluate(Filter(TopK(2, t=5), (0, 3)))
+
+
+def test_unknown_source_raises(planner):
+    with pytest.raises(InvalidParameterError, match="unknown source"):
+        planner.plan(Point(0, source="nope"))
+
+
+def test_multi_source_planner_requires_default_or_source():
+    engines = {"a": QueryEngine(make_store(1)),
+               "b": QueryEngine(make_store(2))}
+    planner = QueryPlanner(engines)
+    with pytest.raises(InvalidParameterError, match="no default"):
+        planner.plan(Point(0))
+    assert QueryPlanner(engines, default="b").evaluate(
+        Point(0)
+    ).estimate == engines["b"].point(0).estimate
+    with pytest.raises(InvalidParameterError):
+        QueryPlanner(engines, default="zzz")
+
+
+def test_planner_rejects_non_engines():
+    with pytest.raises(InvalidParameterError):
+        QueryPlanner({})
+    with pytest.raises(InvalidParameterError):
+        QueryPlanner({"a": object()})

@@ -1,0 +1,137 @@
+"""``sliding_vector`` edge cases: spans wider than history and spans
+clipped by the eviction horizon of a bounded ring."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvictedSpanError, InvalidParameterError
+from repro.query import QueryEngine, ReleaseStore
+
+D = 6
+T = 30
+
+
+def fill(store: ReleaseStore, upto: int = T) -> ReleaseStore:
+    rng = np.random.default_rng(5)
+    release = None
+    variance = 0.01
+    for t in range(upto):
+        if t % 3 == 0:
+            release = rng.random(D)
+            release /= release.sum()
+            variance = float(rng.uniform(0.004, 0.03))
+            store.append(t, release, variance, "publish",
+                         fresh_publication=True)
+        else:
+            store.append(t, release, variance, "approximate",
+                         fresh_publication=False)
+    return store
+
+
+@pytest.fixture()
+def full_engine():
+    return QueryEngine(fill(ReleaseStore(D)))
+
+
+@pytest.fixture()
+def ring_engine():
+    return QueryEngine(fill(ReleaseStore(D, capacity=8)))
+
+
+def test_window_wider_than_history_raises(full_engine):
+    # [0, T] reaches one past the last observed timestamp.
+    with pytest.raises(InvalidParameterError, match="outside the observed"):
+        full_engine.sliding_vector(0, T)
+    with pytest.raises(InvalidParameterError, match="outside the observed"):
+        full_engine.sliding_vector(-3, 5)
+
+
+def test_window_wider_than_short_history():
+    # Only 2 timestamps ingested; a "last 10 steps" window must fail
+    # loudly, not silently zero-pad.
+    engine = QueryEngine(fill(ReleaseStore(D), upto=2))
+    with pytest.raises(InvalidParameterError):
+        engine.sliding_vector(0, 9)
+    est, err = engine.sliding_vector(0, 1)
+    assert est.shape == (D,) and err.shape == (D,)
+
+
+def test_inverted_span_raises(full_engine):
+    with pytest.raises(InvalidParameterError, match="t0 <= t1"):
+        full_engine.sliding_vector(9, 4)
+
+
+def test_evicted_span_raises_with_oldest(ring_engine):
+    store = ring_engine.store
+    assert store.oldest_t == T - 8
+    with pytest.raises(EvictedSpanError) as exc:
+        ring_engine.sliding_vector(0, T - 1)
+    assert exc.value.oldest == store.oldest_t
+    # the advertised horizon is usable for clipping: the clipped span
+    # answers fine.
+    t0 = exc.value.oldest
+    est, err = ring_engine.sliding_vector(t0, T - 1)
+    assert est.shape == (D,)
+    assert np.all(err >= 0.0)
+
+
+def test_clipped_span_matches_full_history(full_engine, ring_engine):
+    t0 = ring_engine.store.oldest_t
+    for agg in ("sum", "mean", "max"):
+        est_r, err_r = ring_engine.sliding_vector(t0, T - 1, agg)
+        est_f, err_f = full_engine.sliding_vector(t0, T - 1, agg)
+        assert np.array_equal(est_r, est_f)
+        assert np.array_equal(err_r, err_f)
+
+
+def test_single_timestamp_span(full_engine):
+    t = 7
+    for agg in ("sum", "mean", "max"):
+        est, err = full_engine.sliding_vector(t, t, agg)
+        assert np.array_equal(est, full_engine.store.release_at(t))
+        assert np.allclose(
+            err, np.sqrt(full_engine.store.variance_at(t))
+        )
+
+
+def test_capacity_one_ring():
+    engine = QueryEngine(fill(ReleaseStore(D, capacity=1)))
+    last = T - 1
+    est, err = engine.sliding_vector(last, last)
+    assert np.array_equal(est, engine.store.release_at(last))
+    with pytest.raises(EvictedSpanError) as exc:
+        engine.sliding_vector(last - 1, last)
+    assert exc.value.oldest == last
+
+
+def test_mean_is_sum_over_span(full_engine):
+    t0, t1 = 4, 19
+    span = t1 - t0 + 1
+    sum_est, sum_err = full_engine.sliding_vector(t0, t1, "sum")
+    mean_est, mean_err = full_engine.sliding_vector(t0, t1, "mean")
+    assert np.array_equal(mean_est, sum_est / span)
+    assert np.array_equal(mean_err, sum_err / span)
+
+
+def test_sum_variance_uses_publication_groups(full_engine):
+    # Re-releases are copies: each 3-step run contributes 3^2 * v, not
+    # 3 * v.  Check the exact closed form over one aligned span.
+    t0, t1 = 3, 8  # two full publication groups of 3
+    _, err = full_engine.sliding_vector(t0, t1, "sum")
+    v1 = full_engine.store.variance_at(3)
+    v2 = full_engine.store.variance_at(6)
+    assert np.allclose(err, np.sqrt(9 * v1 + 9 * v2))
+
+
+def test_max_reports_argmax_cell_interval(full_engine):
+    t0, t1 = 2, 13
+    est, err = full_engine.sliding_vector(t0, t1, "max")
+    block = full_engine.store.span_releases(t0, t1)
+    assert np.array_equal(est, block.max(axis=0))
+    arg = np.argmax(block, axis=0)
+    want = np.sqrt(
+        np.array(
+            [full_engine.store.variance_at(t0 + int(a)) for a in arg]
+        )
+    )
+    assert np.allclose(err, want)

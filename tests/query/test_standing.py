@@ -1,0 +1,219 @@
+"""Standing queries: incremental per-chunk evaluation is bit-identical
+to a full re-evaluation at every chunk boundary, at 1/2/4 shards."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.changepoint import cusum_detect
+from repro.exceptions import InvalidParameterError
+from repro.query import (
+    Changepoint,
+    Filter,
+    Point,
+    QueryPlanner,
+    Range,
+    Sliding,
+    StandingRegistry,
+    Threshold,
+    TopK,
+    format_expr,
+    pin_t,
+)
+from repro.serving import ShardedSession
+
+DOMAIN = 8
+N_USERS = 48
+T = 24
+CHUNK = 4
+
+
+def make_block(seed: int = 3) -> np.ndarray:
+    """A (T, N_USERS) stream with a level shift halfway through."""
+    rng = np.random.default_rng(seed)
+    first = rng.integers(0, 3, size=(T // 2, N_USERS))
+    second = rng.integers(3, DOMAIN, size=(T - T // 2, N_USERS))
+    return np.vstack([first, second])
+
+
+def make_session(shards: int, capacity=None) -> ShardedSession:
+    return ShardedSession(
+        "lbd",
+        n_users=N_USERS,
+        domain_size=DOMAIN,
+        epsilon=1.0,
+        window=6,
+        num_shards=shards,
+        oracle="grr",
+        seed=7,
+        capacity=capacity,
+        retain=T,
+    ).start()
+
+
+def threshold_events_full(planner, sid, query, latest):
+    """Full re-evaluation from t=0: the reference alert stream."""
+    events = []
+    for t in range(latest + 1):
+        result = planner.evaluate(pin_t(query, t))
+        if result.triggered:
+            events.append(
+                {
+                    "event": "alert",
+                    "id": sid,
+                    "kind": "threshold",
+                    "t": t,
+                    "expr": format_expr(query),
+                    "cmp": query.cmp,
+                    "value": query.value,
+                    "margin": result.margin,
+                    **result.interval.as_dict(),
+                }
+            )
+    return events
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_threshold_incremental_matches_full_rerun(shards):
+    session = make_session(shards)
+    planner = QueryPlanner(session.engine)
+    registry = StandingRegistry(planner)
+    queries = {
+        "pt": Threshold(Point(0), ">", 0.1),
+        "rng": Threshold(
+            Filter(Range(0, DOMAIN), (0, 2, 4)), "<", 0.5, sigmas=1.0
+        ),
+    }
+    for sid, query in queries.items():
+        registry.register(sid, query)
+    block = make_block()
+    incremental = {sid: [] for sid in queries}
+    for i in range(0, T, CHUNK):
+        session.ingest_many(block[i:i + CHUNK])
+        for standing, event in registry.poll():
+            incremental[standing.sid].append(event)
+        # bit-identical to re-running every timestamp from scratch,
+        # at every chunk boundary
+        latest = session.merged.latest_t
+        for sid, query in queries.items():
+            assert incremental[sid] == threshold_events_full(
+                planner, sid, query, latest
+            )
+    assert any(incremental[sid] for sid in queries), (
+        "test stream never alerted; thresholds are miscalibrated"
+    )
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_changepoint_incremental_matches_full_rerun(shards):
+    session = make_session(shards)
+    planner = QueryPlanner(session.engine)
+    registry = StandingRegistry(planner)
+    query = Changepoint(5, drift=0.0, threshold=0.05)
+    registry.register("cp", query)
+    block = make_block()
+    alert_ts = []
+    for i in range(0, T, CHUNK):
+        session.ingest_many(block[i:i + CHUNK])
+        alert_ts.extend(e["t"] for _, e in registry.poll())
+        # full re-run: the batch detector over [t0, latest]
+        store = session.merged
+        series = store.span_releases(0, store.latest_t)[:, 5]
+        assert alert_ts == cusum_detect(series, 0.0, 0.05)
+    assert alert_ts, "level shift in the stream never alarmed"
+
+
+def test_changepoint_alert_event_shape():
+    session = make_session(1)
+    registry = StandingRegistry(QueryPlanner(session.engine))
+    registry.register("cp", Changepoint(5, drift=0.0, threshold=0.01))
+    session.ingest_many(make_block())
+    events = [e for _, e in registry.poll()]
+    assert events
+    event = events[0]
+    assert event["event"] == "alert"
+    assert event["kind"] == "changepoint"
+    assert event["id"] == "cp"
+    assert event["item"] == 5
+    assert event["t0"] == 0
+    assert "expr" in event
+
+
+def test_registration_anchors_at_watermark():
+    session = make_session(1)
+    registry = StandingRegistry(QueryPlanner(session.engine))
+    block = make_block()
+    session.ingest_many(block[:8])
+    standing = registry.register("late", Threshold(Point(0), ">", -1e6))
+    assert standing.next_t == 8  # past alerts are not replayed
+    assert registry.poll() == []
+    session.ingest_many(block[8:12])
+    events = [e for _, e in registry.poll()]
+    assert [e["t"] for e in events] == [8, 9, 10, 11]
+
+
+def test_explicit_t0_replays_retained_history():
+    session = make_session(1)
+    registry = StandingRegistry(QueryPlanner(session.engine))
+    block = make_block()
+    session.ingest_many(block[:12])
+    registry.register(
+        "cp", Changepoint(5, drift=0.0, threshold=0.05, t0=0)
+    )
+    ts = [e["t"] for _, e in registry.poll()]
+    store = session.merged
+    series = store.span_releases(0, store.latest_t)[:, 5]
+    assert ts == cusum_detect(series, 0.0, 0.05)
+
+
+def test_eviction_skips_and_counts():
+    session = make_session(1, capacity=CHUNK)
+    registry = StandingRegistry(QueryPlanner(session.engine))
+    standing = registry.register("pt", Threshold(Point(0), ">", -1e6))
+    block = make_block()
+    # two chunks between polls: the ring only retains the second
+    session.ingest_many(block[:CHUNK])
+    session.ingest_many(block[CHUNK:2 * CHUNK])
+    events = [e for _, e in registry.poll()]
+    assert [e["t"] for e in events] == [CHUNK, CHUNK + 1, CHUNK + 2,
+                                        CHUNK + 3]
+    assert standing.skipped == CHUNK
+    assert standing.describe()["skipped"] == CHUNK
+
+
+def test_registry_bookkeeping():
+    session = make_session(1)
+    registry = StandingRegistry(QueryPlanner(session.engine))
+    registry.register("a", Threshold(Point(0), ">", 0.5))
+    with pytest.raises(InvalidParameterError, match="already registered"):
+        registry.register("a", Threshold(Point(1), ">", 0.5))
+    registry.register("b", Changepoint(0, drift=0.0, threshold=0.1))
+    assert len(registry) == 2
+    assert [d["id"] for d in registry.describe()] == ["a", "b"]
+    assert registry.unregister("a") is True
+    assert registry.unregister("a") is False
+    assert len(registry) == 1
+
+
+@pytest.mark.parametrize(
+    "query",
+    [
+        Threshold(Sliding(0, 0, 5), ">", 0.5),  # fixed window cannot stand
+        Threshold(Point(0, t=3), ">", 0.5),     # t already pinned
+        Changepoint(0, drift=0.0, threshold=0.1, t1=9),  # closed span
+        TopK(3),                                 # not an alert predicate
+        Point(0),
+    ],
+)
+def test_non_standing_queries_rejected(query):
+    session = make_session(1)
+    registry = StandingRegistry(QueryPlanner(session.engine))
+    with pytest.raises(InvalidParameterError):
+        registry.register("bad", query)
+
+
+def test_bad_sid_rejected():
+    session = make_session(1)
+    registry = StandingRegistry(QueryPlanner(session.engine))
+    for sid in ("", 7, None):
+        with pytest.raises(InvalidParameterError):
+            registry.register(sid, Threshold(Point(0), ">", 0.5))

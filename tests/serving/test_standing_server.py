@@ -1,0 +1,220 @@
+"""Standing queries against a live ``repro serve --shards K`` server:
+alert lines, interleaved with ingest acks, bit-identical to the serial
+in-process registry."""
+
+import pytest
+
+from shard_serve_util import (
+    DEFAULTS,
+    ShardServerProc,
+    feed_block,
+    serial_reference,
+    sharded_cmd,
+)
+
+N_USERS = 64
+STEPS = 12
+CHUNK = DEFAULTS["chunk"]
+
+
+def serial_alerts(block, queries, *, shards):
+    """Replay the feed through the in-process oracle: register first,
+    then ingest chunk by chunk, polling after every flush."""
+    from repro.query import QueryPlanner, StandingRegistry, parse_expr
+    from repro.serving import ShardedSession
+
+    session = ShardedSession(
+        DEFAULTS["method"],
+        n_users=block.shape[1],
+        domain_size=DEFAULTS["domain"],
+        epsilon=DEFAULTS["epsilon"],
+        window=DEFAULTS["window"],
+        num_shards=shards,
+        oracle=DEFAULTS["oracle"],
+        seed=DEFAULTS["seed"],
+        postprocess=DEFAULTS["postprocess"],
+        capacity=None,
+        retain=max(4, CHUNK),
+    ).start()
+    registry = StandingRegistry(QueryPlanner(session.engine))
+    for sid, expr in queries.items():
+        registry.register(sid, parse_expr(expr))
+    events = []
+    for i in range(0, block.shape[0], CHUNK):
+        session.ingest_many(block[i:i + CHUNK])
+        events.extend(e for _, e in registry.poll())
+    return events
+
+
+def drain_until_standing_reply(client):
+    """Read lines until the ``standing`` barrier reply; return
+    (acks, alerts, barrier_reply)."""
+    acks, alerts = [], []
+    while True:
+        line = client.recv()
+        if line.get("op") == "standing":
+            return acks, alerts, line
+        if line.get("event") == "alert":
+            alerts.append(line)
+        else:
+            assert "strategy" in line, f"unclassifiable line: {line}"
+            acks.append(line)
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_alert_stream_matches_serial_registry(shards):
+    queries = {
+        "pt": "threshold(point(0) > 0.1)",
+        "rng": "threshold(range(0, 8) where item in {0, 2, 4} < 0.5, "
+               "sigmas=1)",
+        "cp": "changepoint(5, drift=0.0, threshold=0.05)",
+    }
+    block = feed_block(STEPS, N_USERS, DEFAULTS["domain"], seed=51)
+    want = serial_alerts(block, queries, shards=shards)
+    with ShardServerProc(
+        sharded_cmd(shards=shards, n_users=N_USERS)
+    ) as server:
+        with server.client() as client:
+            for sid, expr in queries.items():
+                reply = client.ask(
+                    {"op": "standing", "action": "register",
+                     "id": sid, "expr": expr}
+                )
+                assert reply["op"] == "standing"
+                assert reply["id"] == sid
+            for t in range(STEPS):
+                client.send(
+                    {"op": "ingest", "values": block[t].tolist()}
+                )
+            client.send({"op": "standing", "action": "list"})
+            acks, alerts, barrier = drain_until_standing_reply(client)
+        reply, rc = server.shutdown()
+        assert rc == 0
+    assert [a["t"] for a in acks] == list(range(STEPS))
+    # Flush boundaries are a server scheduling detail (the dispatcher
+    # may flush partial chunks when the queue drains), so alerts from
+    # *different* standing queries may interleave differently than the
+    # serial chunk replay.  Each query's own event stream is invariant:
+    # compare per id, bit for bit.
+    for sid in queries:
+        assert [a for a in alerts if a["id"] == sid] == [
+            w for w in want if w["id"] == sid
+        ], sid
+    assert want, "feed never alerted; the test exercises nothing"
+    assert {d["id"] for d in barrier["standing"]} == set(queries)
+
+
+def test_register_describe_unregister_lifecycle():
+    with ShardServerProc(
+        sharded_cmd(shards=2, n_users=N_USERS)
+    ) as server:
+        with server.client() as client:
+            reply = client.ask(
+                {"op": "standing", "action": "register", "id": "a",
+                 "q": {"op": "threshold",
+                       "query": {"op": "point", "item": 0},
+                       "cmp": ">", "value": 0.2}}
+            )
+            assert (reply["kind"], reply["next_t"]) == ("threshold", 0)
+            dup = client.ask(
+                {"op": "standing", "action": "register", "id": "a",
+                 "expr": "threshold(point(1) > 0.2)"}
+            )
+            assert set(dup) == {"error"}
+            assert "already registered" in dup["error"]
+            listed = client.ask({"op": "standing", "action": "list"})
+            assert [d["id"] for d in listed["standing"]] == ["a"]
+            gone = client.ask(
+                {"op": "standing", "action": "unregister", "id": "a"}
+            )
+            assert gone["removed"] is True
+            again = client.ask(
+                {"op": "standing", "action": "unregister", "id": "a"}
+            )
+            assert again["removed"] is False
+            bad = client.ask({"op": "standing", "action": "replay"})
+            assert set(bad) == {"error"}
+        server.shutdown()
+
+
+def test_invalid_standing_queries_get_structured_errors():
+    with ShardServerProc(
+        sharded_cmd(shards=1, n_users=N_USERS)
+    ) as server:
+        with server.client() as client:
+            for request in [
+                {"op": "standing", "action": "register", "id": "x",
+                 "expr": "topk(3)"},            # not an alert predicate
+                {"op": "standing", "action": "register", "id": "x",
+                 "expr": "threshold(point(0) @ t=3 > 0.5)"},
+                {"op": "standing", "action": "register", "id": "x"},
+                {"op": "standing", "action": "register", "id": "",
+                 "expr": "threshold(point(0) > 0.5)"},
+            ]:
+                reply = client.ask(request)
+                assert set(reply) == {"error"}, reply
+            # the connection survives every rejected registration
+            assert client.ask({"op": "summary"})["steps"] == 0
+        server.shutdown()
+
+
+def test_alerts_go_to_the_registering_connection():
+    block = feed_block(CHUNK, N_USERS, DEFAULTS["domain"], seed=53)
+    with ShardServerProc(
+        sharded_cmd(shards=2, n_users=N_USERS)
+    ) as server:
+        with server.client() as watcher, server.client() as feeder:
+            reply = watcher.ask(
+                {"op": "standing", "action": "register", "id": "w",
+                 "expr": "threshold(point(0) > -1000000)"}
+            )
+            assert reply["kind"] == "threshold"
+            for t in range(CHUNK):
+                feeder.send(
+                    {"op": "ingest", "values": block[t].tolist()}
+                )
+            # the feeder sees exactly its acks — no alert lines
+            feeder_lines = [feeder.recv() for _ in range(CHUNK)]
+            assert all("strategy" in line for line in feeder_lines)
+            # the watcher receives one always-true alert per timestamp
+            # without having sent anything since registering
+            alerts = [watcher.recv() for _ in range(CHUNK)]
+            assert [a["t"] for a in alerts] == list(range(CHUNK))
+            assert all(a["id"] == "w" for a in alerts)
+        server.shutdown()
+
+
+def test_queries_still_answer_with_standing_registered():
+    """Regression: the standing registry must not disturb the query
+    path — answers still match the serial reference exactly."""
+    from shard_serve_util import assert_same_answer
+
+    block = feed_block(STEPS, N_USERS, DEFAULTS["domain"], seed=51)
+    serial = serial_reference(block, shards=2)
+    with ShardServerProc(
+        sharded_cmd(shards=2, n_users=N_USERS)
+    ) as server:
+        with server.client() as client:
+            client.ask(
+                {"op": "standing", "action": "register", "id": "cp",
+                 "expr": "changepoint(0, drift=0.0, threshold=0.05)"}
+            )
+            for t in range(STEPS):
+                client.send(
+                    {"op": "ingest", "values": block[t].tolist()}
+                )
+            client.send({"op": "standing", "action": "list"})
+            drain_until_standing_reply(client)
+            engine = serial.engine
+            got = client.ask({"op": "point", "item": 3})
+            want = {
+                "op": "point", "item": 3,
+                **engine.point(3).as_dict(),
+            }
+            assert_same_answer(got, want)
+            got = client.ask(
+                {"op": "query", "expr": "topk(3) where item in {0..4}"}
+            )
+            assert got["op"] == "topk"
+            assert len(got["items"]) == 3
+        server.shutdown()

@@ -366,6 +366,174 @@ class TestQuery:
         with pytest.raises((SystemExit, OSError)):
             main(["query", str(tmp_path / "nope.json"), "info"])
 
+
+class TestQueryExpr:
+    """`repro query --expr`: the DSL text syntax on saved runs."""
+
+    saved_run = TestQuery.saved_run
+
+    def test_expr_point_matches_classic_verb(self, capsys, saved_run):
+        capsys.readouterr()
+        assert main(
+            ["query", str(saved_run), "point", "--item", "0", "--t", "5"]
+        ) == 0
+        classic = json.loads(capsys.readouterr().out)
+        assert main(
+            ["query", str(saved_run), "--expr", "point(0) @ t=5"]
+        ) == 0
+        via_expr = json.loads(capsys.readouterr().out)
+        assert via_expr == classic
+
+    def test_expr_composites(self, capsys, saved_run):
+        capsys.readouterr()
+        assert main(
+            ["query", str(saved_run), "--expr",
+             "groupby(a: {0}; b: {1}) @ t=5"]
+        ) == 0
+        grouped = json.loads(capsys.readouterr().out)
+        assert set(grouped["groups"]) == {"a", "b"}
+        assert main(
+            ["query", str(saved_run), "--expr",
+             "threshold(point(0) > 0.2, sigmas=1)"]
+        ) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["triggered"] in (True, False)
+        assert main(
+            ["query", str(saved_run), "--expr",
+             "changepoint(0, drift=0.0, threshold=0.5)"]
+        ) == 0
+        assert "alarms" in json.loads(capsys.readouterr().out)
+
+    def test_verb_xor_expr_required(self, capsys, saved_run):
+        capsys.readouterr()
+        assert main(["query", str(saved_run)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(
+            ["query", str(saved_run), "point", "--item", "0",
+             "--expr", "point(0)"]
+        ) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_bad_expr_is_graceful(self, capsys, saved_run):
+        capsys.readouterr()
+        assert main(["query", str(saved_run), "--expr", "frob(1)"]) == 2
+        assert "frob" in capsys.readouterr().err
+
+
+class TestServeStanding:
+    """Standing queries in the solo stdin serve loop."""
+
+    _feed = staticmethod(TestServe._feed)
+    _requests = staticmethod(TestServe._requests)
+    _serve = staticmethod(TestServe._serve)
+
+    def test_threshold_alert_lines_interleave_with_acks(
+        self, capsys, monkeypatch
+    ):
+        ingests = self._requests(n_steps=8)
+        requests = (
+            ingests[:4]
+            + [{"op": "standing", "action": "register", "id": "w",
+                "expr": "threshold(point(0) > -1000000)"}]
+            + ingests[4:]
+            + [{"op": "standing", "action": "list"}]
+        )
+        self._feed(monkeypatch, requests)
+        assert main(self._serve(["--chunk", "2"])) == 0
+        lines = [
+            json.loads(raw)
+            for raw in capsys.readouterr().out.splitlines()
+        ]
+        alerts = [x for x in lines if x.get("event") == "alert"]
+        # registered at watermark 4: one always-true alert per later t
+        assert [a["t"] for a in alerts] == [4, 5, 6, 7]
+        assert all(a["id"] == "w" for a in alerts)
+        register = next(x for x in lines if x.get("action") == "register")
+        assert register["next_t"] == 4
+        listed = next(x for x in lines if x.get("action") == "list")
+        assert listed["standing"][0]["next_t"] == 8
+
+    def test_changepoint_standing_matches_batch_rerun(
+        self, capsys, monkeypatch
+    ):
+        ingests = self._requests(n_steps=12)
+        requests = (
+            # the solo loop builds its session from the first ingest
+            # row, so standing queries register once data is flowing
+            ingests[:4]
+            + [{"op": "standing", "action": "register", "id": "cp",
+                "expr": "changepoint(0, drift=0.0, threshold=0.05)"}]
+            + ingests[4:]
+            # the one-shot changepoint query over the same span IS the
+            # full batch re-run: incremental alerts must equal it
+            + [{"op": "query",
+                "expr": "changepoint(0, drift=0.0, threshold=0.05) "
+                        "@ 4..11"}]
+        )
+        self._feed(monkeypatch, requests)
+        assert main(self._serve(["--chunk", "4"])) == 0
+        lines = [
+            json.loads(raw)
+            for raw in capsys.readouterr().out.splitlines()
+        ]
+        alerts = [x for x in lines if x.get("event") == "alert"]
+        assert all(a["kind"] == "changepoint" for a in alerts)
+        batch = next(x for x in lines if x.get("op") == "changepoint")
+        assert (batch["t0"], batch["t1"]) == (4, 11)
+        assert [a["t"] for a in alerts] == batch["alarms"]
+        assert alerts, "the stream never alarmed; nothing was exercised"
+
+    def test_standing_errors_keep_serving(self, capsys, monkeypatch):
+        requests = (
+            self._requests(n_steps=2)
+            + [
+                {"op": "standing", "action": "register", "id": "x",
+                 "expr": "topk(3)"},
+                {"op": "standing", "action": "nope"},
+                {"op": "standing", "action": "register"},
+                {"op": "point", "item": 0},
+            ]
+        )
+        self._feed(monkeypatch, requests)
+        assert main(self._serve()) == 0
+        lines = [
+            json.loads(raw)
+            for raw in capsys.readouterr().out.splitlines()
+        ]
+        assert sum(1 for x in lines if set(x) == {"error"}) == 3
+        assert lines[-1]["op"] == "point"
+
+    def test_unknown_op_lists_the_full_surface(self, capsys, monkeypatch):
+        requests = self._requests(n_steps=1) + [{"op": "mystery"}]
+        self._feed(monkeypatch, requests)
+        assert main(self._serve()) == 0
+        lines = [
+            json.loads(raw)
+            for raw in capsys.readouterr().out.splitlines()
+        ]
+        assert "mystery" in lines[-1]["error"]
+        assert "changepoint" in lines[-1]["error"]
+
+    def test_query_envelope_in_serve(self, capsys, monkeypatch):
+        requests = self._requests(n_steps=4) + [
+            {"op": "query", "expr": "topk(2)"},
+            {"op": "topk", "k": 2},
+            {"op": "query",
+             "q": {"op": "threshold",
+                   "query": {"op": "point", "item": 0},
+                   "cmp": ">", "value": 0.0}},
+        ]
+        self._feed(monkeypatch, requests)
+        assert main(self._serve()) == 0
+        lines = [
+            json.loads(raw)
+            for raw in capsys.readouterr().out.splitlines()
+        ]
+        assert lines[4] == lines[5]  # expr and classic op answer alike
+        assert lines[6]["op"] == "threshold"
+        assert lines[6]["triggered"] in (True, False)
+
+
 class TestServeRobustness:
     _feed = staticmethod(TestServe._feed)
     _requests = staticmethod(TestServe._requests)

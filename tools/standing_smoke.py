@@ -1,0 +1,177 @@
+"""End-to-end smoke of standing queries in a real ``repro serve``.
+
+The pytest suite pins the standing-query semantics in-process
+(``tests/query/test_standing.py``) and against the sharded socket
+server (``tests/serving/test_standing_server.py``).  This smoke closes
+the last gap CI-side: a real ``repro serve`` **subprocess** speaking
+the documented stdin/stdout protocol, with alert lines interleaving
+ingest acks on one pipe:
+
+1. feed a deterministic stream (pure function of ``--seed``) with a
+   level shift halfway through — items {0, 1} first, {2, 3} after;
+2. after the first ``--pre`` ingest lines, register a standing
+   threshold that always fires (``threshold(point(0) > -1000000)``)
+   and a standing changepoint on the rising item 3;
+3. feed the rest, then ask for the registry listing and a one-shot
+   batch ``changepoint`` over the standing query's exact span;
+4. assert: no error lines, every ingest acked in order, the threshold
+   alerted on every post-registration timestamp, and the incremental
+   changepoint alert stream equals the batch re-run's alarms.
+
+Run standalone (CI's ``query-dsl`` job does)::
+
+    python tools/standing_smoke.py --seed 0 --out standing_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import List
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+
+DOMAIN = 4
+N_USERS = 80
+THRESHOLD_EXPR = "threshold(point(0) > -1000000)"
+CHANGEPOINT_EXPR = "changepoint(3, drift=0.0, threshold=0.05)"
+
+
+def make_feed(seed: int, pre: int, post: int) -> List[str]:
+    """Ingest lines with a level shift at ``pre + post//2`` plus the
+    standing registrations and the batch-equivalence tail."""
+    rng = np.random.default_rng(seed)
+    steps = pre + post
+    shift = pre + post // 2
+    lines = []
+    for t in range(steps):
+        lo, hi = (0, 2) if t < shift else (2, DOMAIN)
+        values = rng.integers(lo, hi, size=N_USERS).tolist()
+        lines.append(json.dumps({"op": "ingest", "values": values}))
+        if t == pre - 1:
+            lines.append(json.dumps({
+                "op": "standing", "action": "register", "id": "w",
+                "expr": THRESHOLD_EXPR,
+            }))
+            lines.append(json.dumps({
+                "op": "standing", "action": "register", "id": "cp",
+                "expr": CHANGEPOINT_EXPR,
+            }))
+    lines.append(json.dumps({"op": "standing", "action": "list"}))
+    lines.append(json.dumps({
+        "op": "query",
+        "expr": f"{CHANGEPOINT_EXPR} @ {pre}..{steps - 1}",
+    }))
+    return lines
+
+
+def serve_command(args: argparse.Namespace) -> List[str]:
+    return [
+        sys.executable, "-m", "repro", "serve",
+        "--method", args.method,
+        "--domain-size", str(DOMAIN),
+        "--epsilon", str(args.epsilon),
+        "--window", str(args.window),
+        "--seed", str(args.seed),
+    ]
+
+
+def run_smoke(args: argparse.Namespace) -> dict:
+    feed = make_feed(args.seed, args.pre, args.post)
+    env = {**os.environ, "PYTHONPATH": str(REPO_SRC)}
+    proc = subprocess.run(
+        serve_command(args),
+        input="\n".join(feed) + "\n",
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=args.timeout,
+    )
+    failures: List[str] = []
+    if proc.returncode != 0:
+        failures.append(
+            f"serve exited {proc.returncode}: {proc.stderr[-500:]}"
+        )
+    lines = [json.loads(raw) for raw in proc.stdout.splitlines()]
+    errors = [obj for obj in lines if "error" in obj]
+    acks = [obj for obj in lines if "strategy" in obj]
+    alerts = [obj for obj in lines if obj.get("event") == "alert"]
+    standing = [obj for obj in lines if obj.get("op") == "standing"]
+    batch = [obj for obj in lines if obj.get("op") == "changepoint"]
+
+    steps = args.pre + args.post
+    if errors:
+        failures.append(f"error lines: {errors}")
+    if [a["t"] for a in acks] != list(range(steps)):
+        failures.append(f"ingest acks out of order: {acks}")
+    registered = [s for s in standing if "kind" in s]
+    if [s.get("next_t") for s in registered] != [args.pre, args.pre]:
+        failures.append(
+            f"registrations did not anchor at the watermark: {registered}"
+        )
+    want_ts = list(range(args.pre, steps))
+    got_ts = [a["t"] for a in alerts if a["id"] == "w"]
+    if got_ts != want_ts:
+        failures.append(
+            f"threshold alerts at {got_ts}, wanted every t in {want_ts}"
+        )
+    cp_ts = [a["t"] for a in alerts if a["id"] == "cp"]
+    if len(batch) != 1:
+        failures.append(f"expected one batch changepoint answer: {batch}")
+    elif cp_ts != batch[0]["alarms"]:
+        failures.append(
+            f"incremental changepoint alerts {cp_ts} != batch re-run "
+            f"alarms {batch[0]['alarms']}"
+        )
+    elif not cp_ts:
+        failures.append("the level shift never alarmed; smoke is inert")
+    listing = [s for s in standing if "standing" in s]
+    listed_ids = sorted(
+        d["id"] for s in listing for d in s["standing"]
+    )
+    if listed_ids != ["cp", "w"]:
+        failures.append(f"registry listing wrong: {listing}")
+
+    return {
+        "command": serve_command(args),
+        "steps": steps,
+        "acks": len(acks),
+        "threshold_alerts": len(got_ts),
+        "changepoint_alerts": cp_ts,
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--method", default="LBD")
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--window", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--pre", type=int, default=4,
+                        help="ingest lines before registration")
+    parser.add_argument("--post", type=int, default=8,
+                        help="ingest lines after registration")
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    report = run_smoke(args)
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
