@@ -47,7 +47,9 @@ on the publication cadence:
 kernel-vs-fallback ratios per regime and carry their own CI floors;
 ``adaptive_gap_ratio`` publishes each drift row's throughput as a
 fraction of its uniform peer's (LBD/LBA vs LBU, LPD/LPA vs LPU) so the
-cost of adaptivity is tracked per PR.
+cost of adaptivity is tracked per PR.  The record also carries
+``kernels_backend`` (:func:`repro.engine.kernels_fast.backend`) so the
+perf trajectory distinguishes numpy-fallback runs from compiled ones.
 
 Run as a script::
 
@@ -194,6 +196,8 @@ def _assert_identical(dataset, mechanism, oracle, horizon, window=_WINDOW):
 
 def measure(size: str) -> dict:
     """Time every configuration; return the throughput record."""
+    from repro.engine.kernels_fast import backend
+
     horizon, n_users, domain = _SIZES[size]
     dataset = _dataset(size)
     check_span = min(horizon, 400)
@@ -290,6 +294,7 @@ def measure(size: str) -> dict:
     return {
         "bench": "ingest_throughput",
         "size": size,
+        "kernels_backend": backend(),
         "horizon": horizon,
         "n_users": n_users,
         "domain_size": domain,

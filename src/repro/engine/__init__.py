@@ -7,6 +7,8 @@
 * :class:`StreamSession` — incremental standing query
   (``start``/``observe``/``finalize``) enabling unbounded online runs.
 * :class:`SessionGroup` — many sessions over one shared stream pass.
+* :class:`SoAScheduler` — structure-of-arrays group execution (shared
+  value blocks, stacked oracle calls; see :mod:`repro.engine.soa`).
 * :func:`run_stream` — one-call session driver returning
   :class:`SessionResult`.
 """
@@ -15,6 +17,7 @@ from .accountant import WEventAccountant
 from .collector import ChunkContext, Collector, TimestepContext
 from .group import SessionGroup
 from .population import UserPool
+from .soa import SoAScheduler, soa_supported
 from .records import (
     STRATEGY_APPROXIMATE,
     STRATEGY_NULLIFIED,
@@ -38,5 +41,7 @@ __all__ = [
     "STRATEGY_NULLIFIED",
     "StreamSession",
     "SessionGroup",
+    "SoAScheduler",
+    "soa_supported",
     "run_stream",
 ]

@@ -33,6 +33,7 @@ from ..freq_oracles import FOEstimate, FrequencyOracle, get_oracle
 from ..rng import SeedLike, ensure_rng
 from ..streams.base import StreamDataset
 from .accountant import WEventAccountant
+from .kernels_fast import block_histograms
 
 
 class Collector:
@@ -52,6 +53,45 @@ class Collector:
         self.rng = ensure_rng(rng)
         self.fast = bool(fast)
         self.total_reports = 0
+        # Prepared-sampler memos, keyed by budget.  The oracles' affine
+        # debias constants and draw scaffolding used to be rebuilt every
+        # chunk; a session cycles through a handful of budgets (one M1
+        # budget plus the publication budgets), so memoizing here makes
+        # the setup once-per-session.  Pure caches — reconstructible from
+        # (oracle, budget) — so they are deliberately absent from
+        # state_dict(): a restored collector just re-warms them.
+        self._run_samplers: dict = {}
+        self._round_samplers: dict = {}
+
+    def run_sampler(self, epsilon: float):
+        """Memoized order-preserving run sampler for a fixed budget.
+
+        ``sample(counts, rng)`` is bit-identical to
+        ``oracle.sample_aggregate_run(counts, epsilon, rng=rng)`` (see
+        :meth:`~repro.freq_oracles.base.FrequencyOracle.run_sampler`).
+        """
+        sampler = self._run_samplers.get(epsilon)
+        if sampler is None:
+            sampler = self.oracle.run_sampler(
+                epsilon, self.dataset.domain_size
+            )
+            self._run_samplers[epsilon] = sampler
+        return sampler
+
+    def round_sampler(self, epsilon: float):
+        """Memoized prepared single-round sampler for a fixed budget.
+
+        ``sample(counts, rng)`` is bit-identical to
+        ``oracle.sample_aggregate(counts, epsilon, rng=rng).frequencies``
+        (see :meth:`~repro.freq_oracles.base.FrequencyOracle.round_sampler`).
+        """
+        sampler = self._round_samplers.get(epsilon)
+        if sampler is None:
+            sampler = self.oracle.round_sampler(
+                epsilon, self.dataset.domain_size
+            )
+            self._round_samplers[epsilon] = sampler
+        return sampler
 
     def collect(
         self,
@@ -212,9 +252,7 @@ class Collector:
                     self.accountant.charge(t0 + off, ids, epsilon)
         self.total_reports += int(n_reports.sum())
         if self.fast:
-            frequencies = self.oracle.sample_aggregate_run(
-                counts, epsilon, rng=self.rng
-            )
+            frequencies = self.run_sampler(epsilon)(counts, self.rng)
         else:
             estimates = []
             for off, ids in zip(offsets, groups):
@@ -282,7 +320,15 @@ class ChunkContext:
     both.
     """
 
-    def __init__(self, collector: Collector, t0: int, length: int):
+    def __init__(
+        self,
+        collector: Collector,
+        t0: int,
+        length: int,
+        *,
+        values_block: Optional[np.ndarray] = None,
+        counts: Optional[np.ndarray] = None,
+    ):
         if length < 0:
             raise InvalidParameterError(
                 f"chunk length must be non-negative, got {length}"
@@ -290,8 +336,27 @@ class ChunkContext:
         self._collector = collector
         self.t0 = int(t0)
         self.length = int(length)
-        self._values_block: Optional[np.ndarray] = None
-        self._counts: Optional[np.ndarray] = None
+        # The SoA scheduler fetches one shared value block (and its
+        # histograms) per chunk and injects them into every member
+        # session's context, so the per-session caches start warm and the
+        # dataset is read exactly once per span.  Injected arrays must be
+        # this dataset's values for [t0, t0 + length) — the scheduler
+        # guarantees it; shapes are checked here.
+        if values_block is not None and values_block.shape[0] != length:
+            raise InvalidParameterError(
+                f"injected values_block covers {values_block.shape[0]} "
+                f"timestamps, expected {length}"
+            )
+        if counts is not None and counts.shape != (
+            length,
+            collector.dataset.domain_size,
+        ):
+            raise InvalidParameterError(
+                f"injected counts have shape {counts.shape}, expected "
+                f"({length}, {collector.dataset.domain_size})"
+            )
+        self._values_block: Optional[np.ndarray] = values_block
+        self._counts: Optional[np.ndarray] = counts
 
     # ------------------------------------------------------------------
     @property
@@ -328,24 +393,16 @@ class ChunkContext:
         """All-user true count histograms, shape ``(length, d)`` (cached).
 
         Row ``i`` holds the same integers as
-        ``np.bincount(values(t0 + i), minlength=d)``.  Computed as one
-        flat-offset bincount over the whole block — row ``i``'s values
-        are shifted into the disjoint bin range ``[i*d, (i+1)*d)``, so a
-        single C-level pass produces every histogram (the transient flat
-        array is the block's size; it exactly replaces the per-row
-        Python loop this used to be).
+        ``np.bincount(values(t0 + i), minlength=d)``.  Computed by
+        :func:`~repro.engine.kernels_fast.block_histograms` — one
+        C-level counting pass over the whole block (flat-offset bincount
+        in the numpy reference, a two-loop count under the compiled
+        backend; exact integers either way).
         """
         if self._counts is None:
-            d = self.domain_size
-            block = self.values_block()
-            if self.length == 0:
-                self._counts = np.empty((0, d), dtype=np.int64)
-            else:
-                offsets = np.arange(self.length, dtype=np.int64) * d
-                flat = block + offsets[:, None]
-                self._counts = np.bincount(
-                    flat.ravel(), minlength=self.length * d
-                ).reshape(self.length, d)
+            self._counts = block_histograms(
+                self.values_block(), self.domain_size
+            )
         return self._counts
 
     def collect_run(
@@ -421,9 +478,7 @@ class ChunkContext:
         offsets = list(offsets)
         counts = self.counts()[np.asarray(offsets, dtype=np.int64)]
         if collector.fast:
-            return collector.oracle.sample_aggregate_run(
-                counts, epsilon, rng=collector.rng
-            )
+            return collector.run_sampler(epsilon)(counts, collector.rng)
         block = self.values_block()
         estimates = []
         for off in offsets:
@@ -471,8 +526,9 @@ class ChunkContext:
         exactly what per-step :meth:`TimestepContext.collect` does for a
         non-empty group at ``t0 + offset`` — charge, meter, count, draw,
         in that order, on the same shared generator — with the per-call
-        oracle setup hoisted via
-        :meth:`~repro.freq_oracles.base.FrequencyOracle.round_sampler`.
+        oracle setup hoisted via the collector's memoized
+        :meth:`Collector.round_sampler` (built once per session budget,
+        not once per chunk).
         The adaptive population mechanisms' pool draws interleave with
         their oracle draws, so their rounds cannot batch; this closure
         is their chunk kernel's hot path.
@@ -486,7 +542,7 @@ class ChunkContext:
         t0 = self.t0
 
         if collector.fast:
-            sampler = oracle.round_sampler(epsilon, d)
+            sampler = collector.round_sampler(epsilon)
 
             def collect(offset: int, user_ids: np.ndarray) -> np.ndarray:
                 values = block[offset][user_ids]
@@ -514,9 +570,11 @@ class ChunkContext:
         Performs exactly what per-step :meth:`TimestepContext.collect`
         does for a full-population round at ``t0 + offset`` — charge,
         meter, count, draw, in that order, on the same shared generator —
-        but with the oracle setup hoisted per distinct budget (a tiny
-        sampler cache; the adaptive budget mechanisms cycle through one
-        M1 budget and a handful of publication budgets).  This is the
+        but with the oracle setup hoisted per distinct budget through the
+        collector-level :meth:`Collector.round_sampler` memo (the
+        adaptive budget mechanisms cycle through one M1 budget and a
+        handful of publication budgets, so the memo persists across
+        chunks, not just within one).  This is the
         sequential mode of the hybrid LBD/LBA kernels: when publications
         are frequent, speculation would discard most of its lookahead,
         so the kernel runs rounds one at a time with zero wasted draws.
@@ -531,17 +589,12 @@ class ChunkContext:
 
         if collector.fast:
             counts = self.counts()
-            samplers: dict = {}
 
             def run(offset: int, epsilon: float) -> np.ndarray:
                 if accountant is not None:
                     accountant.charge(t0 + offset, None, epsilon)
                 collector.total_reports += n_users
-                sampler = samplers.get(epsilon)
-                if sampler is None:
-                    sampler = oracle.round_sampler(epsilon, d)
-                    samplers[epsilon] = sampler
-                return sampler(counts[offset], rng)
+                return collector.round_sampler(epsilon)(counts[offset], rng)
 
         else:
             block = self.values_block()

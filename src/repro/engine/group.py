@@ -27,19 +27,28 @@ Each session's output is bit-identical to a solo
 * sessions are advanced in timestamp order, which is the only order a
   solo run ever uses.
 
-On random-access datasets the whole fan-out is chunked: each
-``truth_chunk``-sized span's histograms come from one batched
+Execution paths
+---------------
+By default the group runs through the structure-of-arrays scheduler
+(:mod:`repro.engine.soa`): one shared value block and one histogram pass
+per ``truth_chunk`` span, pre-warmed chunk contexts for every session,
+and stacked oracle calls fusing buckets of uniform-round sessions.
+Because all chunk-kernel data access goes through the prefetched block,
+SoA applies to sequential generative streams too (the block consumes
+the span once, for everyone).  With SoA off (``soa=False`` or the
+``REPRO_SOA`` environment variable), random-access datasets fall back
+to the legacy chunked fan-out — one batched
 :meth:`~repro.streams.base.StreamDataset.true_frequencies_range` call
-and every session ingests the span through
-:meth:`~repro.engine.session.StreamSession.observe_many` (bulk
-ingestion), amortising the per-step engine overhead as well as the
-histogram work.  Sequential (generative/online) streams keep the
-per-timestamp fan-out, since their snapshots exist only while the
-cursor is on them.
+per span, each session ingesting via
+:meth:`~repro.engine.session.StreamSession.observe_many` — and
+sequential streams to the per-timestamp fan-out.  All three paths are
+bit-identical.
 """
 
 from __future__ import annotations
 
+import operator
+import os
 from typing import List, Optional
 
 import numpy as np
@@ -50,9 +59,13 @@ from ..rng import SeedLike
 from ..streams.base import GenerativeStream, StreamDataset
 from .records import SessionResult
 from .session import StreamSession
+from .soa import SoAScheduler, soa_supported
 
 #: Timestamps per batched true-frequency fetch on random-access streams.
 _TRUTH_CHUNK = 128
+
+#: ``REPRO_SOA`` values that disable the SoA path when ``soa="auto"``.
+_SOA_OFF = frozenset({"0", "off", "false", "no"})
 
 
 class SessionGroup:
@@ -66,9 +79,20 @@ class SessionGroup:
         Default horizon for sessions added without one; falls back to
         the dataset's horizon.
     truth_chunk:
-        Bulk-ingestion span on random-access datasets: timestamps per
-        batched true-frequency prefetch and per
+        Bulk-ingestion span: timestamps per batched value/truth prefetch
+        and per
         :meth:`~repro.engine.session.StreamSession.observe_many` call.
+    soa:
+        Structure-of-arrays execution (:mod:`repro.engine.soa`): one
+        shared value block and histogram pass per chunk, with
+        uniform-round sessions fused into stacked oracle calls.
+        ``"auto"`` (the default) uses it whenever the group
+        configuration supports it (and the ``REPRO_SOA`` environment
+        variable doesn't disable it); ``True`` requires it (raising at
+        ``advance_to`` time if unsupported); ``False`` keeps the legacy
+        per-session fan-out.  Either way every session's output is
+        bit-identical — the toggle exists for benchmarking and as an
+        escape hatch.
     """
 
     def __init__(
@@ -77,14 +101,26 @@ class SessionGroup:
         *,
         horizon: Optional[int] = None,
         truth_chunk: int = _TRUTH_CHUNK,
+        soa="auto",
     ):
-        if truth_chunk <= 0:
+        try:
+            truth_chunk = operator.index(truth_chunk)
+        except TypeError:
             raise InvalidParameterError(
-                f"truth_chunk must be positive, got {truth_chunk}"
+                f"truth_chunk must be an integer, got {truth_chunk!r}"
+            ) from None
+        if truth_chunk < 1:
+            raise InvalidParameterError(
+                f"truth_chunk must be >= 1, got {truth_chunk}"
+            )
+        if soa not in (True, False, "auto"):
+            raise InvalidParameterError(
+                f"soa must be True, False or 'auto', got {soa!r}"
             )
         self.dataset = dataset
         self.horizon = horizon if horizon is not None else dataset.horizon
-        self.truth_chunk = int(truth_chunk)
+        self.truth_chunk = truth_chunk
+        self.soa = soa
         self._sessions: List[StreamSession] = []
         self._ran = False
         self._started = False
@@ -238,12 +274,31 @@ class SessionGroup:
         target = min(int(target), self.steps)
         if target <= self._cursor:
             return self._cursor
-        if getattr(self.dataset, "random_access", False):
+        if self._use_soa():
+            SoAScheduler(self).advance(self._cursor, target)
+        elif getattr(self.dataset, "random_access", False):
             self._advance_chunked(self._cursor, target)
         else:
             self._advance_per_step(self._cursor, target)
         self._cursor = target
         return self._cursor
+
+    def _use_soa(self) -> bool:
+        """Resolve the ``soa`` setting against the current membership."""
+        if self.soa is False:
+            return False
+        supported = soa_supported(self._sessions, self.dataset)
+        if self.soa is True:
+            if not supported:
+                raise InvalidParameterError(
+                    "soa=True but the group configuration does not "
+                    "support SoA execution: sequential streams require "
+                    "every session's mechanism to have a chunk kernel"
+                )
+            return True
+        if os.environ.get("REPRO_SOA", "").strip().lower() in _SOA_OFF:
+            return False
+        return supported
 
     def finalize_all(self) -> List[SessionResult]:
         """Finalize every session; results in ``add_session`` order."""

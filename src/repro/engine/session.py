@@ -376,28 +376,83 @@ class StreamSession:
         ]
 
     def _observe_many_kernel(
-        self, t0: int, n: int, truth: Optional[np.ndarray]
+        self,
+        t0: int,
+        n: int,
+        truth: Optional[np.ndarray],
+        ctx: Optional[ChunkContext] = None,
     ) -> list:
         """Vectorized chunk ingestion through the mechanism's kernel.
 
         All stream access goes through the chunk context's prefetched
         value block, which is what makes this path legal on sequential
         generative streams too (the block consumes the span; nothing
-        re-reads it per step afterwards).
+        re-reads it per step afterwards).  The SoA scheduler passes a
+        pre-built ``ctx`` whose block/histogram caches are already warm
+        with the chunk's shared arrays (:mod:`repro.engine.soa`).
         """
-        ctx = ChunkContext(self.collector, t0, n)
+        if ctx is None:
+            ctx = ChunkContext(self.collector, t0, n)
         records = self.mechanism.step_many(ctx)
+        if self.record_trace and truth is None:
+            # Same integers as per-step np.bincount(values(t)), divided
+            # the same way — rows are bit-identical to
+            # dataset.true_frequencies(t).
+            truth = ctx.counts().astype(np.float64) / self.dataset.n_users
+        self._absorb_records(t0, n, truth, records)
+        return records
+
+    def ingest_prepared(
+        self, ctx: ChunkContext, truth: Optional[np.ndarray]
+    ) -> list:
+        """Drive one chunk through a caller-built :class:`ChunkContext`.
+
+        The SoA scheduler's per-session entry: the context's value-block
+        and histogram caches are pre-warmed with the chunk's shared
+        arrays, so this session reads nothing from the dataset itself.
+        The context must bind this session's collector and cover exactly
+        ``[next_t, next_t + length)`` within the horizon.
+        """
+        if not self._started:
+            raise InvalidParameterError("call start() before ingest")
+        if self._finalized:
+            raise InvalidParameterError("session already finalized")
+        if ctx._collector is not self.collector:
+            raise InvalidParameterError(
+                "prepared chunk context binds a different session"
+            )
+        if ctx.t0 != self._next_t:
+            raise InvalidParameterError(
+                f"timestamps must be observed in order: expected "
+                f"t={self._next_t}, got t0={ctx.t0}"
+            )
+        if self.horizon is not None and ctx.t0 + ctx.length > self.horizon:
+            raise InvalidParameterError(
+                f"chunk [{ctx.t0}, {ctx.t0 + ctx.length}) reaches beyond "
+                f"session horizon {self.horizon}"
+            )
+        return self._observe_many_kernel(ctx.t0, ctx.length, truth, ctx=ctx)
+
+    def _absorb_records(
+        self,
+        t0: int,
+        n: int,
+        truth: Optional[np.ndarray],
+        records: list,
+    ) -> None:
+        """Post-process, store and trace a chunk's step records.
+
+        Shared absorb tail of every bulk path — the in-session kernel,
+        and the SoA scheduler's generic and fused bucket drives — so
+        publication counting, post-processing, variance propagation and
+        trace bookkeeping stay byte-identical across them.
+        """
         if len(records) != n:
             raise InvalidParameterError(
                 f"{self.mechanism.name} returned {len(records)} records "
                 f"for a chunk of {n}"
             )
         need_release = self.record_trace or self.store is not None
-        if self.record_trace and truth is None:
-            # Same integers as per-step np.bincount(values(t)), divided
-            # the same way — rows are bit-identical to
-            # dataset.true_frequencies(t).
-            truth = ctx.counts().astype(np.float64) / self.dataset.n_users
         for i, record in enumerate(records):
             if record.t != t0 + i:
                 raise InvalidParameterError(
@@ -427,7 +482,6 @@ class StreamSession:
                 self._true_frequencies.append(truth[i].copy())
                 self._records.append(record)
         self._next_t = t0 + n
-        return records
 
     # ------------------------------------------------------------------
     # Persistence

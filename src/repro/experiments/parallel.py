@@ -40,12 +40,16 @@ uses, so coalescing changes wall-clock only, never results.  A
 7-mechanism × 4-epsilon grid over one simulator-backed dataset becomes 1
 stream pass instead of 28 (see ``benchmarks/bench_shared_pass.py``).
 
-On random-access datasets the shared pass itself runs chunked: the
-group hands each session :data:`_SHARED_PASS_CHUNK` timestamps at a
-time through :meth:`~repro.engine.StreamSession.observe_many` (bulk
-ingestion), which is bit-identical to the per-timestamp fan-out but
-amortises the per-step engine overhead (see
-``benchmarks/bench_ingest_throughput.py``).
+The shared pass runs through the group's structure-of-arrays scheduler
+(:mod:`repro.engine.soa`, the ``soa="auto"`` default): each
+:data:`_SHARED_PASS_CHUNK`-timestamp span is read and histogrammed
+once for the whole group, every session's chunk context is pre-warmed
+with the shared arrays, and buckets of uniform-round sessions (e.g.
+all the LBU cells of an epsilon sweep) collapse into single stacked
+oracle calls.  This holds on generative simulators too — the SoA block
+fetch consumes each span exactly once — and is bit-identical to the
+per-timestamp fan-out (see ``benchmarks/bench_shared_pass.py``; set
+``REPRO_SOA=0`` to fall back to the legacy fan-out).
 """
 
 from __future__ import annotations

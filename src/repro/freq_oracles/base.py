@@ -277,6 +277,76 @@ class FrequencyOracle(abc.ABC):
             ]
         )
 
+    def run_sampler(self, epsilon: float, domain_size: int):
+        """Build a prepared *run* sampler for a fixed budget.
+
+        Returns a callable ``sample(true_counts, rng) -> (B, d)`` that is
+        **bit-identical** to
+        ``sample_aggregate_run(true_counts, epsilon, rng=rng)`` — same
+        generator draws in the same element order, same floating-point
+        expressions — with every run-invariant (parameter validation,
+        the ``(p, q)`` debias constants, probability planes, GRR's
+        liar-spread matrix) hoisted out of the per-chunk path.  The
+        collector memoizes one prepared sampler per budget
+        (:meth:`repro.engine.collector.Collector.run_sampler`), so the
+        oracle's affine setup runs once per session instead of once per
+        chunk.
+        """
+        epsilon = self._check_epsilon(epsilon)
+        self._check_domain(domain_size)
+
+        def sample(true_counts: np.ndarray, rng) -> np.ndarray:
+            return self.sample_aggregate_run(true_counts, epsilon, rng=rng)
+
+        return sample
+
+    def sample_aggregate_run_stacked(
+        self,
+        true_counts: np.ndarray,
+        epsilons,
+        rngs,
+    ) -> np.ndarray:
+        """Run-sample ``S`` private sessions over one shared count block.
+
+        ``true_counts`` is the shared ``(B, d)`` block of exact per-round
+        value histograms; ``epsilons[s]`` and ``rngs[s]`` are session
+        ``s``'s per-round budget and **private** generator (``epsilons``
+        may also be a scalar applied to every layer).  Returns an
+        ``(S, B, d)`` stack whose layer ``s`` is **bit-identical** to
+        ``sample_aggregate_run(true_counts, epsilons[s], rng=rngs[s])``:
+        each layer's draws come from its own generator only, so stacking
+        sessions shares *arrays* (the count block, trial stacks,
+        probability planes) but never randomness.  This is the kernel the
+        SoA scheduler (:mod:`repro.engine.soa`) drives a whole bucket of
+        fused sessions through.
+
+        The base implementation is the per-session loop; subclasses hoist
+        the budget-independent draw scaffolding (OUE/SUE/OLH/HR build the
+        ``(B, 2, d)`` trial stack once for every session, GRR builds its
+        liar-spread matrix once) and cache per-distinct-budget constants.
+        """
+        counts = self._check_batch_counts(true_counts)
+        rngs = list(rngs)
+        epsilons = self._stack_epsilons(epsilons, len(rngs))
+        out = np.empty(
+            (len(rngs), counts.shape[0], counts.shape[1]), dtype=np.float64
+        )
+        for s, (eps, rng) in enumerate(zip(epsilons, rngs)):
+            out[s] = self.sample_aggregate_run(counts, eps, rng=rng)
+        return out
+
+    @staticmethod
+    def _stack_epsilons(epsilons, n_sessions: int) -> list:
+        """Normalise a scalar-or-sequence budget spec to one per session."""
+        if isinstance(epsilons, (int, float)):
+            return [float(epsilons)] * n_sessions
+        epsilons = [float(eps) for eps in epsilons]
+        if len(epsilons) != n_sessions:
+            raise InvalidParameterError(
+                f"got {len(epsilons)} epsilons for {n_sessions} sessions"
+            )
+        return epsilons
+
     def round_sampler(self, epsilon: float, domain_size: int):
         """Build a prepared single-round sampler for a fixed budget.
 

@@ -147,6 +147,81 @@ class GRR(FrequencyOracle):
             perturbed[b] += spread.sum(axis=0)
         return (perturbed / n[:, None] - q) / (p - q)
 
+    def run_sampler(self, epsilon, domain_size):
+        from ..engine.kernels_fast import debias_rows
+
+        epsilon = self._check_epsilon(epsilon)
+        domain_size = self._check_domain(domain_size)
+        p, q = grr_probabilities(epsilon, domain_size)
+        uniform_over_others = np.full(
+            (domain_size, domain_size), 1.0 / (domain_size - 1)
+        )
+        np.fill_diagonal(uniform_over_others, 0.0)
+
+        # Prepared sample_aggregate_run: the (d, d) liar-spread matrix and
+        # probability setup build once per budget; the per-round draw loop
+        # is unchanged, so the prepared run stays bit-identical.
+        def sample(true_counts, rng):
+            counts = self._check_batch_counts(true_counts)
+            if counts.shape[0] == 0:
+                return np.empty((0, counts.shape[1]), dtype=np.float64)
+            n = counts.sum(axis=1)
+            if int(n.min()) <= 0:
+                raise InvalidParameterError("cannot aggregate zero reports")
+            perturbed = np.empty(counts.shape, dtype=np.float64)
+            for b, row in enumerate(counts):
+                keepers = rng.binomial(row, p)
+                liars = row - keepers
+                spread = rng.multinomial(liars, uniform_over_others)
+                perturbed[b] = keepers
+                perturbed[b] += spread.sum(axis=0)
+            return debias_rows(perturbed, n.astype(np.float64), p, q)
+
+        return sample
+
+    def sample_aggregate_run_stacked(self, true_counts, epsilons, rngs):
+        from ..engine.kernels_fast import debias_rows
+
+        counts = self._check_batch_counts(true_counts)
+        rngs = list(rngs)
+        epsilons = [
+            self._check_epsilon(eps)
+            for eps in self._stack_epsilons(epsilons, len(rngs))
+        ]
+        n_sessions = len(rngs)
+        rounds, d = counts.shape
+        if rounds == 0:
+            return np.empty((n_sessions, 0, d), dtype=np.float64)
+        domain_size = self._check_domain(d)
+        n = counts.sum(axis=1)
+        if int(n.min()) <= 0:
+            raise InvalidParameterError("cannot aggregate zero reports")
+        # One liar-spread matrix serves every session; probabilities are
+        # cached per distinct budget.  Each layer replays the per-round
+        # binomial/multinomial interleave on its own generator only —
+        # draw for draw what sample_aggregate_run does solo.
+        uniform_over_others = np.full(
+            (domain_size, domain_size), 1.0 / (domain_size - 1)
+        )
+        np.fill_diagonal(uniform_over_others, 0.0)
+        n_rows = n.astype(np.float64)
+        pq_cache: dict = {}
+        out = np.empty((n_sessions, rounds, d), dtype=np.float64)
+        perturbed = np.empty((rounds, d), dtype=np.float64)
+        for s, (eps, rng) in enumerate(zip(epsilons, rngs)):
+            pq = pq_cache.get(eps)
+            if pq is None:
+                pq = pq_cache[eps] = grr_probabilities(eps, domain_size)
+            p, q = pq
+            for b, row in enumerate(counts):
+                keepers = rng.binomial(row, p)
+                liars = row - keepers
+                spread = rng.multinomial(liars, uniform_over_others)
+                perturbed[b] = keepers
+                perturbed[b] += spread.sum(axis=0)
+            out[s] = debias_rows(perturbed, n_rows, p, q)
+        return out
+
     def round_sampler(self, epsilon, domain_size):
         epsilon = self._check_epsilon(epsilon)
         domain_size = self._check_domain(domain_size)

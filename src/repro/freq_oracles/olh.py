@@ -147,6 +147,76 @@ class OLH(FrequencyOracle):
         # exactly (see its docstring), so it doubles as the run kernel.
         return self.sample_aggregate_batch(true_counts, epsilon, rng=rng)
 
+    def run_sampler(self, epsilon, domain_size):
+        from ..engine.kernels_fast import debias_rows
+
+        epsilon = self._check_epsilon(epsilon)
+        self._check_domain(domain_size)
+        g = olh_hash_range(epsilon)
+        e = math.exp(epsilon)
+        p = e / (e + g - 1)
+        q = 1.0 / g
+        pq_plane = np.array([p, q]).reshape(1, 2, 1)
+
+        # Prepared sample_aggregate_run (= the batch sampler) with the
+        # hash-range/probability setup hoisted per budget; same (B, 2, d)
+        # element-ordered draw, bit-identical output.
+        def sample(true_counts, rng):
+            counts = self._check_batch_counts(true_counts)
+            if counts.shape[0] == 0:
+                return np.empty((0, counts.shape[1]), dtype=np.float64)
+            n = counts.sum(axis=1, keepdims=True)
+            if int(n.min()) <= 0:
+                raise InvalidParameterError("cannot aggregate zero reports")
+            trials = np.stack([counts, n - counts], axis=1)
+            probs = np.broadcast_to(pq_plane, trials.shape)
+            draws = rng.binomial(trials, probs)
+            supports = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
+            return debias_rows(supports, n[:, 0].astype(np.float64), p, q)
+
+        return sample
+
+    def sample_aggregate_run_stacked(self, true_counts, epsilons, rngs):
+        from ..engine.kernels_fast import debias_rows
+
+        counts = self._check_batch_counts(true_counts)
+        rngs = list(rngs)
+        epsilons = [
+            self._check_epsilon(eps)
+            for eps in self._stack_epsilons(epsilons, len(rngs))
+        ]
+        n_sessions = len(rngs)
+        rounds, d = counts.shape
+        if rounds == 0:
+            return np.empty((n_sessions, 0, d), dtype=np.float64)
+        self._check_domain(d)
+        n = counts.sum(axis=1, keepdims=True)
+        if int(n.min()) <= 0:
+            raise InvalidParameterError("cannot aggregate zero reports")
+        # Shared budget-independent (B, 2, d) trial stack; the hash range
+        # (and so the probability plane) is cached per distinct budget.
+        # Each layer consumes only its own generator (see OUE).
+        trials = np.stack([counts, n - counts], axis=1)
+        n_rows = n[:, 0].astype(np.float64)
+        setup_cache: dict = {}
+        out = np.empty((n_sessions, rounds, d), dtype=np.float64)
+        for s, (eps, rng) in enumerate(zip(epsilons, rngs)):
+            setup = setup_cache.get(eps)
+            if setup is None:
+                g = olh_hash_range(eps)
+                e = math.exp(eps)
+                p = e / (e + g - 1)
+                q = 1.0 / g
+                probs = np.broadcast_to(
+                    np.array([p, q]).reshape(1, 2, 1), trials.shape
+                )
+                setup = setup_cache[eps] = (p, q, probs)
+            p, q, probs = setup
+            draws = rng.binomial(trials, probs)
+            supports = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
+            out[s] = debias_rows(supports, n_rows, p, q)
+        return out
+
     def round_sampler(self, epsilon, domain_size):
         epsilon = self._check_epsilon(epsilon)
         self._check_domain(domain_size)

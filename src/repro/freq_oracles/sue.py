@@ -111,6 +111,67 @@ class SUE(FrequencyOracle):
         ones = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
         return (ones / n - q) / (p - q)
 
+    def run_sampler(self, epsilon, domain_size):
+        from ..engine.kernels_fast import debias_rows
+
+        epsilon = self._check_epsilon(epsilon)
+        self._check_domain(domain_size)
+        p, q = sue_probabilities(epsilon)
+        pq_plane = np.array([p, q]).reshape(1, 2, 1)
+
+        # Prepared sample_aggregate_run with the per-budget setup hoisted;
+        # same draws, same expressions, bit-identical output (see OUE).
+        def sample(true_counts, rng):
+            counts = self._check_batch_counts(true_counts)
+            if counts.shape[0] == 0:
+                return np.empty((0, counts.shape[1]), dtype=np.float64)
+            n = counts.sum(axis=1, keepdims=True)
+            if int(n.min()) <= 0:
+                raise InvalidParameterError("cannot aggregate zero reports")
+            trials = np.stack([counts, n - counts], axis=1)
+            probs = np.broadcast_to(pq_plane, trials.shape)
+            draws = rng.binomial(trials, probs)
+            ones = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
+            return debias_rows(ones, n[:, 0].astype(np.float64), p, q)
+
+        return sample
+
+    def sample_aggregate_run_stacked(self, true_counts, epsilons, rngs):
+        from ..engine.kernels_fast import debias_rows
+
+        counts = self._check_batch_counts(true_counts)
+        rngs = list(rngs)
+        epsilons = [
+            self._check_epsilon(eps)
+            for eps in self._stack_epsilons(epsilons, len(rngs))
+        ]
+        n_sessions = len(rngs)
+        rounds, d = counts.shape
+        if rounds == 0:
+            return np.empty((n_sessions, 0, d), dtype=np.float64)
+        self._check_domain(d)
+        n = counts.sum(axis=1, keepdims=True)
+        if int(n.min()) <= 0:
+            raise InvalidParameterError("cannot aggregate zero reports")
+        # Shared budget-independent (B, 2, d) trial stack, per-budget
+        # probability planes, strictly private generators (see OUE).
+        trials = np.stack([counts, n - counts], axis=1)
+        n_rows = n[:, 0].astype(np.float64)
+        probs_cache: dict = {}
+        out = np.empty((n_sessions, rounds, d), dtype=np.float64)
+        for s, (eps, rng) in enumerate(zip(epsilons, rngs)):
+            p, q = sue_probabilities(eps)
+            probs = probs_cache.get(eps)
+            if probs is None:
+                probs = np.broadcast_to(
+                    np.array([p, q]).reshape(1, 2, 1), trials.shape
+                )
+                probs_cache[eps] = probs
+            draws = rng.binomial(trials, probs)
+            ones = (draws[:, 0, :] + draws[:, 1, :]).astype(np.float64)
+            out[s] = debias_rows(ones, n_rows, p, q)
+        return out
+
     def round_sampler(self, epsilon, domain_size):
         epsilon = self._check_epsilon(epsilon)
         self._check_domain(domain_size)

@@ -19,6 +19,7 @@ from typing import List
 import numpy as np
 
 from ...engine.collector import ChunkContext, TimestepContext
+from ...engine.kernels_fast import first_exceed
 from ...engine.records import (
     STRATEGY_APPROXIMATE,
     STRATEGY_NULLIFIED,
@@ -243,12 +244,19 @@ class LBA(StreamMechanism):
                 # Row-wise mean: bit-identical to per-row np.mean (same
                 # pairwise summation per row), one vectorized call.
                 sq_means = (diff * diff).mean(axis=1)
-                hit = -1
+                # Elementwise subtraction: each entry is the same float64
+                # op as the per-step ``float(sq_means[i]) - var_m1``.
+                dis_arr = sq_means - var_m1
+                err_arr = np.empty(count, dtype=np.float64)
+                nullified_arr = []
                 for i in range(count):
                     t = t0 + base + i
-                    dis = float(sq_means[i]) - var_m1
                     if t - last_t <= to_nullify:
-                        scan.append((dis, math.nan, True))
+                        # NaN never exceeds: ``dis > nan`` is False in
+                        # both the numpy and compiled comparison kernels,
+                        # so nullified rounds can never be the hit.
+                        err_arr[i] = math.nan
+                        nullified_arr.append(True)
                         continue
                     absorbable = t - (last_t + to_nullify)
                     publication_epsilon = unit * min(absorbable, float(w))
@@ -261,11 +269,20 @@ class LBA(StreamMechanism):
                             err_cache[publication_epsilon] = err
                     else:
                         err = math.inf
-                    scan.append((dis, err, False))
-                    if dis > err:
-                        hit = i
-                        publish_eps = publication_epsilon
-                        break
+                    err_arr[i] = err
+                    nullified_arr.append(False)
+                # Decision scan through the (compiled-capable) comparison
+                # kernel; records only read scan entries up to the
+                # committed prefix, so filling the whole sub-batch is
+                # record-identical to the old break-at-hit loop.
+                hit = first_exceed(dis_arr, err_arr)
+                scan.extend(
+                    zip(dis_arr.tolist(), err_arr.tolist(), nullified_arr)
+                )
+                if hit >= 0:
+                    t_hit = t0 + base + hit
+                    absorbable = t_hit - (last_t + to_nullify)
+                    publish_eps = unit * min(absorbable, float(w))
                 if hit < 0:
                     ctx.commit_run(unit, range(base, base + count))
                     scanned += count

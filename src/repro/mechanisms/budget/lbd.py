@@ -23,6 +23,7 @@ from typing import List
 import numpy as np
 
 from ...engine.collector import ChunkContext, TimestepContext
+from ...engine.kernels_fast import first_exceed
 from ...engine.records import (
     STRATEGY_APPROXIMATE,
     STRATEGY_PUBLISH,
@@ -235,9 +236,11 @@ class LBD(StreamMechanism):
                 # the per-step dissimilarity, one vectorized call.
                 sq_means = (diff * diff).mean(axis=1)
                 sums = window.preview(range(t0 + base, t0 + base + count))
-                hit = -1
+                # Elementwise subtraction: each entry is the same float64
+                # op as the per-step ``float(sq_means[i]) - var_m1``.
+                dis_arr = sq_means - var_m1
+                err_arr = np.empty(count, dtype=np.float64)
                 for i in range(count):
-                    dis = float(sq_means[i]) - var_m1
                     remaining = half - sums[i]
                     remaining = max(0.0, remaining)
                     publication_epsilon = remaining / 2.0
@@ -250,12 +253,16 @@ class LBD(StreamMechanism):
                             err_cache[publication_epsilon] = err
                     else:
                         err = math.inf
-                    dis_scan.append(dis)
-                    err_scan.append(err)
-                    if dis > err:
-                        hit = i
-                        publish_eps = publication_epsilon
-                        break
+                    err_arr[i] = err
+                # Decision scan through the (compiled-capable) comparison
+                # kernel; records only ever read scan entries up to the
+                # committed prefix, so filling the whole sub-batch is
+                # record-identical to the old break-at-hit loop.
+                hit = first_exceed(dis_arr, err_arr)
+                dis_scan.extend(dis_arr.tolist())
+                err_scan.extend(err_arr.tolist())
+                if hit >= 0:
+                    publish_eps = max(0.0, half - sums[hit]) / 2.0
                 if hit < 0:
                     # The whole sub-batch approximates: every speculative
                     # draw stands; commit its M1 charges in bulk and keep

@@ -284,6 +284,7 @@ def capture_group(group) -> dict:
         "version": CHECKPOINT_VERSION,
         "horizon": group.horizon,
         "truth_chunk": group.truth_chunk,
+        "soa": group.soa,
         "cursor": group.cursor,
         "sessions": [capture_session(s) for s in group.sessions],
     }
@@ -310,6 +311,8 @@ def restore_group(
                 else int(payload["horizon"])
             ),
             truth_chunk=int(payload["truth_chunk"]),
+            # Pre-SoA checkpoints carry no setting: resolve as "auto".
+            soa=payload.get("soa", "auto"),
         )
         sessions = [
             restore_session(entry, dataset, position=False)

@@ -243,14 +243,23 @@ class QueryPlanner:
     def _subset_sum(
         self, engine: QueryEngine, items, t: Optional[int]
     ) -> IntervalEstimate:
-        """Subset sum over ``items`` at ``t``: the primitive sequence a
-        hand-composed caller would run, float op for float op."""
+        """Subset sum over ``items`` at ``t`` through the store's fused
+        :meth:`~repro.query.store.ReleaseStore.subset_sum` operator.
+
+        One slot fetch instead of one :meth:`~repro.query.engine.
+        QueryEngine.point` call (and release copy) per item —
+        byte-identical, because the store accumulates the same cells
+        sequentially in the same (ascending, AST-fixed) order and
+        validates each item with the same domain error."""
         if not items:
             return IntervalEstimate(0.0, 0.0, engine.confidence)
-        estimate = 0.0
-        for item in items:  # ascending order — fixed by the AST
-            estimate += engine.point(item, t=t).estimate
-        t_eff = t if t is not None else engine.store.latest_t
+        if t is None:
+            t_eff = engine.store.latest_t
+            if t_eff is None:
+                raise InvalidParameterError("the release store is empty")
+        else:
+            t_eff = t
+        estimate = engine.store.subset_sum(t_eff, items)
         variance = len(items) * engine.store.variance_at(t_eff)
         return IntervalEstimate(
             estimate=estimate,
@@ -285,13 +294,15 @@ class QueryPlanner:
                 ]
 
             return steps, run_topk
-        # Range: subset-sum over the intersection with [lo, hi).
+        # Range: fused subset-sum over the intersection with [lo, hi).
         subset = tuple(
             i for i in items if inner.lo <= i < inner.hi
         )
         steps = [
-            f"point(item={i}, t={inner.t})" for i in subset
-        ] + [f"sum; stderr = sqrt({len(subset)} * V(t))"]
+            f"subset_sum(items={list(subset)}, t={inner.t}) "
+            f"[fused: one release fetch]",
+            f"stderr = sqrt({len(subset)} * V(t))",
+        ]
         return steps, lambda: self._subset_sum(engine, subset, inner.t)
 
     def _lower_groupby(self, query: GroupBy):
@@ -299,8 +310,8 @@ class QueryPlanner:
         steps = []
         for name, items in query.groups:
             steps.append(
-                f"group {name!r}: subset-sum over {list(items)} "
-                f"at t={query.t}"
+                f"group {name!r}: subset_sum(items={list(items)}, "
+                f"t={query.t}) [fused: one release fetch]"
             )
 
         def run():

@@ -415,6 +415,33 @@ class ReleaseStore:
         """Correlation group of ``t``'s release (shared by re-releases)."""
         return self._slot(t).publication_id
 
+    def subset_sum(self, t: int, items) -> float:
+        """Sum of the released cells ``items`` at ``t`` — one slot fetch.
+
+        Fused form of reading ``release_at(t)[item]`` once per item:
+        the slot is resolved once and the cells are accumulated
+        *sequentially in the given order*, so the result is
+        byte-identical to a caller summing per-item point reads (numpy
+        slice ``.sum()`` would use pairwise summation and round
+        differently).  Items are validated against the domain with the
+        same error a per-item read would raise.
+        """
+        release = self._slot(t).release
+        total = 0.0
+        for item in items:
+            if not isinstance(item, (int, np.integer)):
+                raise InvalidParameterError(
+                    f"item must be an int, got {item!r}"
+                )
+            item = int(item)
+            if not 0 <= item < self.domain_size:
+                raise InvalidParameterError(
+                    f"item {item} outside the domain "
+                    f"[0, {self.domain_size})"
+                )
+            total += float(release[item])
+        return total
+
     # ------------------------------------------------------------------
     # Span access
     # ------------------------------------------------------------------

@@ -1,0 +1,212 @@
+"""SoA scheduler conformance: bit-identity with solo runs at every
+chunk size, on random-access and sequential streams, through mid-pass
+checkpoints, with the fused and generic bucket paths both exercised."""
+
+import numpy as np
+import pytest
+
+from repro.engine import SessionGroup, run_stream, soa_supported
+from repro.exceptions import InvalidParameterError
+from repro.streams import TaxiSimulator, make_sin
+
+# The seven core mechanisms plus the LPF extension (no chunk kernel —
+# exercises the SoA per-step fallback lane on random-access streams).
+MECHANISMS = ("LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA", "LPF")
+ORACLES = ("grr", "oue", "sue", "olh", "hr")
+
+N_USERS = 300
+HORIZON = 15
+
+
+def _dataset():
+    return make_sin(horizon=HORIZON, n_users=N_USERS, seed=9)
+
+
+def _grid_group(dataset, *, oracle=None, chunk=16, soa=True,
+                mechanisms=MECHANISMS):
+    group = SessionGroup(dataset, truth_chunk=chunk, soa=soa)
+    for i, mech in enumerate(mechanisms):
+        g_oracle = oracle if oracle is not None else ORACLES[i % len(ORACLES)]
+        group.add_session(
+            mech,
+            0.8 + 0.2 * i,
+            4,
+            oracle=g_oracle,
+            seed=50 + i,
+            postprocess="clip" if i % 2 else "none",
+        )
+    return group
+
+
+def assert_results_identical(a, b):
+    assert len(a.releases) == len(b.releases)
+    for x, y in zip(a.releases, b.releases):
+        assert np.array_equal(x, y)
+    for x, y in zip(a.true_frequencies, b.true_frequencies):
+        assert np.array_equal(x, y)
+    assert a.total_reports == b.total_reports
+    assert [r.strategy for r in a.records] == [r.strategy for r in b.records]
+
+
+class TestSoloBitIdentity:
+    """The ISSUE's conformance matrix: mechanisms × oracles × chunks."""
+
+    @pytest.mark.parametrize("oracle", ORACLES)
+    @pytest.mark.parametrize("chunk", (1, 5, 16, 64))
+    def test_soa_matches_solo(self, oracle, chunk):
+        dataset = _dataset()
+        group = _grid_group(dataset, oracle=oracle, chunk=chunk)
+        results = group.run()
+        for i, mech in enumerate(MECHANISMS):
+            solo = run_stream(
+                mech,
+                dataset,
+                epsilon=0.8 + 0.2 * i,
+                window=4,
+                oracle=oracle,
+                seed=50 + i,
+                postprocess="clip" if i % 2 else "none",
+            )
+            assert_results_identical(results[i], solo)
+
+    def test_fused_bucket_matches_solo_many_epsilons(self):
+        # Same mechanism family + oracle at many budgets: one stacked
+        # call drives the whole bucket.
+        dataset = _dataset()
+        group = SessionGroup(dataset, truth_chunk=8, soa=True)
+        epsilons = (0.5, 1.0, 2.0, 4.0)
+        for j, eps in enumerate(epsilons):
+            group.add_session("LBU", eps, 5, oracle="oue", seed=70 + j)
+        results = group.run()
+        for j, eps in enumerate(epsilons):
+            solo = run_stream(
+                "LBU", dataset, epsilon=eps, window=5,
+                oracle="oue", seed=70 + j,
+            )
+            assert_results_identical(results[j], solo)
+
+    def test_sequential_stream_soa_matches_legacy(self):
+        def run(soa):
+            dataset = TaxiSimulator(
+                n_users=N_USERS, horizon=HORIZON, domain_size=10, seed=3
+            )
+            # LPF has no chunk kernel: sequential streams can't take it
+            # through SoA, so restrict to the seven kernel mechanisms.
+            group = _grid_group(
+                dataset, chunk=7, soa=soa, mechanisms=MECHANISMS[:-1]
+            )
+            return group.run()
+
+        for a, b in zip(run(True), run(False)):
+            assert_results_identical(a, b)
+
+    def test_mixed_horizons_match_solo(self):
+        dataset = _dataset()
+        group = SessionGroup(dataset, truth_chunk=6, soa=True)
+        horizons = (HORIZON, 11, 7)
+        for j, h in enumerate(horizons):
+            group.add_session(
+                "LBU", 1.0, 4, oracle="sue", seed=80 + j, horizon=h
+            )
+        results = group.run()
+        for j, h in enumerate(horizons):
+            solo = run_stream(
+                "LBU", dataset, epsilon=1.0, window=4,
+                horizon=h, oracle="sue", seed=80 + j,
+            )
+            assert_results_identical(results[j], solo)
+
+
+class TestSnapshotThroughSoA:
+    def test_mid_pass_snapshot_restore_non_aligned(self):
+        dataset = _dataset()
+        group = _grid_group(dataset, chunk=6, soa=True)
+        reference = _grid_group(_dataset(), chunk=6, soa=True).run()
+        group.start_pass()
+        group.advance_to(7)  # not a chunk boundary
+        payload = group.snapshot()
+        restored = SessionGroup.restore(payload, _dataset())
+        assert restored.soa is True
+        restored.advance_to(restored.steps)
+        for a, b in zip(restored.finalize_all(), reference):
+            assert_results_identical(a, b)
+
+    def test_pre_soa_payload_defaults_to_auto(self):
+        dataset = _dataset()
+        group = _grid_group(dataset, chunk=6, soa="auto")
+        group.start_pass()
+        group.advance_to(5)
+        payload = group.snapshot()
+        del payload["soa"]
+        restored = SessionGroup.restore(payload, _dataset())
+        assert restored.soa == "auto"
+
+
+class TestConfiguration:
+    def test_truth_chunk_rejects_float(self):
+        with pytest.raises(InvalidParameterError, match="integer"):
+            SessionGroup(_dataset(), truth_chunk=0.5)
+
+    def test_truth_chunk_rejects_zero_and_negative(self):
+        for bad in (0, -3):
+            with pytest.raises(InvalidParameterError, match=">= 1"):
+                SessionGroup(_dataset(), truth_chunk=bad)
+
+    def test_soa_validated(self):
+        with pytest.raises(InvalidParameterError, match="soa"):
+            SessionGroup(_dataset(), soa="yes")
+
+    def test_soa_true_unsupported_raises(self):
+        dataset = TaxiSimulator(
+            n_users=100, horizon=6, domain_size=5, seed=1
+        )
+        group = SessionGroup(dataset, soa=True)
+        group.add_session("LPF", 1.0, 3, oracle="grr", seed=1)
+        group.start_pass()
+        with pytest.raises(InvalidParameterError, match="chunk kernel"):
+            group.advance_to(6)
+
+    def test_soa_supported_predicate(self):
+        sequential = TaxiSimulator(
+            n_users=100, horizon=6, domain_size=5, seed=1
+        )
+        assert not soa_supported([], sequential)
+        group = SessionGroup(sequential, soa=False)
+        kernel = group.add_session("LBU", 1.0, 3, oracle="grr", seed=1)
+        assert soa_supported([kernel], sequential)
+        fallback = group.add_session("LPF", 1.0, 3, oracle="grr", seed=2)
+        assert not soa_supported([kernel, fallback], sequential)
+        assert soa_supported([kernel, fallback], _dataset())
+
+    def test_repro_soa_env_disables_auto(self, monkeypatch):
+        def run(env):
+            if env is None:
+                monkeypatch.delenv("REPRO_SOA", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_SOA", env)
+            group = _grid_group(_dataset(), chunk=6, soa="auto")
+            assert group._use_soa() is (env != "0")
+            return group.run()
+
+        for a, b in zip(run("0"), run(None)):
+            assert_results_identical(a, b)
+
+    def test_repro_soa_env_does_not_override_explicit_true(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SOA", "0")
+        group = _grid_group(_dataset(), chunk=6, soa=True)
+        assert group._use_soa() is True
+
+
+class TestStores:
+    def test_store_contents_identical_to_legacy(self):
+        def run(soa):
+            group = _grid_group(_dataset(), chunk=9, soa=soa)
+            group.attach_stores()
+            group.run()
+            return [s.store for s in group.sessions]
+
+        for a, b in zip(run(True), run(False)):
+            sa, sb = a.state_dict(), b.state_dict()
+            assert repr(sa) == repr(sb)

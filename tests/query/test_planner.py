@@ -147,6 +147,42 @@ def test_filtered_range_empty_intersection_is_zero(planner):
     assert (got.estimate, got.stderr) == (0.0, 0.0)
 
 
+def test_store_subset_sum_matches_sequential_point_reads(engine):
+    items = (1, 3, 4, 7)
+    t = 11
+    want = 0.0
+    for i in items:
+        want += engine.point(i, t=t).estimate
+    assert engine.store.subset_sum(t, items) == want
+
+
+def test_store_subset_sum_validates_items(engine):
+    with pytest.raises(InvalidParameterError, match="outside the domain"):
+        engine.store.subset_sum(3, (0, D))
+    with pytest.raises(InvalidParameterError, match="must be an int"):
+        engine.store.subset_sum(3, (0, 1.5))
+
+
+def test_filtered_range_explain_reports_fused_operator(planner):
+    plan = planner.plan(Filter(Range(0, 6, t=9), (0, 1, 4, 6, 7)))
+    assert any("subset_sum" in step and "fused" in step
+               for step in plan.steps)
+    # The fused plan replaces the per-item point calls entirely.
+    assert not any(step.startswith("point(") for step in plan.steps)
+
+
+def test_groupby_explain_reports_fused_operator(planner):
+    plan = planner.plan(GroupBy((("lo", (0, 1)), ("hi", (6, 7))), t=5))
+    assert all("subset_sum" in step and "fused" in step
+               for step in plan.steps)
+
+
+def test_subset_sum_on_empty_store_raises():
+    planner = QueryPlanner(QueryEngine(ReleaseStore(D)))
+    with pytest.raises(InvalidParameterError, match="release store is empty"):
+        planner.evaluate(GroupBy((("g", (0, 1)),)))
+
+
 def test_groupby_bit_identical_to_subset_sums(engine, planner):
     groups = (("low", (0, 1, 2)), ("high", (5, 7)))
     t = 14
